@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate paths: event
+// queue scheduling, OpenFlow table lookup at various sizes, yamlite
+// parsing, RNG draws, and FlowMemory operations.
+#include <benchmark/benchmark.h>
+
+#include "core/flow_memory.hpp"
+#include "openflow/flow_table.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "yamlite/parse.hpp"
+
+namespace {
+
+using namespace edgesim;
+using namespace edgesim::timeliterals;
+
+void BM_EventScheduleDispatch(benchmark::State& state) {
+  Simulation sim;
+  std::int64_t counter = 0;
+  for (auto _ : state) {
+    sim.schedule(1_us, [&counter] { ++counter; });
+    sim.step();
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_EventScheduleDispatch);
+
+void BM_EventQueueBurst(benchmark::State& state) {
+  const auto burst = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    std::int64_t counter = 0;
+    for (int i = 0; i < burst; ++i) {
+      sim.schedule(SimTime::micros(i % 97), [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(BM_EventQueueBurst)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  const auto entries = static_cast<int>(state.range(0));
+  openflow::FlowTable table;
+  for (int i = 0; i < entries; ++i) {
+    openflow::FlowEntry entry;
+    entry.priority = static_cast<std::uint16_t>(i % 100);
+    entry.match.ipDst = Ipv4(203, 0, 113, static_cast<std::uint8_t>(i % 250 + 1));
+    entry.match.tcpDst = 80;
+    table.upsert(entry, SimTime::zero());
+  }
+  const Packet packet = makeSyn(Mac(1), Endpoint(Ipv4(10, 0, 0, 1), 40000),
+                                Endpoint(Ipv4(203, 0, 113, 99), 80));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(packet, 0, SimTime::zero()));
+  }
+}
+BENCHMARK(BM_FlowTableLookup)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_YamlParseDeployment(benchmark::State& state) {
+  const std::string yaml = R"(apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: nginx-deployment
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: nginx
+  template:
+    metadata:
+      labels:
+        app: nginx
+    spec:
+      containers:
+      - name: nginx
+        image: nginx:1.23.2
+        ports:
+        - containerPort: 80
+)";
+  for (auto _ : state) {
+    auto result = yamlite::parse(yaml);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(yaml.size()));
+}
+BENCHMARK(BM_YamlParseDeployment);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform01());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.zipf(1000, 1.1));
+  }
+}
+BENCHMARK(BM_RngZipf);
+
+void BM_FlowMemoryLookup(benchmark::State& state) {
+  core::FlowMemory memory(60_s);
+  for (int i = 0; i < 1000; ++i) {
+    memory.upsert(Ipv4(10, 0, static_cast<std::uint8_t>(i / 250),
+                       static_cast<std::uint8_t>(i % 250 + 1)),
+                  Endpoint(Ipv4(203, 0, 113, 10), 80),
+                  Endpoint(Ipv4(10, 0, 1, 1), static_cast<std::uint16_t>(30000 + i)),
+                  "docker-egs", SimTime::zero());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        memory.lookup(Ipv4(10, 0, 2, 17), Endpoint(Ipv4(203, 0, 113, 10), 80)));
+  }
+}
+BENCHMARK(BM_FlowMemoryLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// §IV-A: on-demand deployment WITH waiting vs WITHOUT waiting (fig. 3) vs
+// plain cloud forwarding -- first-request latency and where later requests
+// land, on a two-tier edge (near EGS + farther edge cluster).
+#include <cstdio>
+#include <optional>
+
+#include "experiment_common.hpp"
+
+using namespace edgesim;
+using namespace edgesim::bench;
+
+namespace {
+
+struct ModeResult {
+  double firstRequest = -1;
+  double steadyState = -1;
+  std::uint64_t backgroundDeployments = 0;
+};
+
+ModeResult runMode(const std::string& scheduler, bool farInstanceRunning) {
+  TestbedOptions options;
+  options.clusterMode = ClusterMode::kDockerOnly;
+  options.farEdge = true;
+  options.controller.scheduler = scheduler;
+  options.controller.memoryIdleTimeout = 2_s;
+  options.controller.switchIdleTimeout = 1_s;
+  // This experiment compares first-request handling; keep instances up so
+  // the steady-state row reflects warm-path latency, not scale-down churn
+  // (the FlowMemory ablation bench covers that dimension).
+  options.controller.scaleDownIdleServices = false;
+  Testbed bed(options);
+
+  const Endpoint address(Ipv4(203, 0, 113, 10), 80);
+  ES_ASSERT(bed.registerCatalogService("nginx", address).ok());
+  bed.warmImageCache("nginx");
+
+  const ServiceModel* model = bed.controller().serviceAt(address);
+  if (farInstanceRunning) {
+    bool ready = false;
+    bed.controller().dispatcher().ensureReady(
+        *model, *bed.farEdgeAdapter(),
+        [&ready](Result<Endpoint> r) { ready = r.ok(); });
+    bed.sim().runUntil(5_s);
+    ES_ASSERT(ready);
+  } else {
+    bed.sim().runUntil(5_s);
+  }
+
+  ModeResult result;
+  bed.requestCatalog(0, "nginx", address, "first",
+                     [&result](Result<HttpExchange> r) {
+                       if (r.ok()) {
+                         result.firstRequest =
+                             r.value().timings.timeTotal().toSeconds();
+                       }
+                     });
+  bed.sim().runUntil(30_s);
+
+  // Steady state: after flows/memory expired and any background deployment
+  // finished, the same client asks again.
+  bed.requestCatalog(0, "nginx", address, "steady",
+                     [&result](Result<HttpExchange> r) {
+                       if (r.ok()) {
+                         result.steadyState =
+                             r.value().timings.timeTotal().toSeconds();
+                       }
+                     });
+  bed.sim().runUntil(60_s);
+  result.backgroundDeployments =
+      bed.controller().dispatcher().backgroundDeployments();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("On-demand deployment modes (nginx, image cached, two-tier "
+              "edge: near EGS ~1 ms RTT, far edge ~10 ms RTT)\n\n");
+
+  Table table({"Mode", "first request [s]", "steady state [s]",
+               "background deployments"});
+
+  // WITH waiting: proximity scheduler, nothing running anywhere.
+  const auto waiting = runMode("proximity", /*farInstanceRunning=*/false);
+  table.addRow({"with waiting (cold everywhere)",
+                strprintf("%.3f", waiting.firstRequest),
+                strprintf("%.4f", waiting.steadyState),
+                strprintf("%llu", (unsigned long long)waiting.backgroundDeployments)});
+
+  // WITHOUT waiting (fig. 3): latency-first, far instance already runs.
+  const auto without = runMode("latency-first", /*farInstanceRunning=*/true);
+  table.addRow({"without waiting (far instance running)",
+                strprintf("%.3f", without.firstRequest),
+                strprintf("%.4f", without.steadyState),
+                strprintf("%llu", (unsigned long long)without.backgroundDeployments)});
+
+  // Cloud fallback: never waits; first request crosses the WAN.
+  const auto cloud = runMode("cloud-fallback", /*farInstanceRunning=*/false);
+  table.addRow({"cloud fallback (forward to cloud)",
+                strprintf("%.3f", cloud.firstRequest),
+                strprintf("%.4f", cloud.steadyState),
+                strprintf("%llu", (unsigned long long)cloud.backgroundDeployments)});
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CSV:\n%s", table.csv().c_str());
+  std::printf(
+      "\nshape: waiting pays the deployment once (~0.5 s); without-waiting "
+      "answers in ~10 ms via the far edge while the near edge deploys in "
+      "the background; cloud fallback answers in ~0.1 s over the WAN; all "
+      "modes converge to ~ms steady state on the near edge.\n");
+  return 0;
+}

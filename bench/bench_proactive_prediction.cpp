@@ -1,0 +1,100 @@
+// §VII discussion: "on-demand deployment, in combination with transparent
+// access ... more so when combined with good prediction for proactive
+// deployment."  This bench quantifies that: a predictor with hit rate p
+// pre-deploys a service shortly before its first request; the rest fall
+// back to on-demand deployment with waiting.  Sweep p and report the
+// first-request latency distribution over the 42-service trace.
+#include <cstdio>
+
+#include "experiment_common.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace edgesim;
+using namespace edgesim::bench;
+
+namespace {
+
+struct SweepResult {
+  double median = 0;
+  double p95 = 0;
+  double max = 0;
+  std::uint64_t deployments = 0;
+};
+
+SweepResult runWithHitRate(double hitRate, std::uint64_t seed) {
+  TestbedOptions options;
+  options.seed = seed;
+  options.clusterMode = ClusterMode::kDockerOnly;
+  Testbed bed(options);
+  bed.warmImageCache("nginx");
+
+  workload::BigFlowsParams traceParams;
+  traceParams.seed = seed;
+  const auto loads = workload::generateFilteredServices(traceParams);
+
+  Rng predictorRng(seed * 77 + 1);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const Endpoint address(
+        Ipv4(203, 0, 113, static_cast<std::uint8_t>(i + 1)), 80);
+    ES_ASSERT(bed.registerCatalogService("nginx", address).ok());
+
+    // The predictor fires 2 s before the real first request ("just in
+    // time"), when it predicts at all.
+    if (predictorRng.chance(hitRate)) {
+      const SimTime lead = SimTime::seconds(2.0);
+      const SimTime at = loads[i].firstRequestAt() > lead
+                             ? loads[i].firstRequestAt() - lead
+                             : SimTime::zero();
+      bed.sim().scheduleAt(at, [&bed, address] {
+        (void)bed.controller().predeploy(address, "docker-egs");
+      });
+    }
+    const std::size_t clientIndex =
+        (loads[i].requests.front().second.value & 0xff) % bed.clientCount();
+    bed.sim().scheduleAt(loads[i].firstRequestAt(),
+                         [&bed, clientIndex, address] {
+                           bed.requestCatalog(clientIndex, "nginx", address,
+                                              "first");
+                         });
+  }
+  bed.sim().runUntil(traceParams.duration + 60_s);
+
+  SweepResult result;
+  const auto* first = bed.recorder().series("first");
+  ES_ASSERT(first != nullptr && first->count() == loads.size());
+  result.median = first->median();
+  result.p95 = first->p95();
+  result.max = first->max();
+  result.deployments = bed.controller().dispatcher().deploymentsTriggered();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> hitRates{0.0, 0.5, 0.8, 0.95, 1.0};
+  std::vector<SweepResult> results(hitRates.size());
+  ThreadPool::parallelFor(hitRates.size(), 0, [&](std::size_t i) {
+    results[i] = runWithHitRate(hitRates[i], /*seed=*/5);
+  });
+
+  std::printf("Proactive deployment sweep: predictor pre-deploys 2 s early "
+              "with hit rate p; misses pay on-demand with waiting\n");
+  std::printf("(42 nginx services, cached images, Docker edge)\n\n");
+  Table table({"hit rate", "median first req [s]", "p95 [s]", "max [s]",
+               "deployments"});
+  for (std::size_t i = 0; i < hitRates.size(); ++i) {
+    table.addRow({strprintf("%.0f%%", hitRates[i] * 100),
+                  strprintf("%.4f", results[i].median),
+                  strprintf("%.4f", results[i].p95),
+                  strprintf("%.4f", results[i].max),
+                  strprintf("%llu", (unsigned long long)results[i].deployments)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CSV:\n%s", table.csv().c_str());
+  std::printf("\nshape: even an imperfect predictor moves the median first "
+              "request from ~0.4-0.5 s to ~ms; the tail (p95/max) tracks "
+              "the miss rate -- \"a hundred percent correct prediction rate "
+              "is impossible\", which is why on-demand deployment matters.\n");
+  return 0;
+}

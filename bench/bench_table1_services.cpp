@@ -1,0 +1,48 @@
+// Table I: the edge services used in this work -- image sizes, layer
+// counts, container counts and HTTP request shapes, regenerated from the
+// ServiceCatalog (the modelled counterparts of the paper's images).
+#include <cstdio>
+
+#include "core/service_catalog.hpp"
+#include "util/table.hpp"
+#include "util/strings.hpp"
+
+using namespace edgesim;
+using namespace edgesim::core;
+
+int main() {
+  ServiceCatalog catalog;
+  std::printf("Table I: edge services used in this work\n\n");
+  Table table({"", "Service", "Image(s)", "Size / Layers", "Containers",
+               "HTTP"});
+  for (const auto& entry : catalog.entries()) {
+    std::vector<std::string> refs;
+    for (const auto& image : entry.images) refs.push_back(image.ref.toString());
+    std::string http = entry.requestMethod == HttpMethod::kPost ? "POST" : "GET";
+    if (entry.requestPayload.value > 0) {
+      http += " (" + formatBytes(entry.requestPayload) + " payload)";
+    }
+    table.addRow({entry.displayName, entry.key, join(refs, " + "),
+                  formatBytes(catalog.totalImageSize(entry.key)) + " / " +
+                      strprintf("%zu", catalog.totalLayerCount(entry.key)),
+                  strprintf("%d", entry.containerCount), http});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("CSV:\n%s", table.csv().c_str());
+
+  std::printf("\nApp behaviour profiles (simulation stand-ins for the real "
+              "binaries):\n\n");
+  Table profiles({"Image", "startup delay", "per-request compute",
+                  "response size"});
+  for (const auto& entry : catalog.entries()) {
+    for (const auto& image : entry.images) {
+      const auto app = catalog.profiles().lookup(image.ref.toString());
+      profiles.addRow({image.ref.toString(), app.startupDelay.toString(),
+                       app.exposesPort ? app.requestCompute.toString()
+                                       : std::string("(helper, no port)"),
+                       formatBytes(app.responseBytes)});
+    }
+  }
+  std::printf("%s", profiles.render().c_str());
+  return 0;
+}

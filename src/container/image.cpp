@@ -1,0 +1,86 @@
+#include "container/image.hpp"
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace edgesim::container {
+
+std::optional<ImageRef> ImageRef::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  ImageRef ref;
+  std::string rest(text);
+
+  // A registry host is present when the first path component contains a dot
+  // or a colon (e.g. "gcr.io/...", "registry.local:5000/...").
+  const auto slash = rest.find('/');
+  if (slash != std::string::npos) {
+    const std::string first = rest.substr(0, slash);
+    if (first.find('.') != std::string::npos ||
+        first.find(':') != std::string::npos) {
+      ref.registry = first;
+      rest = rest.substr(slash + 1);
+    }
+  }
+  const auto colon = rest.rfind(':');
+  if (colon != std::string::npos && rest.find('/', colon) == std::string::npos) {
+    ref.tag = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+  }
+  if (rest.empty() || ref.tag.empty()) return std::nullopt;
+  ref.repository = rest;
+  return ref;
+}
+
+std::string ImageRef::toString() const {
+  std::string out;
+  if (!registry.empty()) out = registry + "/";
+  out += repository;
+  out += ":";
+  out += tag;
+  return out;
+}
+
+Image makeImage(ImageRef ref, Bytes totalSize, std::size_t layerCount,
+                const std::vector<Layer>& sharedBase) {
+  ES_ASSERT(layerCount >= 1);
+  Image image;
+  image.ref = ref;
+
+  Bytes sharedSize;
+  for (const auto& layer : sharedBase) {
+    image.layers.push_back(layer);
+    sharedSize += layer.size;
+  }
+  ES_ASSERT_MSG(sharedBase.size() <= layerCount,
+                "more shared layers than total layers");
+  const std::size_t ownLayers = layerCount - sharedBase.size();
+  if (ownLayers == 0) return image;
+
+  ES_ASSERT_MSG(totalSize >= sharedSize, "total smaller than shared base");
+  const Bytes ownSize = totalSize - sharedSize;
+
+  // Dominant-layer split: the first own layer carries ~70% of the bytes,
+  // the remainder is spread evenly (mirrors a big application layer over
+  // small config layers).
+  const auto dominant =
+      ownLayers == 1 ? ownSize.value : ownSize.value * 7 / 10;
+  const auto restEach =
+      ownLayers > 1 ? (ownSize.value - dominant) / (ownLayers - 1) : 0;
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < ownLayers; ++i) {
+    Layer layer;
+    layer.digest = strprintf("sha256:%s-%zu", ref.toString().c_str(), i);
+    if (i == 0) {
+      layer.size = Bytes{dominant};
+    } else if (i + 1 == ownLayers) {
+      layer.size = Bytes{ownSize.value - assigned};  // absorb rounding
+    } else {
+      layer.size = Bytes{restEach};
+    }
+    assigned += layer.size.value;
+    image.layers.push_back(layer);
+  }
+  return image;
+}
+
+}  // namespace edgesim::container

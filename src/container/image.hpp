@@ -1,0 +1,60 @@
+// Container images: references, layers, digests.
+//
+// Pull time in the paper (fig. 13) depends on the image's total size AND its
+// layer count ("pull times depend on both the image's total size and its
+// number of layers to be downloaded and verified"), and shared base layers
+// may already be cached.  Layers are therefore first-class here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace edgesim::container {
+
+/// Content digest of a layer ("sha256:..." in real life; an opaque string
+/// here).  Identical digests mean sharable layers.
+using LayerDigest = std::string;
+
+struct Layer {
+  LayerDigest digest;
+  Bytes size;
+
+  bool operator==(const Layer&) const = default;
+};
+
+/// Parsed image reference: [registry-host/]repository[:tag]
+struct ImageRef {
+  std::string registry;    // "" => default registry (Docker Hub equivalent)
+  std::string repository;  // "nginx", "tensorflow-serving/resnet"
+  std::string tag = "latest";
+
+  static std::optional<ImageRef> parse(std::string_view text);
+  std::string toString() const;
+
+  bool operator==(const ImageRef&) const = default;
+};
+
+struct Image {
+  ImageRef ref;
+  std::vector<Layer> layers;
+
+  Bytes totalSize() const {
+    Bytes total;
+    for (const auto& layer : layers) total += layer.size;
+    return total;
+  }
+  std::size_t layerCount() const { return layers.size(); }
+};
+
+/// Build an image with `layerCount` layers summing to `totalSize`, with a
+/// realistic skew (one dominant layer plus smaller ones -- typical of
+/// application images).  `sharedBase` layers (if any) are prepended and
+/// their names made deterministic so different images can share them.
+Image makeImage(ImageRef ref, Bytes totalSize, std::size_t layerCount,
+                const std::vector<Layer>& sharedBase = {});
+
+}  // namespace edgesim::container

@@ -1,0 +1,51 @@
+#include "container/layer_store.hpp"
+
+#include "util/assert.hpp"
+
+namespace edgesim::container {
+
+std::vector<Layer> LayerStore::missingLayers(const Image& image) const {
+  std::vector<Layer> missing;
+  std::unordered_set<std::string> seen;  // an image may not repeat a digest
+  for (const auto& layer : image.layers) {
+    if (layers_.count(layer.digest) == 0 && seen.insert(layer.digest).second) {
+      missing.push_back(layer);
+    }
+  }
+  return missing;
+}
+
+bool LayerStore::hasImage(const ImageRef& ref) const {
+  return images_.count(ref.toString()) != 0;
+}
+
+void LayerStore::commitImage(const Image& image) {
+  const auto key = image.ref.toString();
+  if (images_.count(key) != 0) return;  // already committed
+  images_[key] = image;
+  for (const auto& layer : image.layers) {
+    auto& stored = layers_[layer.digest];
+    stored.size = layer.size;
+    ++stored.refs;
+  }
+}
+
+bool LayerStore::removeImage(const ImageRef& ref) {
+  const auto it = images_.find(ref.toString());
+  if (it == images_.end()) return false;
+  for (const auto& layer : it->second.layers) {
+    const auto lit = layers_.find(layer.digest);
+    ES_ASSERT(lit != layers_.end());
+    if (--lit->second.refs <= 0) layers_.erase(lit);
+  }
+  images_.erase(it);
+  return true;
+}
+
+Bytes LayerStore::diskUsage() const {
+  Bytes total;
+  for (const auto& [digest, layer] : layers_) total += layer.size;
+  return total;
+}
+
+}  // namespace edgesim::container

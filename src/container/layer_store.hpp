@@ -1,0 +1,53 @@
+// Node-local content store: cached layers + image manifests.
+//
+// Models containerd's content store on one node.  Layers are reference-
+// counted across images, so deleting an image keeps layers still used by
+// other images -- and re-pulling an image only fetches missing layers
+// (§IV-C: "even if a container image is deleted, some of its layers may be
+// used by other images").
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "container/image.hpp"
+
+namespace edgesim::container {
+
+class LayerStore {
+ public:
+  /// Layers of `image` that are not yet in the store.
+  std::vector<Layer> missingLayers(const Image& image) const;
+
+  /// True when a manifest for `ref` is recorded and all its layers exist.
+  bool hasImage(const ImageRef& ref) const;
+
+  /// Record a completed pull: stores the manifest and all layers.
+  void commitImage(const Image& image);
+
+  /// Remove an image manifest; unreferenced layers are garbage-collected.
+  /// Returns true if the manifest existed.
+  bool removeImage(const ImageRef& ref);
+
+  bool hasLayer(const LayerDigest& digest) const {
+    return layers_.count(digest) != 0;
+  }
+
+  std::size_t imageCount() const { return images_.size(); }
+  std::size_t layerCount() const { return layers_.size(); }
+  /// Total bytes held (each shared layer counted once).
+  Bytes diskUsage() const;
+
+ private:
+  struct StoredLayer {
+    Bytes size;
+    int refs = 0;
+  };
+
+  std::unordered_map<std::string, Image> images_;  // key: ref.toString()
+  std::unordered_map<LayerDigest, StoredLayer> layers_;
+};
+
+}  // namespace edgesim::container

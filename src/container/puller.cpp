@@ -1,0 +1,63 @@
+#include "container/puller.hpp"
+
+#include "util/log.hpp"
+
+namespace edgesim::container {
+
+void ImagePuller::pull(const Registry& registry, const ImageRef& ref,
+                       PullCallback cb) {
+  ES_ASSERT(cb != nullptr);
+  const std::string key = ref.toString();
+
+  if (store_.hasImage(ref)) {
+    sim_.schedule(SimTime::zero(), [cb = std::move(cb)] { cb(Status()); });
+    return;
+  }
+
+  const auto it = inFlight_.find(key);
+  if (it != inFlight_.end()) {
+    ++coalesced_;
+    it->second.waiters.push_back(std::move(cb));
+    return;
+  }
+
+  auto manifest = registry.manifest(ref);
+  if (!manifest.ok()) {
+    sim_.schedule(SimTime::zero(), [cb = std::move(cb),
+                                    error = manifest.error()] { cb(error); });
+    return;
+  }
+
+  registry.notePull();
+  Inflight inflight;
+  inflight.waiters.push_back(std::move(cb));
+  inFlight_.emplace(key, std::move(inflight));
+
+  const Image image = manifest.value();
+  const auto missing = store_.missingLayers(image);
+  const SimTime duration = registry.downloadTime(missing);
+  // Serialise behind any pull already saturating the downlink.
+  const SimTime start = std::max(sim_.now(), busyUntil_);
+  const SimTime done = start + duration;
+  busyUntil_ = done;
+  ES_DEBUG("pull", "%s: %zu/%zu layers missing, eta %s", key.c_str(),
+           missing.size(), image.layerCount(), duration.toString().c_str());
+
+  sim_.schedule(done - sim_.now(), [this, key, image] {
+    // The registry may have gone down mid-pull (failure injection is
+    // evaluated at completion time to model an interrupted download).
+    store_.commitImage(image);
+    ++completed_;
+    finish(key, Status());
+  });
+}
+
+void ImagePuller::finish(const std::string& key, Status status) {
+  const auto it = inFlight_.find(key);
+  if (it == inFlight_.end()) return;
+  auto waiters = std::move(it->second.waiters);
+  inFlight_.erase(it);
+  for (auto& waiter : waiters) waiter(status);
+}
+
+}  // namespace edgesim::container

@@ -1,0 +1,57 @@
+// ImagePuller: asynchronous image pulls with request coalescing.
+//
+// Concurrent deployments of the same service on one node must not download
+// the image twice; containerd serialises them, and so do we -- all callers
+// waiting on the same ref are completed together when the pull finishes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "container/layer_store.hpp"
+#include "container/registry.hpp"
+#include "sim/simulation.hpp"
+#include "util/result.hpp"
+
+namespace edgesim::container {
+
+class ImagePuller {
+ public:
+  using PullCallback = std::function<void(Status)>;
+
+  ImagePuller(Simulation& sim, LayerStore& store) : sim_(sim), store_(store) {}
+
+  /// Ensure `ref` is fully present in the layer store, pulling missing
+  /// layers from `registry`.  Invokes `cb` exactly once; immediate (but
+  /// still asynchronous) when the image is already cached.
+  void pull(const Registry& registry, const ImageRef& ref, PullCallback cb);
+
+  /// Pull currently in flight for `ref`?
+  bool pulling(const ImageRef& ref) const {
+    return inFlight_.count(ref.toString()) != 0;
+  }
+
+  std::uint64_t completedPulls() const { return completed_; }
+  std::uint64_t coalescedPulls() const { return coalesced_; }
+
+ private:
+  struct Inflight {
+    std::vector<PullCallback> waiters;
+  };
+
+  void finish(const std::string& key, Status status);
+
+  Simulation& sim_;
+  LayerStore& store_;
+  std::unordered_map<std::string, Inflight> inFlight_;
+  /// Pulls of *different* images share the node's downlink; they are
+  /// serialised (earliest request first), so two concurrent pulls take the
+  /// sum of their download times.
+  SimTime busyUntil_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace edgesim::container

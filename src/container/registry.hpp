@@ -1,0 +1,65 @@
+// Container registries (Docker Hub / GCR / private in-network registry).
+//
+// A registry serves image manifests and layers with a configurable request
+// round-trip overhead, per-layer overhead (HTTP request + verification
+// handshake) and download bandwidth.  Fig. 13 compares public registries
+// against a private registry on the same network; the difference is captured
+// by these three knobs.  Registries can be marked unavailable for failure
+// injection.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "container/image.hpp"
+#include "sim/time.hpp"
+#include "util/result.hpp"
+
+namespace edgesim::container {
+
+struct RegistryProfile {
+  SimTime requestRtt;       // manifest fetch / auth round trip
+  SimTime perLayerOverhead; // per-layer request + checksum verification
+  BitRate bandwidth;        // effective download rate toward the edge
+};
+
+/// Profile of a busy public registry over the WAN (Docker Hub-like).
+RegistryProfile publicRegistryProfile();
+/// Profile of a registry on the same network (fig. 13 "private registry").
+RegistryProfile privateRegistryProfile();
+
+class Registry {
+ public:
+  Registry(std::string name, RegistryProfile profile)
+      : name_(std::move(name)), profile_(profile) {}
+
+  const std::string& name() const { return name_; }
+  const RegistryProfile& profile() const { return profile_; }
+
+  /// Publish an image so edges can pull it.
+  void push(Image image);
+
+  bool hasImage(const ImageRef& ref) const;
+  Result<Image> manifest(const ImageRef& ref) const;
+
+  /// Wall-clock time to download + verify exactly `layers` from this
+  /// registry (sequential, as containerd does by default for verification;
+  /// parallel download is folded into the effective bandwidth).
+  SimTime downloadTime(const std::vector<Layer>& layers) const;
+
+  /// Failure injection: pulls fail with kUnavailable while down.
+  void setAvailable(bool available) { available_ = available; }
+  bool available() const { return available_; }
+
+  std::uint64_t pullCount() const { return pulls_; }
+  void notePull() const { ++pulls_; }
+
+ private:
+  std::string name_;
+  RegistryProfile profile_;
+  std::unordered_map<std::string, Image> images_;  // key: ref.toString()
+  bool available_ = true;
+  mutable std::uint64_t pulls_ = 0;
+};
+
+}  // namespace edgesim::container

@@ -1,0 +1,136 @@
+#include "core/annotator.hpp"
+
+#include "util/strings.hpp"
+#include "yamlite/parse.hpp"
+
+namespace edgesim::core {
+
+namespace {
+
+using yamlite::Node;
+
+/// The primary container's exposed port, falling back to the registered
+/// service port when the definition does not state one.
+std::uint16_t primaryContainerPort(const Node& deployment,
+                                   Endpoint serviceAddress) {
+  const Node* containers =
+      deployment.findPath("spec.template.spec.containers");
+  if (containers != nullptr && containers->isSequence() &&
+      !containers->items().empty()) {
+    const Node& first = containers->items().front();
+    if (const Node* ports = first.find("ports");
+        ports != nullptr && ports->isSequence() && !ports->items().empty()) {
+      if (const Node* cp = ports->items().front().find("containerPort")) {
+        if (const auto value = cp->asInt();
+            value && *value > 0 && *value <= 65535) {
+          return static_cast<std::uint16_t>(*value);
+        }
+      }
+    }
+  }
+  return serviceAddress.port;
+}
+
+}  // namespace
+
+std::string uniqueServiceName(Endpoint serviceAddress) {
+  std::string ip = serviceAddress.ip.toString();
+  for (char& c : ip) {
+    if (c == '.') c = '-';
+  }
+  return strprintf("edge-%s-%u", ip.c_str(), serviceAddress.port);
+}
+
+Result<AnnotatedService> annotateServiceDefinition(
+    const yamlite::Node& definition, Endpoint serviceAddress,
+    const AnnotatorConfig& config) {
+  if (!definition.isMapping()) {
+    return makeError(Errc::kInvalidArgument,
+                     "service definition must be a mapping");
+  }
+  const Node* image = definition.findPath("spec.template.spec.containers");
+  if (image == nullptr || !image->isSequence() || image->items().empty() ||
+      image->items().front().find("image") == nullptr) {
+    return makeError(
+        Errc::kInvalidArgument,
+        "service definition must name at least one container image");
+  }
+
+  AnnotatedService out;
+  out.uniqueName = uniqueServiceName(serviceAddress);
+  out.deployment = definition;
+  Node& deployment = out.deployment;
+
+  // Fixed framing for the Deployment document.
+  if (!deployment.contains("apiVersion")) {
+    deployment.set("apiVersion", Node::scalar("apps/v1"));
+  }
+  if (!deployment.contains("kind")) {
+    deployment.set("kind", Node::scalar("Deployment"));
+  }
+
+  // (1) unique worldwide name -- always overridden: developers "may easily
+  // forget" to make their local names unique.
+  deployment.makePath("metadata.name") = Node::scalar(out.uniqueName);
+
+  // (2)+(3) matchLabels and the edge.service label everywhere K8s needs
+  // them to line up: selector.matchLabels and template.metadata.labels.
+  const std::string serviceKey = serviceAddress.toString();
+  auto applyLabels = [&](Node& labels) {
+    labels["app"] = Node::scalar(out.uniqueName);
+    labels[kEdgeServiceLabel] = Node::scalar(serviceKey);
+  };
+  applyLabels(deployment.makePath("metadata.labels"));
+  applyLabels(deployment.makePath("spec.selector.matchLabels"));
+  applyLabels(deployment.makePath("spec.template.metadata.labels"));
+
+  // (4) replicas: scale to zero by default (always enforced -- on-demand
+  // deployment owns the scaling decision).
+  deployment.makePath("spec.replicas") = Node::scalar(config.defaultReplicas);
+
+  // (5) the configured Local Scheduler, if any.
+  if (!config.localScheduler.empty()) {
+    deployment.makePath("spec.template.spec.schedulerName") =
+        Node::scalar(config.localScheduler);
+  }
+
+  // (6) the Service definition: use the developer's when embedded under the
+  // (non-standard but convenient) `service` key, else generate one.
+  const std::uint16_t targetPort =
+      primaryContainerPort(deployment, serviceAddress);
+  if (const Node* provided = deployment.find("service");
+      provided != nullptr && provided->isMapping()) {
+    out.service = *provided;
+    out.service.makePath("metadata.name") = Node::scalar(out.uniqueName);
+    applyLabels(out.service.makePath("metadata.labels"));
+    deployment.erase("service");
+    out.serviceGenerated = false;
+  } else {
+    Node service = Node::mapping();
+    service["apiVersion"] = Node::scalar("v1");
+    service["kind"] = Node::scalar("Service");
+    service.makePath("metadata.name") = Node::scalar(out.uniqueName);
+    applyLabels(service.makePath("metadata.labels"));
+    Node& spec = service.makePath("spec");
+    applyLabels(spec.makePath("selector"));
+    Node port = Node::mapping();
+    port["port"] = Node::scalar(static_cast<std::int64_t>(serviceAddress.port));
+    port["targetPort"] = Node::scalar(static_cast<std::int64_t>(targetPort));
+    port["protocol"] = Node::scalar("TCP");  // default protocol (§V)
+    spec.makePath("ports").push(std::move(port));
+    out.service = std::move(service);
+    out.serviceGenerated = true;
+  }
+
+  return out;
+}
+
+Result<AnnotatedService> annotateServiceYaml(const std::string& yamlText,
+                                             Endpoint serviceAddress,
+                                             const AnnotatorConfig& config) {
+  auto parsed = yamlite::parse(yamlText);
+  if (!parsed.ok()) return parsed.error();
+  return annotateServiceDefinition(parsed.value(), serviceAddress, config);
+}
+
+}  // namespace edgesim::core

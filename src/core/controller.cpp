@@ -1,0 +1,382 @@
+#include "core/controller.hpp"
+
+#include "util/log.hpp"
+
+namespace edgesim::core {
+
+using openflow::ActionList;
+using openflow::BufferId;
+using openflow::FlowEntry;
+using openflow::FlowMatch;
+using openflow::OpenFlowSwitch;
+using openflow::OutputAction;
+using openflow::PacketIn;
+using openflow::SetFieldAction;
+
+ControllerOptions ControllerOptions::fromConfig(const Config& config) {
+  ControllerOptions options;
+  options.scheduler = config.getStringOr("scheduler", options.scheduler);
+  options.switchIdleTimeout = SimTime::millis(
+      config.getIntOr("switch_idle_timeout_ms",
+                      options.switchIdleTimeout.toNanos() / 1000000));
+  options.memoryIdleTimeout = SimTime::millis(
+      config.getIntOr("memory_idle_timeout_ms",
+                      options.memoryIdleTimeout.toNanos() / 1000000));
+  options.scaleDownIdleServices =
+      config.getBoolOr("scale_down_idle", options.scaleDownIdleServices);
+  options.portPollInterval = SimTime::millis(
+      config.getIntOr("port_poll_interval_ms",
+                      options.portPollInterval.toNanos() / 1000000));
+  options.localScheduler =
+      config.getStringOr("local_scheduler", options.localScheduler);
+  options.instancePolicy =
+      config.getStringOr("instance_policy", options.instancePolicy);
+  options.removeIdleAfter = SimTime::millis(
+      config.getIntOr("remove_idle_after_ms",
+                      options.removeIdleAfter.toNanos() / 1000000));
+  options.deleteImagesOnRemove =
+      config.getBoolOr("delete_images_on_remove", options.deleteImagesOnRemove);
+  return options;
+}
+
+EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
+                               std::vector<ClusterAdapter*> adapters,
+                               const AppProfileRegistry& profiles,
+                               metrics::Recorder* recorder)
+    : sim_(sim),
+      options_(options),
+      profiles_(profiles),
+      recorder_(recorder),
+      memory_(options.memoryIdleTimeout),
+      adapters_(std::move(adapters)) {
+  auto scheduler =
+      SchedulerRegistry::instance().create(options_.scheduler, Config());
+  ES_ASSERT_MSG(scheduler.ok(), "unknown scheduler in controller options");
+  scheduler_ = std::move(scheduler).value();
+
+  DispatcherOptions dispatcherOptions;
+  dispatcherOptions.portPollInterval = options_.portPollInterval;
+  dispatcherOptions.instancePolicy = options_.instancePolicy;
+  dispatcher_ = std::make_unique<Dispatcher>(
+      sim_, memory_, *scheduler_, adapters_, recorder_, dispatcherOptions);
+
+  // §IV-A2: once a BEST (background) deployment is running, future
+  // requests must go there.  Forget memorized flows that point elsewhere;
+  // switch flows of in-flight connections are left to finish and idle out,
+  // but each client's next packet-in re-schedules onto the new instance.
+  dispatcher_->setBackgroundReadyListener(
+      [this](Endpoint service, const std::string& cluster, Endpoint) {
+        memory_.forgetServiceExcept(service, cluster);
+        ++migrations_;
+        ES_INFO("controller", "BEST instance ready on %s; future requests "
+                "for %s will be re-scheduled there",
+                cluster.c_str(), service.toString().c_str());
+      });
+
+  memoryScan_.start(sim_, options_.memoryScanPeriod, [this] {
+    expireMemory();
+    return true;
+  }, options_.memoryScanPeriod);
+}
+
+EdgeController::~EdgeController() = default;
+
+Result<const ServiceModel*> EdgeController::registerService(
+    const std::string& yaml, Endpoint serviceAddress, const std::string& tag) {
+  if (services_.count(serviceAddress) != 0) {
+    return makeError(Errc::kAlreadyExists,
+                     "service already registered at " +
+                         serviceAddress.toString());
+  }
+  AnnotatorConfig annotatorConfig;
+  annotatorConfig.localScheduler = options_.localScheduler;
+  auto annotated = annotateServiceYaml(yaml, serviceAddress, annotatorConfig);
+  if (!annotated.ok()) return annotated.error();
+
+  auto model = buildServiceModel(annotated.value(), serviceAddress, profiles_);
+  if (!model.ok()) return model.error();
+  model.value().tag = tag;
+
+  auto owned = std::make_unique<ServiceModel>(std::move(model).value());
+  // The "real" service exists in the cloud from day one -- that is what
+  // the transparent approach redirects away from.
+  for (auto* adapter : adapters_) {
+    if (adapter->isCloud()) {
+      static_cast<CloudAdapter*>(adapter)->hostService(*owned);
+    }
+  }
+  const ServiceModel* result = owned.get();
+  services_.emplace(serviceAddress, std::move(owned));
+  ES_INFO("controller", "registered service %s at %s (tag %s)",
+          result->uniqueName.c_str(), serviceAddress.toString().c_str(),
+          tag.c_str());
+  return result;
+}
+
+void EdgeController::attachSwitch(OpenFlowSwitch& sw,
+                                  SwitchTopology topology) {
+  // Background reachability flows: plain routing to every known host at the
+  // lowest priority, so only *first packets of registered services* (and
+  // unknown destinations) reach the controller.
+  for (const auto& [ip, port] : topology.hostPorts) {
+    FlowEntry entry;
+    entry.priority = 1;
+    entry.match.ipDst = ip;
+    entry.actions = {OutputAction{port}};
+    sw.sendFlowMod(entry);
+  }
+  switches_.emplace(&sw, std::move(topology));
+  sw.setController(this);
+}
+
+const ServiceModel* EdgeController::serviceAt(Endpoint address) const {
+  const auto it = services_.find(address);
+  return it == services_.end() ? nullptr : it->second.get();
+}
+
+void EdgeController::onPacketIn(OpenFlowSwitch& sw, const PacketIn& event) {
+  ++packetIns_;
+  const Endpoint dst = event.packet.dstEndpoint();
+  const ServiceModel* service = serviceAt(dst);
+  if (service == nullptr) {
+    handleUnregistered(sw, event);
+    return;
+  }
+  handleRegisteredService(sw, event, *service);
+}
+
+void EdgeController::handleUnregistered(OpenFlowSwitch& sw,
+                                        const PacketIn& event) {
+  const auto topoIt = switches_.find(&sw);
+  if (topoIt == switches_.end()) return;
+  const SwitchTopology& topo = topoIt->second;
+  const PortId out = topo.portFor(event.packet.ipDst);
+  if (out == kInvalidPort) {
+    ES_DEBUG("controller", "no route for %s; dropping",
+             event.packet.summary().c_str());
+    return;
+  }
+  // Install a coarse forwarding flow for this destination and release the
+  // packet along it.
+  FlowEntry entry;
+  entry.priority = 10;
+  entry.match.ipDst = event.packet.ipDst;
+  entry.idleTimeout = options_.switchIdleTimeout;
+  entry.actions = {OutputAction{out}};
+  sw.sendFlowMod(entry);
+  sw.sendPacketOut(event.bufferId, event.packet, entry.actions);
+}
+
+ActionList EdgeController::redirectActions(OpenFlowSwitch& sw,
+                                           const ServiceModel& service,
+                                           Endpoint instance) const {
+  const SwitchTopology& topo = switches_.at(&sw);
+  ActionList actions;
+  if (instance != service.address) {
+    actions.push_back(SetFieldAction::ipDst(instance.ip));
+    actions.push_back(SetFieldAction::tcpDst(instance.port));
+  }
+  actions.push_back(OutputAction{topo.portFor(instance.ip)});
+  return actions;
+}
+
+void EdgeController::handleRegisteredService(OpenFlowSwitch& sw,
+                                             const PacketIn& event,
+                                             const ServiceModel& service) {
+  const Ipv4 client = event.packet.ipSrc;
+  const PendingKey key{client, service.address};
+
+  auto& pending = pendingRequests_[key];
+  pending.sw = &sw;
+  pending.buffered.emplace_back(event.bufferId, event.packet);
+  if (pending.resolving) {
+    // Duplicate packet-in (e.g. a retransmitted SYN) while deployment is in
+    // progress: buffered, will be released with the first one.
+    return;
+  }
+  pending.resolving = true;
+
+  dispatcher_->resolve(
+      service, client,
+      [this, key, &sw, &service](Result<Redirect> result) {
+        if (!result.ok()) {
+          ++failed_;
+          ES_WARN("controller", "resolve failed for %s: %s",
+                  service.uniqueName.c_str(),
+                  result.error().toString().c_str());
+          dropBuffered(key);
+          return;
+        }
+        ++resolved_;
+        const Redirect& redirect = result.value();
+        installRedirectFlows(sw, key.client, service, redirect.instance);
+        releaseBuffered(sw, key, service, redirect.instance);
+      });
+}
+
+void EdgeController::installRedirectFlows(OpenFlowSwitch& sw, Ipv4 client,
+                                          const ServiceModel& service,
+                                          Endpoint instance) {
+  const SwitchTopology& topo = switches_.at(&sw);
+  const std::uint64_t cookie = cookieCounter_++;
+
+  // Forward: client -> registered address, rewritten toward the instance.
+  FlowEntry fwd;
+  fwd.priority = 100;
+  fwd.match = FlowMatch::anyToService(service.address);
+  fwd.match.ipSrc = client;
+  fwd.idleTimeout = options_.switchIdleTimeout;
+  fwd.cookie = cookie;
+  fwd.notifyOnRemoval = true;
+  fwd.actions = redirectActions(sw, service, instance);
+  sw.sendFlowMod(fwd);
+
+  // Reverse: instance -> client, source rewritten back to the registered
+  // address so the redirect stays invisible (fig. 2).
+  if (instance != service.address) {
+    FlowEntry rev;
+    rev.priority = 100;
+    rev.match.ipSrc = instance.ip;
+    rev.match.tcpSrc = instance.port;
+    rev.match.ipDst = client;
+    rev.match.ipProto = IpProto::kTcp;
+    rev.idleTimeout = options_.switchIdleTimeout;
+    rev.cookie = cookie;
+    rev.actions = {SetFieldAction::ipSrc(service.address.ip),
+                   SetFieldAction::tcpSrc(service.address.port),
+                   OutputAction{topo.portFor(client)}};
+    sw.sendFlowMod(rev);
+  }
+}
+
+void EdgeController::releaseBuffered(OpenFlowSwitch& sw, const PendingKey& key,
+                                     const ServiceModel& service,
+                                     Endpoint instance) {
+  const auto it = pendingRequests_.find(key);
+  if (it == pendingRequests_.end()) return;
+  const ActionList actions = redirectActions(sw, service, instance);
+  for (const auto& [bufferId, packet] : it->second.buffered) {
+    sw.sendPacketOut(bufferId, packet, actions);
+  }
+  pendingRequests_.erase(it);
+}
+
+void EdgeController::dropBuffered(const PendingKey& key) {
+  pendingRequests_.erase(key);
+  // Buffered packets expire in the switch; TCP retransmission (or the
+  // client's timeout) handles the rest.
+}
+
+void EdgeController::onFlowRemoved(OpenFlowSwitch& /*sw*/,
+                                   const openflow::FlowRemoved& event) {
+  // A removed forward flow whose entry saw recent traffic refreshes the
+  // memorized flow: the client is still active, only the switch entry aged
+  // out (short switch timeouts by design, §V).
+  const auto& match = event.entry.match;
+  if (!match.ipSrc || !match.ipDst || !match.tcpDst) return;
+  const Endpoint serviceAddress(*match.ipDst, *match.tcpDst);
+  if (services_.count(serviceAddress) == 0) return;
+  if (event.reason == openflow::RemovalReason::kIdleTimeout &&
+      event.entry.stats.packets > 0) {
+    memory_.touch(*match.ipSrc, serviceAddress, event.entry.stats.lastUsed);
+  }
+}
+
+void EdgeController::expireMemory() {
+  // Before expiring, sync FlowMemory with switch-side flow statistics:
+  // long-lived entries carrying steady traffic never idle out, so their
+  // activity is only visible through stats (OFPMP_FLOW).  Expiry decisions
+  // are taken after all switches answered.
+  if (switches_.empty()) {
+    finishExpiry();
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(switches_.size());
+  for (auto& [sw, topo] : switches_) {
+    sw->requestFlowStats(
+        [this, remaining](const std::vector<openflow::FlowEntry>& entries) {
+          for (const auto& entry : entries) {
+            const auto& match = entry.match;
+            if (!match.ipSrc || !match.ipDst || !match.tcpDst) continue;
+            const Endpoint serviceAddress(*match.ipDst, *match.tcpDst);
+            if (services_.count(serviceAddress) == 0) continue;
+            if (entry.stats.packets == 0) continue;
+            memory_.touch(*match.ipSrc, serviceAddress, entry.stats.lastUsed);
+          }
+          if (--*remaining == 0) finishExpiry();
+        });
+  }
+}
+
+void EdgeController::finishExpiry() {
+  const auto expired = memory_.expire(sim_.now());
+  if (!options_.scaleDownIdleServices) return;
+  for (const auto& flow : expired) {
+    if (memory_.flowsFor(flow.service, flow.cluster) != 0) continue;
+    ClusterAdapter* adapter = dispatcher_->adapterByName(flow.cluster);
+    if (adapter == nullptr || adapter->isCloud()) continue;
+    const ServiceModel* service = serviceAt(flow.service);
+    if (service == nullptr) continue;
+    ++scaleDowns_;
+    ES_INFO("controller", "scaling down idle service %s on %s",
+            service->uniqueName.c_str(), flow.cluster.c_str());
+    adapter->scaleDown(*service, [](Status) {});
+    scaledDownAt_[{flow.service, flow.cluster}] = sim_.now();
+  }
+
+  // Remove / Delete phases after prolonged idle (fig. 4).
+  if (options_.removeIdleAfter <= SimTime::zero()) return;
+  for (auto it = scaledDownAt_.begin(); it != scaledDownAt_.end();) {
+    const auto& [key, since] = *it;
+    const auto& [address, clusterName] = key;
+    if (memory_.flowsFor(address, clusterName) != 0) {
+      // The service came back; forget the pending removal.
+      it = scaledDownAt_.erase(it);
+      continue;
+    }
+    if (sim_.now() - since < options_.removeIdleAfter) {
+      ++it;
+      continue;
+    }
+    ClusterAdapter* adapter = dispatcher_->adapterByName(clusterName);
+    const ServiceModel* service = serviceAt(address);
+    if (adapter != nullptr && service != nullptr) {
+      ++removals_;
+      ES_INFO("controller", "removing long-idle service %s from %s",
+              service->uniqueName.c_str(), clusterName.c_str());
+      const bool deleteImages = options_.deleteImagesOnRemove;
+      ClusterAdapter* adapterPtr = adapter;
+      const ServiceModel* servicePtr = service;
+      adapter->removeService(*service,
+                             [deleteImages, adapterPtr, servicePtr](Status) {
+                               if (deleteImages) {
+                                 adapterPtr->deleteImages(*servicePtr,
+                                                          [](Status) {});
+                               }
+                             });
+    }
+    it = scaledDownAt_.erase(it);
+  }
+}
+
+Status EdgeController::predeploy(Endpoint serviceAddress,
+                                 const std::string& clusterName,
+                                 std::function<void(Result<Endpoint>)> cb) {
+  const ServiceModel* service = serviceAt(serviceAddress);
+  if (service == nullptr) {
+    return makeError(Errc::kNotFound, "no service registered at " +
+                                          serviceAddress.toString());
+  }
+  ClusterAdapter* adapter = dispatcher_->adapterByName(clusterName);
+  if (adapter == nullptr) {
+    return makeError(Errc::kNotFound, "no cluster named " + clusterName);
+  }
+  scaledDownAt_.erase({serviceAddress, clusterName});
+  dispatcher_->ensureReady(*service, *adapter,
+                           [cb = std::move(cb)](Result<Endpoint> result) {
+                             if (cb) cb(std::move(result));
+                           });
+  return Status();
+}
+
+}  // namespace edgesim::core

@@ -1,0 +1,177 @@
+// EdgeController: the SDN controller for transparent access to edge
+// services with distributed on-demand deployment.
+//
+// This class is the C++ counterpart of the paper's Ryu-based controller.
+// It owns the ServiceRegistry (registered service addresses -> annotated
+// definitions), the FlowMemory (§V), the Dispatcher + Global Scheduler
+// (fig. 6/7), and the OpenFlow interaction:
+//
+//   packet-in for a registered address
+//     -> FlowMemory / Dispatcher / Scheduler decide the instance
+//     -> (on-demand deployment phases if needed, §IV)
+//     -> forward + reverse rewrite flows installed (fig. 2)
+//     -> buffered packet(s) released toward the instance
+//
+//   packet-in for an unregistered address -> default route to the uplink.
+//
+//   flow-removed (idle) -> FlowMemory bookkeeping; when the last memorized
+//   flow of a service instance expires, the instance is scaled down.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dispatcher.hpp"
+#include "core/service_catalog.hpp"
+#include "openflow/switch.hpp"
+
+namespace edgesim::core {
+
+struct ControllerOptions {
+  /// Global Scheduler to load (registered name, §IV-B).
+  std::string scheduler = "proximity";
+  /// Idle timeout for switch flow entries -- kept short (§V).
+  SimTime switchIdleTimeout = SimTime::seconds(5.0);
+  /// Idle timeout for memorized flows -- longer than the switch's.
+  SimTime memoryIdleTimeout = SimTime::seconds(60.0);
+  /// Scan period for FlowMemory expiry.
+  SimTime memoryScanPeriod = SimTime::seconds(1.0);
+  /// Scale idle services down when their last memorized flow expires.
+  bool scaleDownIdleServices = true;
+  /// Remove a scaled-down service's containers / K8s objects after this
+  /// much further idle time (fig. 4 Remove phase); zero disables removal.
+  SimTime removeIdleAfter = SimTime::zero();
+  /// Also delete the cached images when removing (fig. 4 Delete phase --
+  /// "optionally, but unlikely ... if disk space is scarce").
+  bool deleteImagesOnRemove = false;
+  /// Port-ready polling interval (§VI).
+  SimTime portPollInterval = SimTime::millis(50);
+  /// Per-cluster Local Scheduler injected by the annotator ("" = default).
+  /// This names the *placement-time* scheduler (K8s schedulerName).
+  std::string localScheduler;
+  /// Request-time instance choice within a cluster ("first",
+  /// "instance-round-robin", "client-hash").
+  std::string instancePolicy = "first";
+
+  static ControllerOptions fromConfig(const Config& config);
+};
+
+/// Static topology knowledge for one attached switch: which port reaches
+/// which host IP, and which port leads toward the cloud/uplink.
+struct SwitchTopology {
+  std::map<Ipv4, PortId> hostPorts;
+  PortId uplinkPort = kInvalidPort;
+
+  PortId portFor(Ipv4 ip) const {
+    const auto it = hostPorts.find(ip);
+    return it == hostPorts.end() ? uplinkPort : it->second;
+  }
+};
+
+class EdgeController : public openflow::ControllerApp {
+ public:
+  EdgeController(Simulation& sim, ControllerOptions options,
+                 std::vector<ClusterAdapter*> adapters,
+                 const AppProfileRegistry& profiles,
+                 metrics::Recorder* recorder = nullptr);
+  ~EdgeController() override;
+
+  // ---- setup ------------------------------------------------------------
+  /// Register an edge service from its YAML definition (§V).  The service
+  /// is annotated, converted, and (if a cloud adapter exists) hosted in
+  /// the cloud.  `tag` labels metric series.
+  Result<const ServiceModel*> registerService(const std::string& yaml,
+                                              Endpoint serviceAddress,
+                                              const std::string& tag);
+
+  /// Attach a switch with its port topology; installs background routing
+  /// flows (client/host reachability) and becomes its controller app.
+  void attachSwitch(openflow::OpenFlowSwitch& sw, SwitchTopology topology);
+
+  // ---- ControllerApp ------------------------------------------------------
+  void onPacketIn(openflow::OpenFlowSwitch& sw,
+                  const openflow::PacketIn& event) override;
+  void onFlowRemoved(openflow::OpenFlowSwitch& sw,
+                     const openflow::FlowRemoved& event) override;
+
+  // ---- introspection ------------------------------------------------------
+  const ServiceModel* serviceAt(Endpoint address) const;
+
+  /// Proactive deployment hook (§VII: "more so when combined with good
+  /// prediction for proactive deployment"): deploy the service on the
+  /// named cluster ahead of any request; `cb` optional, fires when the
+  /// instance answers its port.
+  Status predeploy(Endpoint serviceAddress, const std::string& clusterName,
+                   std::function<void(Result<Endpoint>)> cb = nullptr);
+
+  FlowMemory& flowMemory() { return memory_; }
+  Dispatcher& dispatcher() { return *dispatcher_; }
+  GlobalScheduler& scheduler() { return *scheduler_; }
+  std::uint64_t packetInCount() const { return packetIns_; }
+  std::uint64_t requestsResolved() const { return resolved_; }
+  std::uint64_t requestsFailed() const { return failed_; }
+  std::uint64_t scaleDowns() const { return scaleDowns_; }
+  std::uint64_t removals() const { return removals_; }
+  /// BEST deployments that became ready and triggered flow migration.
+  std::uint64_t migrations() const { return migrations_; }
+
+ private:
+  struct PendingRequest {
+    openflow::OpenFlowSwitch* sw = nullptr;
+    std::vector<std::pair<openflow::BufferId, Packet>> buffered;
+    bool resolving = false;
+  };
+  struct PendingKey {
+    Ipv4 client;
+    Endpoint service;
+    bool operator<(const PendingKey& other) const {
+      if (client != other.client) return client < other.client;
+      return service < other.service;
+    }
+  };
+
+  void handleRegisteredService(openflow::OpenFlowSwitch& sw,
+                               const openflow::PacketIn& event,
+                               const ServiceModel& service);
+  void handleUnregistered(openflow::OpenFlowSwitch& sw,
+                          const openflow::PacketIn& event);
+  void installRedirectFlows(openflow::OpenFlowSwitch& sw, Ipv4 client,
+                            const ServiceModel& service, Endpoint instance);
+  void releaseBuffered(openflow::OpenFlowSwitch& sw, const PendingKey& key,
+                       const ServiceModel& service, Endpoint instance);
+  void dropBuffered(const PendingKey& key);
+  void expireMemory();
+  void finishExpiry();
+  openflow::ActionList redirectActions(openflow::OpenFlowSwitch& sw,
+                                       const ServiceModel& service,
+                                       Endpoint instance) const;
+
+  Simulation& sim_;
+  ControllerOptions options_;
+  const AppProfileRegistry& profiles_;
+  metrics::Recorder* recorder_;
+  FlowMemory memory_;
+  std::unique_ptr<GlobalScheduler> scheduler_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  std::vector<ClusterAdapter*> adapters_;
+  std::unordered_map<Endpoint, std::unique_ptr<ServiceModel>> services_;
+  std::map<openflow::OpenFlowSwitch*, SwitchTopology> switches_;
+  std::map<PendingKey, PendingRequest> pendingRequests_;
+  PeriodicTimer memoryScan_;
+  /// (service address, cluster) -> when the service was scaled down; used
+  /// to drive the Remove/Delete phases after prolonged idle.
+  std::map<std::pair<Endpoint, std::string>, SimTime> scaledDownAt_;
+  std::uint64_t packetIns_ = 0;
+  std::uint64_t resolved_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t scaleDowns_ = 0;
+  std::uint64_t removals_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t cookieCounter_ = 1;
+};
+
+}  // namespace edgesim::core

@@ -1,0 +1,256 @@
+#include "core/dispatcher.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace edgesim::core {
+
+Dispatcher::Dispatcher(Simulation& sim, FlowMemory& memory,
+                       GlobalScheduler& scheduler,
+                       std::vector<ClusterAdapter*> adapters,
+                       metrics::Recorder* recorder, DispatcherOptions options)
+    : sim_(sim),
+      memory_(memory),
+      scheduler_(scheduler),
+      adapters_(std::move(adapters)),
+      recorder_(recorder),
+      options_(options),
+      localScheduler_(makeLocalScheduler(options.instancePolicy)) {
+  ES_ASSERT(!adapters_.empty());
+}
+
+ClusterAdapter* Dispatcher::adapterByName(const std::string& name) const {
+  for (auto* adapter : adapters_) {
+    if (adapter->name() == name) return adapter;
+  }
+  return nullptr;
+}
+
+ClusterAdapter* Dispatcher::cloudAdapter() const {
+  for (auto* adapter : adapters_) {
+    if (adapter->isCloud()) return adapter;
+  }
+  return nullptr;
+}
+
+void Dispatcher::recordPhase(const ServiceModel& service,
+                             ClusterAdapter& cluster, const char* phase,
+                             SimTime duration) {
+  if (recorder_ == nullptr) return;
+  recorder_->addSample(
+      strprintf("%s/%s/%s", service.tag.c_str(), cluster.name().c_str(), phase),
+      duration.toSeconds());
+}
+
+void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
+                         ResolveCallback cb) {
+  ES_ASSERT(cb != nullptr);
+
+  // 1. Memorized flow? Redirect to the same instance without rescheduling.
+  if (const MemorizedFlow* memorized = memory_.lookup(client, service.address)) {
+    // Verify the instance is still alive; a scaled-down instance must not
+    // receive traffic.
+    ClusterAdapter* adapter = adapterByName(memorized->cluster);
+    if (adapter != nullptr) {
+      const auto ready = adapter->readyInstances(service);
+      for (const auto& instance : ready) {
+        if (instance == memorized->instance) {
+          memory_.touch(client, service.address, sim_.now());
+          Redirect redirect{memorized->instance, memorized->cluster, true};
+          sim_.schedule(SimTime::zero(),
+                        [cb, redirect] { cb(redirect); });
+          return;
+        }
+      }
+    }
+    memory_.forgetInstance(memorized->instance);  // stale entry
+  }
+
+  // 2. Gather system state for the scheduler.
+  ScheduleRequest request;
+  request.service = service.address;
+  request.client = client;
+  for (const auto* adapter : adapters_) {
+    request.clusters.push_back(adapter->view(service));
+  }
+
+  // 3. FAST / BEST decision.
+  const GlobalDecision decision = scheduler_.decide(request);
+
+  // 4. Background deployment for BEST ("without waiting", fig. 3).
+  if (decision.deploysWithoutWaiting()) {
+    if (ClusterAdapter* best = adapterByName(*decision.best)) {
+      ++background_;
+      ES_DEBUG("dispatcher", "background deployment of %s on %s",
+               service.uniqueName.c_str(), best->name().c_str());
+      const Endpoint serviceAddress = service.address;
+      const std::string clusterName = best->name();
+      ensureReady(service, *best,
+                  [this, serviceAddress, clusterName](Result<Endpoint> result) {
+                    if (!result.ok()) {
+                      ES_WARN("dispatcher", "background deployment failed: %s",
+                              result.error().toString().c_str());
+                      return;
+                    }
+                    if (backgroundListener_) {
+                      backgroundListener_(serviceAddress, clusterName,
+                                          result.value());
+                    }
+                  });
+    }
+  }
+
+  // 5. FAST choice resolves the current request.
+  ClusterAdapter* fast =
+      decision.fast.has_value() ? adapterByName(*decision.fast) : nullptr;
+  if (fast == nullptr) {
+    // Forward toward the cloud.
+    ClusterAdapter* cloud = cloudAdapter();
+    if (cloud == nullptr) {
+      sim_.schedule(SimTime::zero(), [cb] {
+        cb(makeError(Errc::kUnavailable,
+                     "no cluster can serve the request and no cloud exists"));
+      });
+      return;
+    }
+    fast = cloud;
+  }
+
+  const auto ready = fast->readyInstances(service);
+  if (!ready.empty()) {
+    // Local Scheduler choice within the cluster (fig. 6).
+    const Redirect redirect{localScheduler_->pick(ready, client),
+                            fast->name(), false};
+    memory_.upsert(client, service.address, redirect.instance, fast->name(),
+                   sim_.now());
+    sim_.schedule(SimTime::zero(), [cb, redirect] { cb(redirect); });
+    return;
+  }
+
+  // Deploy on demand and wait for readiness (fig. 5).
+  const std::string clusterName = fast->name();
+  ensureReady(service, *fast,
+              [this, service, client, clusterName, cb](Result<Endpoint> result) {
+                if (!result.ok()) {
+                  cb(result.error());
+                  return;
+                }
+                memory_.upsert(client, service.address, result.value(),
+                               clusterName, sim_.now());
+                cb(Redirect{result.value(), clusterName, false});
+              });
+}
+
+void Dispatcher::ensureReady(const ServiceModel& service,
+                             ClusterAdapter& cluster, ReadyCallback cb) {
+  ES_ASSERT(cb != nullptr);
+
+  const auto ready = cluster.readyInstances(service);
+  if (!ready.empty()) {
+    const Endpoint instance = ready.front();
+    sim_.schedule(SimTime::zero(), [cb, instance] { cb(instance); });
+    return;
+  }
+
+  const std::string key = service.uniqueName + "@" + cluster.name();
+  if (const auto it = pending_.find(key); it != pending_.end()) {
+    it->second.waiters.push_back(std::move(cb));
+    return;
+  }
+
+  PendingDeploy deploy;
+  deploy.waiters.push_back(std::move(cb));
+  deploy.startedAt = sim_.now();
+  deploy.timeoutHandle = sim_.schedule(options_.deployTimeout, [this, key] {
+    finishDeploy(key, makeError(Errc::kTimeout, "deployment timed out"));
+  });
+  pending_.emplace(key, std::move(deploy));
+  ++deployments_;
+  runPhases(service, cluster, key);
+}
+
+void Dispatcher::runPhases(const ServiceModel& service,
+                           ClusterAdapter& cluster, const std::string& key) {
+  const ClusterView view = cluster.view(service);
+  const SimTime phaseStart = sim_.now();
+
+  if (!view.imageCached) {
+    // Phase 1: Pull.
+    cluster.pullImages(service, [this, service, &cluster, key,
+                                 phaseStart](Status status) {
+      recordPhase(service, cluster, "pull", sim_.now() - phaseStart);
+      if (!status.ok()) {
+        finishDeploy(key, status.error());
+        return;
+      }
+      runPhases(service, cluster, key);
+    });
+    return;
+  }
+
+  if (!view.serviceCreated) {
+    // Phase 2: Create.
+    cluster.createService(service, [this, service, &cluster, key,
+                                    phaseStart](Status status) {
+      recordPhase(service, cluster, "create", sim_.now() - phaseStart);
+      if (!status.ok()) {
+        finishDeploy(key, status.error());
+        return;
+      }
+      runPhases(service, cluster, key);
+    });
+    return;
+  }
+
+  // Phase 3: Scale Up, then wait for the port to open.
+  cluster.scaleUp(service, [this, service, &cluster, key,
+                            phaseStart](Status status) {
+    recordPhase(service, cluster, "scaleup-cmd", sim_.now() - phaseStart);
+    if (!status.ok()) {
+      finishDeploy(key, status.error());
+      return;
+    }
+    pollUntilReady(service, cluster, key, sim_.now());
+  });
+}
+
+void Dispatcher::pollUntilReady(const ServiceModel& service,
+                                ClusterAdapter& cluster, const std::string& key,
+                                SimTime scaledUpAt) {
+  // "Before setting up the flows, the controller continuously tests if the
+  // respective port is open" (§VI).
+  const auto ready = cluster.readyInstances(service);
+  if (!ready.empty()) {
+    const Endpoint candidate = ready.front();
+    cluster.probeInstance(candidate, [this, service, &cluster, key, scaledUpAt,
+                                      candidate](bool open) {
+      if (open) {
+        recordPhase(service, cluster, "wait", sim_.now() - scaledUpAt);
+        finishDeploy(key, candidate);
+        return;
+      }
+      sim_.schedule(options_.portPollInterval,
+                    [this, service, &cluster, key, scaledUpAt] {
+                      pollUntilReady(service, cluster, key, scaledUpAt);
+                    });
+    });
+    return;
+  }
+  if (pending_.count(key) == 0) return;  // timed out meanwhile
+  sim_.schedule(options_.portPollInterval,
+                [this, service, &cluster, key, scaledUpAt] {
+                  pollUntilReady(service, cluster, key, scaledUpAt);
+                });
+}
+
+void Dispatcher::finishDeploy(const std::string& key,
+                              Result<Endpoint> result) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  auto waiters = std::move(it->second.waiters);
+  it->second.timeoutHandle.cancel();
+  pending_.erase(it);
+  for (auto& waiter : waiters) waiter(result);
+}
+
+}  // namespace edgesim::core

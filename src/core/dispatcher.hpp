@@ -1,0 +1,109 @@
+// Dispatcher (§IV-B, fig. 7): feeds the Global Scheduler with the current
+// system state and drives the deployment phases.
+//
+// On a request for which no flow is memorized, the Dispatcher gathers the
+// list of existing and running instances across all clusters, asks the
+// Global Scheduler for its FAST and BEST choices, ensures the chosen
+// instances are pulled/created/scaled up, waits (port polling) until the
+// FAST instance answers, and hands the redirect back to the controller.
+// A non-empty BEST choice triggers a background deployment ("without
+// waiting", fig. 3).
+//
+// Phase durations (Pull / Create / Scale-Up / Wait) are recorded per
+// service tag -- these are exactly the quantities plotted in figs. 11-15.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster_adapter.hpp"
+#include "core/flow_memory.hpp"
+#include "core/scheduler.hpp"
+#include "metrics/recorder.hpp"
+
+namespace edgesim::core {
+
+struct Redirect {
+  Endpoint instance;
+  std::string cluster;
+  bool fromMemory = false;
+};
+
+struct DispatcherOptions {
+  SimTime portPollInterval = SimTime::millis(50);
+  SimTime deployTimeout = SimTime::seconds(120.0);
+  /// Request-time instance choice within the chosen cluster (fig. 6 Local
+  /// Scheduler): "first", "instance-round-robin", or "client-hash".
+  std::string instancePolicy = "first";
+};
+
+class Dispatcher {
+ public:
+  using ResolveCallback = std::function<void(Result<Redirect>)>;
+  using ReadyCallback = std::function<void(Result<Endpoint>)>;
+
+  Dispatcher(Simulation& sim, FlowMemory& memory, GlobalScheduler& scheduler,
+             std::vector<ClusterAdapter*> adapters,
+             metrics::Recorder* recorder = nullptr,
+             DispatcherOptions options = {});
+
+  /// Resolve a client request to a service instance (fig. 7).
+  void resolve(const ServiceModel& service, Ipv4 client, ResolveCallback cb);
+
+  /// Ensure the service is deployed and ready on `cluster`; callbacks for
+  /// the same (service, cluster) pair are coalesced onto one deployment.
+  void ensureReady(const ServiceModel& service, ClusterAdapter& cluster,
+                   ReadyCallback cb);
+
+  ClusterAdapter* adapterByName(const std::string& name) const;
+  ClusterAdapter* cloudAdapter() const;
+  const std::vector<ClusterAdapter*>& adapters() const { return adapters_; }
+
+  /// Invoked whenever a BEST (background, "without waiting") deployment
+  /// becomes ready: (service address, cluster name, instance).  The
+  /// controller uses this to migrate future requests to the optimal
+  /// location "as soon as the new instance is running" (§IV-A2).
+  using BackgroundReadyListener =
+      std::function<void(Endpoint service, const std::string& cluster,
+                         Endpoint instance)>;
+  void setBackgroundReadyListener(BackgroundReadyListener listener) {
+    backgroundListener_ = std::move(listener);
+  }
+
+  /// Deployments currently in flight.
+  std::size_t pendingDeployments() const { return pending_.size(); }
+  std::uint64_t deploymentsTriggered() const { return deployments_; }
+  std::uint64_t backgroundDeployments() const { return background_; }
+
+ private:
+  struct PendingDeploy {
+    std::vector<ReadyCallback> waiters;
+    SimTime startedAt;
+    EventHandle timeoutHandle;
+  };
+
+  void runPhases(const ServiceModel& service, ClusterAdapter& cluster,
+                 const std::string& key);
+  void pollUntilReady(const ServiceModel& service, ClusterAdapter& cluster,
+                      const std::string& key, SimTime scaledUpAt);
+  void finishDeploy(const std::string& key, Result<Endpoint> result);
+  void recordPhase(const ServiceModel& service, ClusterAdapter& cluster,
+                   const char* phase, SimTime duration);
+
+  Simulation& sim_;
+  FlowMemory& memory_;
+  GlobalScheduler& scheduler_;
+  std::vector<ClusterAdapter*> adapters_;
+  metrics::Recorder* recorder_;
+  DispatcherOptions options_;
+  std::unique_ptr<LocalScheduler> localScheduler_;
+  std::map<std::string, PendingDeploy> pending_;
+  BackgroundReadyListener backgroundListener_;
+  std::uint64_t deployments_ = 0;
+  std::uint64_t background_ = 0;
+};
+
+}  // namespace edgesim::core

@@ -1,0 +1,73 @@
+#include "core/flow_memory.hpp"
+
+#include <algorithm>
+
+namespace edgesim::core {
+
+void FlowMemory::upsert(Ipv4 client, Endpoint service, Endpoint instance,
+                        const std::string& cluster, SimTime now) {
+  MemorizedFlow flow;
+  flow.client = Endpoint(client, 0);
+  flow.service = service;
+  flow.instance = instance;
+  flow.cluster = cluster;
+  flow.lastSeen = now;
+  flows_[Key{client, service}] = std::move(flow);
+}
+
+void FlowMemory::touch(Ipv4 client, Endpoint service, SimTime now) {
+  const auto it = flows_.find(Key{client, service});
+  if (it != flows_.end()) {
+    it->second.lastSeen = std::max(it->second.lastSeen, now);
+  }
+}
+
+const MemorizedFlow* FlowMemory::lookup(Ipv4 client, Endpoint service) const {
+  const auto it = flows_.find(Key{client, service});
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+std::vector<MemorizedFlow> FlowMemory::expire(SimTime now) {
+  std::vector<MemorizedFlow> expired;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (now - it->second.lastSeen >= idleTimeout_) {
+      expired.push_back(it->second);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+void FlowMemory::forgetInstance(Endpoint instance) {
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.instance == instance) {
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlowMemory::forgetServiceExcept(Endpoint service,
+                                     const std::string& keepCluster) {
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.service == service && it->second.cluster != keepCluster) {
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t FlowMemory::flowsFor(Endpoint service,
+                                 const std::string& cluster) const {
+  std::size_t count = 0;
+  for (const auto& [key, flow] : flows_) {
+    if (flow.service == service && flow.cluster == cluster) ++count;
+  }
+  return count;
+}
+
+}  // namespace edgesim::core

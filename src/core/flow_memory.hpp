@@ -1,0 +1,81 @@
+// FlowMemory (§V): the controller-side memory of installed redirect flows.
+//
+// The switch keeps *short* idle timeouts (cheap tables); the controller
+// memorizes each flow so a returning client is redirected to the same
+// instance without rescheduling.  Memorized flows carry their own, longer
+// idle timeout; expiry both forgets stale clients and is the trigger for
+// scaling down idle edge service instances.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "sim/time.hpp"
+
+namespace edgesim::core {
+
+struct MemorizedFlow {
+  Endpoint client;    // client IP + source port is NOT part of the key;
+                      // the client is identified by IP (port field unused)
+  Endpoint service;   // registered service address
+  Endpoint instance;  // chosen instance endpoint
+  std::string cluster;
+  SimTime lastSeen;
+};
+
+class FlowMemory {
+ public:
+  struct Key {
+    Ipv4 client;
+    Endpoint service;
+    bool operator==(const Key&) const = default;
+  };
+
+  explicit FlowMemory(SimTime idleTimeout) : idleTimeout_(idleTimeout) {}
+
+  /// Record or refresh a flow.
+  void upsert(Ipv4 client, Endpoint service, Endpoint instance,
+              const std::string& cluster, SimTime now);
+
+  /// Refresh the last-seen time (e.g. on switch flow-removed with recent
+  /// traffic, or on packet-in from a remembered client).
+  void touch(Ipv4 client, Endpoint service, SimTime now);
+
+  const MemorizedFlow* lookup(Ipv4 client, Endpoint service) const;
+
+  /// Drop flows idle for >= idleTimeout; returns the expired flows.
+  std::vector<MemorizedFlow> expire(SimTime now);
+
+  /// Forget all flows pointing at `instance` (e.g. instance scaled down).
+  void forgetInstance(Endpoint instance);
+
+  /// Forget all flows for `service` that do NOT point at `keepCluster` --
+  /// used when a BEST deployment becomes ready (§IV-A2): clients re-resolve
+  /// and land on the optimal cluster at their next flow setup.
+  void forgetServiceExcept(Endpoint service, const std::string& keepCluster);
+
+  /// Number of live flows referring to (service, cluster); the scale-down
+  /// policy keys off this reaching zero.
+  std::size_t flowsFor(Endpoint service, const std::string& cluster) const;
+
+  std::size_t size() const { return flows_.size(); }
+  SimTime idleTimeout() const { return idleTimeout_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      const auto h1 = std::hash<Ipv4>{}(key.client);
+      const auto h2 = std::hash<Endpoint>{}(key.service);
+      return h1 ^ (h2 * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  SimTime idleTimeout_;
+  std::unordered_map<Key, MemorizedFlow, KeyHash> flows_;
+};
+
+}  // namespace edgesim::core

@@ -1,0 +1,243 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace edgesim::core {
+
+namespace {
+
+/// Clusters sorted by distance rank (closest first).
+std::vector<const ClusterView*> byDistance(const ScheduleRequest& request) {
+  std::vector<const ClusterView*> sorted;
+  sorted.reserve(request.clusters.size());
+  for (const auto& cluster : request.clusters) sorted.push_back(&cluster);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ClusterView* a, const ClusterView* b) {
+                     return a->distanceRank < b->distanceRank;
+                   });
+  return sorted;
+}
+
+const ClusterView* nearestRunning(
+    const std::vector<const ClusterView*>& sorted) {
+  for (const auto* cluster : sorted) {
+    if (!cluster->readyInstances.empty()) return cluster;
+  }
+  return nullptr;
+}
+
+const ClusterView* nearestDeployable(
+    const std::vector<const ClusterView*>& sorted) {
+  for (const auto* cluster : sorted) {
+    if (!cluster->isCloud && cluster->freeCapacity > 0) return cluster;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+
+class ProximityScheduler final : public GlobalScheduler {
+ public:
+  const char* name() const override { return "proximity"; }
+
+  GlobalDecision decide(const ScheduleRequest& request) override {
+    const auto sorted = byDistance(request);
+    const ClusterView* deployable = nearestDeployable(sorted);
+    GlobalDecision decision;
+    if (deployable != nullptr) {
+      // Nearest deployable cluster, running or not: deploy there and wait
+      // if needed.  A running instance in an even nearer cluster cannot
+      // exist (deployable is the nearest non-cloud cluster), but a running
+      // instance in the *same* cluster is reused by the Dispatcher.
+      decision.fast = deployable->name;
+    } else if (const ClusterView* running = nearestRunning(sorted)) {
+      decision.fast = running->name;  // edge full: use whatever runs
+    }
+    return decision;  // fast empty => cloud
+  }
+};
+
+class LatencyFirstScheduler final : public GlobalScheduler {
+ public:
+  const char* name() const override { return "latency-first"; }
+
+  GlobalDecision decide(const ScheduleRequest& request) override {
+    const auto sorted = byDistance(request);
+    const ClusterView* running = nearestRunning(sorted);
+    const ClusterView* optimal = nearestDeployable(sorted);
+    GlobalDecision decision;
+    if (running != nullptr) {
+      decision.fast = running->name;
+      if (optimal != nullptr && optimal->name != running->name &&
+          optimal->distanceRank < running->distanceRank) {
+        decision.best = optimal->name;  // deploy without waiting (fig. 3)
+      }
+      return decision;
+    }
+    // Nothing runs anywhere: deploy on the optimal edge and wait for it
+    // (the alternative -- forwarding to a cloud instance -- is the
+    // cloud-fallback scheduler's policy).
+    if (optimal != nullptr) decision.fast = optimal->name;
+    return decision;
+  }
+};
+
+class CloudFallbackScheduler final : public GlobalScheduler {
+ public:
+  const char* name() const override { return "cloud-fallback"; }
+
+  GlobalDecision decide(const ScheduleRequest& request) override {
+    const auto sorted = byDistance(request);
+    const ClusterView* running = nearestRunning(sorted);
+    const ClusterView* optimal = nearestDeployable(sorted);
+    GlobalDecision decision;
+    if (running != nullptr) decision.fast = running->name;  // else cloud
+    if (optimal != nullptr &&
+        (running == nullptr || optimal->name != running->name)) {
+      decision.best = optimal->name;
+    }
+    return decision;
+  }
+};
+
+class RoundRobinScheduler final : public GlobalScheduler {
+ public:
+  const char* name() const override { return "round-robin"; }
+
+  GlobalDecision decide(const ScheduleRequest& request) override {
+    std::vector<const ClusterView*> running;
+    for (const auto& cluster : request.clusters) {
+      if (!cluster.readyInstances.empty() && !cluster.isCloud) {
+        running.push_back(&cluster);
+      }
+    }
+    GlobalDecision decision;
+    if (!running.empty()) {
+      auto& counter = counters_[request.service];
+      decision.fast = running[counter % running.size()]->name;
+      ++counter;
+      return decision;
+    }
+    const auto sorted = byDistance(request);
+    if (const ClusterView* optimal = nearestDeployable(sorted)) {
+      decision.fast = optimal->name;
+    }
+    return decision;
+  }
+
+ private:
+  std::unordered_map<Endpoint, std::size_t> counters_;
+};
+
+}  // namespace
+
+std::unique_ptr<GlobalScheduler> makeProximityScheduler() {
+  return std::make_unique<ProximityScheduler>();
+}
+std::unique_ptr<GlobalScheduler> makeLatencyFirstScheduler() {
+  return std::make_unique<LatencyFirstScheduler>();
+}
+std::unique_ptr<GlobalScheduler> makeCloudFallbackScheduler() {
+  return std::make_unique<CloudFallbackScheduler>();
+}
+std::unique_ptr<GlobalScheduler> makeRoundRobinScheduler() {
+  return std::make_unique<RoundRobinScheduler>();
+}
+
+namespace {
+
+class FirstInstanceScheduler final : public LocalScheduler {
+ public:
+  const char* name() const override { return "first"; }
+  Endpoint pick(const std::vector<Endpoint>& instances, Ipv4) override {
+    ES_ASSERT(!instances.empty());
+    return instances.front();
+  }
+};
+
+class InstanceRoundRobinScheduler final : public LocalScheduler {
+ public:
+  const char* name() const override { return "instance-round-robin"; }
+  Endpoint pick(const std::vector<Endpoint>& instances, Ipv4) override {
+    ES_ASSERT(!instances.empty());
+    return instances[counter_++ % instances.size()];
+  }
+
+ private:
+  std::size_t counter_ = 0;
+};
+
+class ClientHashScheduler final : public LocalScheduler {
+ public:
+  const char* name() const override { return "client-hash"; }
+  Endpoint pick(const std::vector<Endpoint>& instances, Ipv4 client) override {
+    ES_ASSERT(!instances.empty());
+    // splitmix-style scramble for a uniform, deterministic mapping.
+    std::uint64_t h = client.value;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return instances[h % instances.size()];
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LocalScheduler> makeFirstInstanceScheduler() {
+  return std::make_unique<FirstInstanceScheduler>();
+}
+std::unique_ptr<LocalScheduler> makeInstanceRoundRobinScheduler() {
+  return std::make_unique<InstanceRoundRobinScheduler>();
+}
+std::unique_ptr<LocalScheduler> makeClientHashScheduler() {
+  return std::make_unique<ClientHashScheduler>();
+}
+
+std::unique_ptr<LocalScheduler> makeLocalScheduler(const std::string& name) {
+  if (name == "instance-round-robin") return makeInstanceRoundRobinScheduler();
+  if (name == "client-hash") return makeClientHashScheduler();
+  return makeFirstInstanceScheduler();
+}
+
+SchedulerRegistry::SchedulerRegistry() {
+  registerScheduler("proximity",
+                    [](const Config&) { return makeProximityScheduler(); });
+  registerScheduler("latency-first",
+                    [](const Config&) { return makeLatencyFirstScheduler(); });
+  registerScheduler("cloud-fallback",
+                    [](const Config&) { return makeCloudFallbackScheduler(); });
+  registerScheduler("round-robin",
+                    [](const Config&) { return makeRoundRobinScheduler(); });
+}
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry registry;
+  return registry;
+}
+
+void SchedulerRegistry::registerScheduler(const std::string& name,
+                                          Factory factory) {
+  ES_ASSERT(factory != nullptr);
+  factories_[name] = std::move(factory);
+}
+
+Result<std::unique_ptr<GlobalScheduler>> SchedulerRegistry::create(
+    const std::string& name, const Config& config) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return makeError(Errc::kNotFound, "unknown scheduler: " + name);
+  }
+  return it->second(config);
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace edgesim::core

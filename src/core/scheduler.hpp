@@ -1,0 +1,136 @@
+// Global Scheduler framework (§IV-B, fig. 6).
+//
+// The Global Scheduler chooses the edge cluster: it returns a FAST choice
+// (where to send the *current* request) and a BEST choice (where future
+// requests should go).  BEST is empty when equal to FAST; a non-empty BEST
+// means "on-demand deployment *without* waiting" (the current request is
+// served elsewhere while the optimal cluster deploys).  An empty FAST
+// forwards the request toward the cloud.
+//
+// Concrete schedulers are registered by name in a factory registry -- the
+// C++ counterpart of the paper's dynamically loaded scheduler classes: the
+// controller configuration names the scheduler to instantiate.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "util/config.hpp"
+#include "util/result.hpp"
+
+namespace edgesim::core {
+
+/// What the Dispatcher knows about one cluster when scheduling (fig. 7:
+/// "gathers a list of existing and running instances").
+struct ClusterView {
+  std::string name;
+  /// Proximity to the requesting client; lower = closer.  Rank 0 is the
+  /// optimal edge; the cloud is conventionally the largest rank.
+  int distanceRank = 0;
+  bool isCloud = false;
+  /// Service instances currently ready in this cluster.
+  std::vector<Endpoint> readyInstances;
+  /// Deployment state (phases already completed, §IV-C).
+  bool imageCached = false;
+  bool serviceCreated = false;
+  /// Remaining scheduling capacity (pods/containers).
+  int freeCapacity = 1;
+};
+
+struct ScheduleRequest {
+  Endpoint service;
+  Ipv4 client;
+  std::vector<ClusterView> clusters;
+};
+
+struct GlobalDecision {
+  /// Cluster for the current request; nullopt => forward toward the cloud.
+  std::optional<std::string> fast;
+  /// Cluster for future requests; nullopt => same as FAST.
+  std::optional<std::string> best;
+
+  bool deploysWithoutWaiting() const {
+    return best.has_value() && (!fast.has_value() || *best != *fast);
+  }
+};
+
+class GlobalScheduler {
+ public:
+  virtual ~GlobalScheduler() = default;
+  virtual const char* name() const = 0;
+  virtual GlobalDecision decide(const ScheduleRequest& request) = 0;
+};
+
+/// Factory registry; the controller config names the scheduler to load.
+class SchedulerRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<GlobalScheduler>(const Config&)>;
+
+  /// Registry pre-populated with the built-in schedulers.
+  static SchedulerRegistry& instance();
+
+  void registerScheduler(const std::string& name, Factory factory);
+  Result<std::unique_ptr<GlobalScheduler>> create(const std::string& name,
+                                                  const Config& config) const;
+  std::vector<std::string> names() const;
+
+ private:
+  SchedulerRegistry();
+  std::map<std::string, Factory> factories_;
+};
+
+// ---- built-in schedulers --------------------------------------------------
+
+/// "proximity": FAST = nearest cluster that can host the service (running
+/// instance preferred, else deploy there and WAIT).  BEST empty.
+std::unique_ptr<GlobalScheduler> makeProximityScheduler();
+
+/// "latency-first": FAST = nearest cluster with a *running* instance (cloud
+/// if none); BEST = the optimal (nearest deployable) cluster when different
+/// -- i.e. on-demand deployment WITHOUT waiting (fig. 3).
+std::unique_ptr<GlobalScheduler> makeLatencyFirstScheduler();
+
+/// "cloud-fallback": never waits and never redirects mid-deployment --
+/// FAST = nearest running instance or cloud; BEST = optimal cluster.
+/// Differs from latency-first by refusing to wait even when nothing runs
+/// anywhere (it always answers from the cloud meanwhile).
+std::unique_ptr<GlobalScheduler> makeCloudFallbackScheduler();
+
+/// "round-robin": spread successive requests across all clusters with
+/// running instances; deploy (with waiting) on the nearest when none run.
+std::unique_ptr<GlobalScheduler> makeRoundRobinScheduler();
+
+// ---- Local Scheduler (fig. 6, right side) ---------------------------------
+//
+// Once the Global Scheduler picked a cluster, the Local Scheduler picks a
+// specific instance *within* it.  On Kubernetes that role can be played by
+// the cluster's own (possibly custom) pod scheduler at placement time; at
+// request time the controller still chooses among the ready endpoints --
+// that is this policy.
+
+class LocalScheduler {
+ public:
+  virtual ~LocalScheduler() = default;
+  virtual const char* name() const = 0;
+  /// Pick one of `instances` (never empty) for a request from `client`.
+  virtual Endpoint pick(const std::vector<Endpoint>& instances,
+                        Ipv4 client) = 0;
+};
+
+/// "first": always the first ready instance (stable, cache-friendly).
+std::unique_ptr<LocalScheduler> makeFirstInstanceScheduler();
+/// "instance-round-robin": rotate across ready instances per service.
+std::unique_ptr<LocalScheduler> makeInstanceRoundRobinScheduler();
+/// "client-hash": deterministic per-client instance affinity.
+std::unique_ptr<LocalScheduler> makeClientHashScheduler();
+
+/// Local scheduler factory by name ("" or unknown -> "first").
+std::unique_ptr<LocalScheduler> makeLocalScheduler(const std::string& name);
+
+}  // namespace edgesim::core

@@ -1,0 +1,197 @@
+#include "core/service_catalog.hpp"
+
+#include "util/assert.hpp"
+
+namespace edgesim::core {
+
+using container::AppProfile;
+using container::ImageRef;
+using container::makeImage;
+using namespace timeliterals;
+
+namespace {
+
+constexpr const char* kAsmYaml = R"(# asmttpd -- smallest possible web service
+spec:
+  template:
+    spec:
+      containers:
+      - name: web-asm
+        image: josefhammer/web-asm:amd64
+        ports:
+        - containerPort: 80
+)";
+
+constexpr const char* kNginxYaml = R"(# plain nginx web server
+spec:
+  template:
+    spec:
+      containers:
+      - name: nginx
+        image: nginx:1.23.2
+        ports:
+        - containerPort: 80
+)";
+
+constexpr const char* kResnetYaml = R"(# TensorFlow Serving with built-in ResNet50 model
+spec:
+  template:
+    spec:
+      containers:
+      - name: resnet
+        image: gcr.io/tensorflow-serving/resnet:latest
+        ports:
+        - containerPort: 8501
+)";
+
+constexpr const char* kNginxPyYaml = R"(# nginx + python env-writer sidecar sharing index.html
+spec:
+  template:
+    spec:
+      containers:
+      - name: nginx
+        image: nginx:1.23.2
+        ports:
+        - containerPort: 80
+        volumeMounts:
+        - name: shared-html
+          mountPath: /usr/share/nginx/html
+      - name: env-writer
+        image: josefhammer/env-writer-py:latest
+        env:
+        - name: WRITE_INTERVAL_SECONDS
+          value: "1"
+        volumeMounts:
+        - name: shared-html
+          mountPath: /out
+      volumes:
+      - name: shared-html
+        hostPath:
+          path: /data/edge/shared-html
+)";
+
+}  // namespace
+
+ServiceCatalog::ServiceCatalog() {
+  // ---- images -----------------------------------------------------------
+  const auto asmRef = *ImageRef::parse("josefhammer/web-asm:amd64");
+  const auto nginxRef = *ImageRef::parse("nginx:1.23.2");
+  const auto resnetRef = *ImageRef::parse("gcr.io/tensorflow-serving/resnet:latest");
+  const auto pyRef = *ImageRef::parse("josefhammer/env-writer-py:latest");
+
+  Bytes asmSize;
+  ES_ASSERT(parseBytes("6.18 KiB", asmSize));
+  const auto asmImage = makeImage(asmRef, asmSize, 1);
+  const auto nginxImage = makeImage(nginxRef, 135_MiB, 6);
+  const auto resnetImage = makeImage(resnetRef, 308_MiB, 9);
+  // Table I: nginx + env-writer-py together are 181 MiB / 7 layers, so the
+  // Python helper adds 46 MiB in a single layer on top of the nginx image.
+  const auto pyImage = makeImage(pyRef, 46_MiB, 1);
+
+  // ---- app behaviour profiles -------------------------------------------
+  // Asm: negligible launch time ("allows us to measure the minimal overhead
+  // of starting a service in a container"); trivial request handling.
+  AppProfile asmApp;
+  asmApp.startupDelay = 8_ms;
+  asmApp.requestCompute = SimTime::micros(150);
+  asmApp.responseBytes = Bytes{512};  // short plain-text file
+  profiles_.add(asmRef.toString(), asmApp);
+
+  // Nginx: fast, but a real event loop + config parse at startup.
+  AppProfile nginxApp;
+  nginxApp.startupDelay = 60_ms;
+  nginxApp.requestCompute = SimTime::micros(350);
+  nginxApp.responseBytes = Bytes{612};
+  profiles_.add(nginxRef.toString(), nginxApp);
+
+  // ResNet: TensorFlow Serving must load the model before the port answers
+  // ("loading a model takes time; thus, we expect a higher startup time"),
+  // and inference dominates warm request time (fig. 16).
+  AppProfile resnetApp;
+  resnetApp.startupDelay = 3200_ms;
+  resnetApp.requestCompute = 180_ms;
+  resnetApp.computeJitterSigma = 0.15;
+  resnetApp.responseBytes = Bytes{2048};  // classification scores JSON
+  profiles_.add(resnetRef.toString(), resnetApp);
+
+  // env-writer: helper container, no service port; interpreter startup only
+  // matters for the Create/Scale-Up accounting of the two-container service.
+  AppProfile pyApp;
+  pyApp.exposesPort = false;
+  pyApp.startupDelay = 250_ms;
+  profiles_.add(pyRef.toString(), pyApp);
+
+  // ---- catalogue rows ----------------------------------------------------
+  CatalogEntry asmEntry;
+  asmEntry.key = "asm";
+  asmEntry.displayName = "Asm";
+  asmEntry.yaml = kAsmYaml;
+  asmEntry.images = {asmImage};
+  entries_.push_back(asmEntry);
+
+  CatalogEntry nginxEntry;
+  nginxEntry.key = "nginx";
+  nginxEntry.displayName = "Nginx";
+  nginxEntry.yaml = kNginxYaml;
+  nginxEntry.images = {nginxImage};
+  entries_.push_back(nginxEntry);
+
+  CatalogEntry resnetEntry;
+  resnetEntry.key = "resnet";
+  resnetEntry.displayName = "ResNet";
+  resnetEntry.yaml = kResnetYaml;
+  resnetEntry.images = {resnetImage};
+  resnetEntry.requestMethod = HttpMethod::kPost;
+  Bytes catPicture;
+  ES_ASSERT(parseBytes("83 KiB", catPicture));
+  resnetEntry.requestPayload = catPicture;
+  entries_.push_back(resnetEntry);
+
+  CatalogEntry nginxPyEntry;
+  nginxPyEntry.key = "nginx-py";
+  nginxPyEntry.displayName = "Nginx+Py";
+  nginxPyEntry.yaml = kNginxPyYaml;
+  nginxPyEntry.images = {nginxImage, pyImage};
+  nginxPyEntry.containerCount = 2;
+  entries_.push_back(nginxPyEntry);
+}
+
+const CatalogEntry& ServiceCatalog::entry(const std::string& key) const {
+  for (const auto& e : entries_) {
+    if (e.key == key) return e;
+  }
+  ES_ASSERT_MSG(false, "unknown catalogue key");
+  return entries_.front();  // unreachable
+}
+
+bool ServiceCatalog::has(const std::string& key) const {
+  for (const auto& e : entries_) {
+    if (e.key == key) return true;
+  }
+  return false;
+}
+
+void ServiceCatalog::publishImages(container::Registry& registry) const {
+  for (const auto& e : entries_) {
+    for (const auto& image : e.images) registry.push(image);
+  }
+}
+
+void ServiceCatalog::seedImages(const std::string& key,
+                                container::LayerStore& store) const {
+  for (const auto& image : entry(key).images) store.commitImage(image);
+}
+
+Bytes ServiceCatalog::totalImageSize(const std::string& key) const {
+  Bytes total;
+  for (const auto& image : entry(key).images) total += image.totalSize();
+  return total;
+}
+
+std::size_t ServiceCatalog::totalLayerCount(const std::string& key) const {
+  std::size_t total = 0;
+  for (const auto& image : entry(key).images) total += image.layerCount();
+  return total;
+}
+
+}  // namespace edgesim::core

@@ -1,0 +1,61 @@
+// The Table I edge-service catalogue.
+//
+// Four services spanning the paper's evaluation space:
+//   Asm      -- asmttpd web server, 6.18 KiB / 1 layer, GET
+//   Nginx    -- nginx:1.23.2, 135 MiB / 6 layers, GET
+//   ResNet   -- TensorFlow Serving + ResNet50, 308 MiB / 9 layers, POST 83 KiB
+//   Nginx+Py -- nginx + Python env-writer, 181 MiB / 7 layers, 2 containers
+//
+// Each entry provides the service definition YAML (as a developer would
+// write it), the images to publish to registries, the app behaviour
+// profiles, and the client request shape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "container/image.hpp"
+#include "container/layer_store.hpp"
+#include "container/registry.hpp"
+#include "core/service_model.hpp"
+
+namespace edgesim::core {
+
+struct CatalogEntry {
+  std::string key;          // "asm", "nginx", "resnet", "nginx-py"
+  std::string displayName;  // Table I row name
+  std::string yaml;         // developer-written service definition
+  std::vector<container::Image> images;
+  HttpMethod requestMethod = HttpMethod::kGet;
+  Bytes requestPayload;
+  int containerCount = 1;
+};
+
+class ServiceCatalog {
+ public:
+  ServiceCatalog();
+
+  const std::vector<CatalogEntry>& entries() const { return entries_; }
+  const CatalogEntry& entry(const std::string& key) const;
+  bool has(const std::string& key) const;
+
+  /// App behaviour for every catalogue image.
+  const AppProfileRegistry& profiles() const { return profiles_; }
+
+  /// Publish all catalogue images to `registry`.
+  void publishImages(container::Registry& registry) const;
+
+  /// Pre-seed a node's layer store with one entry's images (warm cache).
+  void seedImages(const std::string& key,
+                  container::LayerStore& store) const;
+
+  /// Total bytes / layer count of one entry (Table I columns).
+  Bytes totalImageSize(const std::string& key) const;
+  std::size_t totalLayerCount(const std::string& key) const;
+
+ private:
+  std::vector<CatalogEntry> entries_;
+  AppProfileRegistry profiles_;
+};
+
+}  // namespace edgesim::core

@@ -1,0 +1,117 @@
+#include "core/service_model.hpp"
+
+#include "util/strings.hpp"
+
+namespace edgesim::core {
+
+using yamlite::Node;
+
+void AppProfileRegistry::add(const std::string& imageRef,
+                             container::AppProfile profile) {
+  profiles_[imageRef] = profile;
+}
+
+container::AppProfile AppProfileRegistry::lookup(
+    const std::string& imageRef) const {
+  const auto it = profiles_.find(imageRef);
+  if (it != profiles_.end()) return it->second;
+  container::AppProfile fallback;
+  fallback.startupDelay = SimTime::millis(50);
+  fallback.requestCompute = SimTime::micros(300);
+  fallback.responseBytes = Bytes{1024};
+  return fallback;
+}
+
+Result<ServiceModel> buildServiceModel(const AnnotatedService& annotated,
+                                       Endpoint serviceAddress,
+                                       const AppProfileRegistry& profiles) {
+  ServiceModel model;
+  model.uniqueName = annotated.uniqueName;
+  model.tag = annotated.uniqueName;  // callers usually set a friendlier tag
+  model.address = serviceAddress;
+  model.deploymentDoc = annotated.deployment;
+  model.serviceDoc = annotated.service;
+
+  if (const Node* scheduler =
+          annotated.deployment.findPath("spec.template.spec.schedulerName")) {
+    if (scheduler->isScalar()) model.schedulerName = scheduler->asString();
+  }
+
+  const Node* containers =
+      annotated.deployment.findPath("spec.template.spec.containers");
+  if (containers == nullptr || !containers->isSequence() ||
+      containers->items().empty()) {
+    return makeError(Errc::kInvalidArgument, "no containers in definition");
+  }
+
+  bool first = true;
+  for (const Node& containerNode : containers->items()) {
+    const Node* image = containerNode.find("image");
+    if (image == nullptr || !image->isScalar()) {
+      return makeError(Errc::kInvalidArgument, "container without image");
+    }
+    const auto ref = container::ImageRef::parse(image->asString());
+    if (!ref) {
+      return makeError(Errc::kInvalidArgument,
+                       "bad image reference: " + image->asString());
+    }
+
+    container::ContainerSpec spec;
+    spec.image = *ref;
+    if (const Node* name = containerNode.find("name");
+        name != nullptr && name->isScalar()) {
+      spec.name = name->asString();
+    } else {
+      spec.name = ref->repository;
+    }
+    spec.labels["app"] = model.uniqueName;
+    spec.labels[kEdgeServiceLabel] = serviceAddress.toString();
+
+    spec.containerPort = serviceAddress.port;
+    if (const Node* ports = containerNode.find("ports");
+        ports != nullptr && ports->isSequence() && !ports->items().empty()) {
+      if (const Node* cp = ports->items().front().find("containerPort")) {
+        const auto value = cp->asInt();
+        if (!value || *value <= 0 || *value > 65535) {
+          return makeError(Errc::kInvalidArgument, "bad containerPort");
+        }
+        spec.containerPort = static_cast<std::uint16_t>(*value);
+      }
+    }
+
+    if (const Node* env = containerNode.find("env");
+        env != nullptr && env->isSequence()) {
+      for (const Node& entry : env->items()) {
+        const Node* name = entry.find("name");
+        const Node* value = entry.find("value");
+        if (name != nullptr && name->isScalar() && value != nullptr &&
+            value->isScalar()) {
+          spec.env[name->asString()] = value->asString();
+        }
+      }
+    }
+
+    if (const Node* mounts = containerNode.find("volumeMounts");
+        mounts != nullptr && mounts->isSequence()) {
+      for (const Node& mount : mounts->items()) {
+        const Node* name = mount.find("name");
+        const Node* path = mount.find("mountPath");
+        if (name != nullptr && name->isScalar() && path != nullptr &&
+            path->isScalar()) {
+          spec.volumeMounts.emplace_back(name->asString(), path->asString());
+        }
+      }
+    }
+
+    spec.app = profiles.lookup(ref->toString());
+    if (first) {
+      model.targetPort = spec.containerPort;
+      first = false;
+    }
+    model.containers.push_back(std::move(spec));
+  }
+
+  return model;
+}
+
+}  // namespace edgesim::core

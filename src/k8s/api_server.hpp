@@ -1,0 +1,160 @@
+// Kubernetes API server: typed object stores with list/watch semantics.
+//
+// Mutations commit after `apiLatency`; watch events reach informers after a
+// further `watchLatency`.  Controllers never see state synchronously --
+// that asynchrony is where most of the K8s scale-up overhead (fig. 11)
+// comes from, so it is modelled explicitly rather than folded into one
+// constant.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "k8s/objects.hpp"
+#include "k8s/params.hpp"
+#include "sim/simulation.hpp"
+#include "util/result.hpp"
+
+namespace edgesim::k8s {
+
+enum class WatchEventType { kAdded, kModified, kDeleted };
+
+template <typename T>
+struct WatchEvent {
+  WatchEventType type;
+  T object;  // snapshot at event time
+};
+
+/// One typed object store (a "resource" in K8s terms).
+template <typename T>
+class Store {
+ public:
+  using Watcher = std::function<void(const WatchEvent<T>&)>;
+
+  Store(Simulation& sim, const ControlPlaneParams& params, std::string kind)
+      : sim_(sim), params_(params), kind_(std::move(kind)) {}
+
+  /// Create; fails with kAlreadyExists if the name is taken. `cb` optional.
+  void create(T object, std::function<void(Status)> cb = nullptr) {
+    sim_.schedule(params_.apiLatency, [this, object = std::move(object),
+                                       cb = std::move(cb)]() mutable {
+      const std::string& name = object.meta.name;
+      if (items_.count(name) != 0) {
+        if (cb) cb(makeError(Errc::kAlreadyExists, kind_ + "/" + name));
+        return;
+      }
+      object.meta.uid = nextUid_++;
+      object.meta.resourceVersion = ++resourceVersion_;
+      object.meta.creationTime = sim_.now();
+      items_.emplace(name, object);
+      notify(WatchEventType::kAdded, object);
+      if (cb) cb(Status());
+    });
+  }
+
+  /// Read-modify-write by name; `mutate` runs at commit time so it sees the
+  /// latest state (models resourceVersion-checked updates with retry).
+  void update(const std::string& name, std::function<void(T&)> mutate,
+              std::function<void(Status)> cb = nullptr) {
+    sim_.schedule(params_.apiLatency, [this, name, mutate = std::move(mutate),
+                                       cb = std::move(cb)] {
+      const auto it = items_.find(name);
+      if (it == items_.end()) {
+        if (cb) cb(makeError(Errc::kNotFound, kind_ + "/" + name));
+        return;
+      }
+      mutate(it->second);
+      it->second.meta.resourceVersion = ++resourceVersion_;
+      notify(WatchEventType::kModified, it->second);
+      if (cb) cb(Status());
+    });
+  }
+
+  void remove(const std::string& name,
+              std::function<void(Status)> cb = nullptr) {
+    sim_.schedule(params_.apiLatency, [this, name, cb = std::move(cb)] {
+      const auto it = items_.find(name);
+      if (it == items_.end()) {
+        if (cb) cb(makeError(Errc::kNotFound, kind_ + "/" + name));
+        return;
+      }
+      const T object = it->second;
+      items_.erase(it);
+      notify(WatchEventType::kDeleted, object);
+      if (cb) cb(Status());
+    });
+  }
+
+  // -- synchronous reads (informer-cache view) ----------------------------
+  const T* get(const std::string& name) const {
+    const auto it = items_.find(name);
+    return it == items_.end() ? nullptr : &it->second;
+  }
+
+  std::vector<const T*> list() const {
+    std::vector<const T*> out;
+    out.reserve(items_.size());
+    for (const auto& [name, object] : items_) out.push_back(&object);
+    return out;
+  }
+
+  std::vector<const T*> listBySelector(const Labels& selector) const {
+    std::vector<const T*> out;
+    for (const auto& [name, object] : items_) {
+      if (selectorMatches(selector, object.meta.labels)) {
+        out.push_back(&object);
+      }
+    }
+    return out;
+  }
+
+  /// Register a watcher; events arrive `watchLatency` after commit.
+  void watch(Watcher watcher) { watchers_.push_back(std::move(watcher)); }
+
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  void notify(WatchEventType type, const T& object) {
+    const WatchEvent<T> event{type, object};
+    for (const auto& watcher : watchers_) {
+      sim_.schedule(params_.watchLatency,
+                    [watcher, event] { watcher(event); });
+    }
+  }
+
+  Simulation& sim_;
+  const ControlPlaneParams& params_;
+  std::string kind_;
+  std::map<std::string, T> items_;
+  std::vector<Watcher> watchers_;
+  std::uint64_t nextUid_ = 1;
+  std::uint64_t resourceVersion_ = 0;
+};
+
+/// The API server bundles one store per resource kind.
+class ApiServer {
+ public:
+  ApiServer(Simulation& sim, const ControlPlaneParams& params)
+      : deployments_(sim, params, "Deployment"),
+        replicaSets_(sim, params, "ReplicaSet"),
+        pods_(sim, params, "Pod"),
+        services_(sim, params, "Service"),
+        endpoints_(sim, params, "Endpoints") {}
+
+  Store<Deployment>& deployments() { return deployments_; }
+  Store<ReplicaSet>& replicaSets() { return replicaSets_; }
+  Store<Pod>& pods() { return pods_; }
+  Store<Service>& services() { return services_; }
+  Store<Endpoints>& endpoints() { return endpoints_; }
+
+ private:
+  Store<Deployment> deployments_;
+  Store<ReplicaSet> replicaSets_;
+  Store<Pod> pods_;
+  Store<Service> services_;
+  Store<Endpoints> endpoints_;
+};
+
+}  // namespace edgesim::k8s

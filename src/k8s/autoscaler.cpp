@@ -1,0 +1,73 @@
+#include "k8s/autoscaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace edgesim::k8s {
+
+HorizontalAutoscaler::HorizontalAutoscaler(
+    Simulation& sim, K8sCluster& cluster, AutoscalerParams params,
+    std::function<std::uint64_t()> requestCounter)
+    : sim_(sim),
+      cluster_(cluster),
+      params_(std::move(params)),
+      requestCounter_(std::move(requestCounter)) {
+  ES_ASSERT(requestCounter_ != nullptr);
+  ES_ASSERT(params_.minReplicas >= 0);
+  ES_ASSERT(params_.maxReplicas >= params_.minReplicas);
+  ES_ASSERT(params_.targetRequestsPerReplica > 0.0);
+  timer_.start(sim_, params_.syncPeriod, [this] {
+    sync();
+    return true;
+  }, params_.syncPeriod);
+}
+
+void HorizontalAutoscaler::sync() {
+  const Deployment* deployment = cluster_.deployment(params_.deployment);
+  if (deployment == nullptr) return;
+
+  const std::uint64_t count = requestCounter_();
+  if (!hasSample_) {
+    hasSample_ = true;
+    lastCount_ = count;
+    lastSample_ = sim_.now();
+    return;
+  }
+  const double elapsed = (sim_.now() - lastSample_).toSeconds();
+  if (elapsed <= 0.0) return;
+  lastRate_ = static_cast<double>(count - lastCount_) / elapsed;
+  lastCount_ = count;
+  lastSample_ = sim_.now();
+
+  const int current = deployment->spec.replicas;
+  int desired = static_cast<int>(
+      std::ceil(lastRate_ / params_.targetRequestsPerReplica));
+  desired = std::clamp(desired, params_.minReplicas, params_.maxReplicas);
+  lastDesired_ = desired;
+
+  if (desired > current) {
+    belowSince_ = SimTime::max();
+    ++scaleEvents_;
+    ES_INFO("hpa", "%s: rate %.1f req/s -> scale %d -> %d",
+            params_.deployment.c_str(), lastRate_, current, desired);
+    cluster_.scaleDeployment(params_.deployment, desired);
+    return;
+  }
+  if (desired < current) {
+    // Stabilisation: only downscale after the desire persisted.
+    if (belowSince_ == SimTime::max()) belowSince_ = sim_.now();
+    if (sim_.now() - belowSince_ >= params_.downscaleStabilisation) {
+      ++scaleEvents_;
+      ES_INFO("hpa", "%s: rate %.1f req/s -> scale %d -> %d (down)",
+              params_.deployment.c_str(), lastRate_, current, desired);
+      cluster_.scaleDeployment(params_.deployment, desired);
+      belowSince_ = SimTime::max();
+    }
+    return;
+  }
+  belowSince_ = SimTime::max();
+}
+
+}  // namespace edgesim::k8s

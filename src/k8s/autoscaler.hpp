@@ -1,0 +1,61 @@
+// HorizontalAutoscaler: HPA-style replica management for a Deployment.
+//
+// The paper's §VII argues for deploying to Kubernetes *despite* its slower
+// scale-up because it provides "automated management and scaling of
+// container instances" -- this component is that capability.  It periodically
+// samples a monotonic request counter for the deployment's pods, converts it
+// to a request rate, and scales the Deployment toward
+// `ceil(rate / targetRequestsPerReplica)` within [minReplicas, maxReplicas].
+// Scale-down is damped by a stabilisation window, like the real HPA.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "k8s/cluster.hpp"
+
+namespace edgesim::k8s {
+
+struct AutoscalerParams {
+  std::string deployment;
+  int minReplicas = 1;
+  int maxReplicas = 10;
+  /// Target load: requests per second one replica should handle.
+  double targetRequestsPerReplica = 10.0;
+  SimTime syncPeriod = SimTime::seconds(5.0);
+  /// Scale-down only when the desired count stayed below the current one
+  /// for this long (HPA's stabilisation window).
+  SimTime downscaleStabilisation = SimTime::seconds(30.0);
+};
+
+class HorizontalAutoscaler {
+ public:
+  /// `requestCounter` returns the monotonic total of requests served by the
+  /// deployment's instances (e.g. summed ContainerInfo::requestsServed).
+  HorizontalAutoscaler(Simulation& sim, K8sCluster& cluster,
+                       AutoscalerParams params,
+                       std::function<std::uint64_t()> requestCounter);
+
+  int lastDesiredReplicas() const { return lastDesired_; }
+  double lastObservedRate() const { return lastRate_; }
+  std::uint64_t scaleEvents() const { return scaleEvents_; }
+
+ private:
+  void sync();
+
+  Simulation& sim_;
+  K8sCluster& cluster_;
+  AutoscalerParams params_;
+  std::function<std::uint64_t()> requestCounter_;
+  PeriodicTimer timer_;
+  std::uint64_t lastCount_ = 0;
+  SimTime lastSample_;
+  bool hasSample_ = false;
+  int lastDesired_ = 0;
+  double lastRate_ = 0.0;
+  SimTime belowSince_ = SimTime::max();
+  std::uint64_t scaleEvents_ = 0;
+};
+
+}  // namespace edgesim::k8s

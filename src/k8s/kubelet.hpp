@@ -1,0 +1,65 @@
+// Kubelet: runs pods bound to its node.
+//
+// Responsibilities modelled: reacting to pod bindings (watch + sync
+// latency), pulling images through the node's registry binding, creating
+// and starting containers via the shared containerd runtime, readiness
+// probing (initial delay + period -- a visible chunk of the K8s scale-up
+// time), status updates through the API server, container restarts with
+// backoff, and teardown on pod deletion.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "k8s/api_server.hpp"
+#include "k8s/node.hpp"
+
+namespace edgesim::k8s {
+
+class Kubelet {
+ public:
+  Kubelet(Simulation& sim, ApiServer& api, const ControlPlaneParams& params,
+          NodeHandle node);
+
+  const std::string& nodeName() const { return node_.name; }
+  std::uint64_t startedPods() const { return startedPods_; }
+  std::uint64_t restartedContainers() const { return restarts_; }
+
+  /// Containers may crash after start; this caps restart attempts before
+  /// the pod is marked Failed (and replaced by its ReplicaSet).
+  static constexpr int kMaxRestarts = 3;
+
+ private:
+  struct PodWorker {
+    std::uint64_t podUid = 0;
+    std::vector<container::ContainerId> containers;
+    bool creating = false;
+    bool ready = false;
+    int restarts = 0;
+    PeriodicTimer probe;
+  };
+
+  // Pod names are passed by value below: several of these erase the
+  // worker map entry that (indirectly) owns the caller's string.
+  void onPodEvent(const WatchEvent<Pod>& event);
+  void syncPod(std::string podName);
+  void startPod(const Pod& pod);
+  void launchContainers(const Pod& pod);
+  void beginProbing(std::string podName);
+  void probePod(const std::string& podName);
+  void teardown(std::string podName);
+  void markFailed(std::string podName);
+
+  Simulation& sim_;
+  ApiServer& api_;
+  const ControlPlaneParams& params_;
+  NodeHandle node_;
+  std::map<std::string, PodWorker> workers_;  // key: pod name
+  PeriodicTimer resync_;
+  std::uint64_t startedPods_ = 0;
+  std::uint64_t restarts_ = 0;
+};
+
+}  // namespace edgesim::k8s

@@ -1,0 +1,22 @@
+// A Kubernetes worker node: the host it runs on, its container runtime,
+// image puller and registry binding, plus scheduling capacity.
+#pragma once
+
+#include <string>
+
+#include "container/puller.hpp"
+#include "container/registry.hpp"
+#include "container/runtime.hpp"
+
+namespace edgesim::k8s {
+
+struct NodeHandle {
+  std::string name;
+  Host* host = nullptr;
+  container::ContainerdRuntime* runtime = nullptr;
+  container::ImagePuller* puller = nullptr;
+  const container::Registry* registry = nullptr;
+  int podCapacity = 110;  // kubelet default max-pods
+};
+
+}  // namespace edgesim::k8s

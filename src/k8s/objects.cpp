@@ -1,0 +1,23 @@
+#include "k8s/objects.hpp"
+
+namespace edgesim::k8s {
+
+bool selectorMatches(const Labels& selector, const Labels& labels) {
+  for (const auto& [key, value] : selector) {
+    const auto it = labels.find(key);
+    if (it == labels.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+const char* podPhaseName(PodPhase phase) {
+  switch (phase) {
+    case PodPhase::kPending: return "Pending";
+    case PodPhase::kRunning: return "Running";
+    case PodPhase::kSucceeded: return "Succeeded";
+    case PodPhase::kFailed: return "Failed";
+  }
+  return "?";
+}
+
+}  // namespace edgesim::k8s

@@ -1,0 +1,38 @@
+// Kubernetes control-plane timing parameters.
+//
+// THE key calibration surface for reproducing fig. 11's "Kubernetes costs
+// ~3 s where Docker costs <1 s".  Nothing hard-codes the 3 s: a scale-up
+// traverses api write -> deployment controller -> replicaset controller ->
+// scheduler -> kubelet -> containerd -> readiness probe -> status update ->
+// endpoints, and each hop pays the latencies below.  Values approximate a
+// stock single-node K8s (kubeadm defaults, informer-driven controllers,
+// 1 s readiness probe).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace edgesim::k8s {
+
+struct ControlPlaneParams {
+  /// API server mutation latency (write -> committed, includes etcd fsync).
+  SimTime apiLatency = SimTime::millis(25);
+  /// Committed write -> watch event delivered to an informer.
+  SimTime watchLatency = SimTime::millis(40);
+  /// Controller work-queue processing delay per reconcile item.
+  SimTime controllerSyncLatency = SimTime::millis(250);
+  /// Periodic resync for all controllers (recovers missed events).
+  SimTime controllerResyncPeriod = SimTime::seconds(10.0);
+  /// Scheduler: queue wait + scoring before the bind call.
+  SimTime schedulingLatency = SimTime::millis(300);
+  /// Kubelet: pod-sync reaction time after a watch event.
+  SimTime kubeletSyncLatency = SimTime::millis(350);
+  /// Kubelet housekeeping re-sync (backstop; also drives probe retries).
+  SimTime kubeletResyncPeriod = SimTime::seconds(1.0);
+  /// Readiness probe: first probe delay and period.
+  SimTime probeInitialDelay = SimTime::millis(600);
+  SimTime probePeriod = SimTime::millis(1000);
+  /// Pod status update -> endpoints object rewritten.
+  SimTime endpointsSyncLatency = SimTime::millis(100);
+};
+
+}  // namespace edgesim::k8s

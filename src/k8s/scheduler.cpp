@@ -1,0 +1,155 @@
+#include "k8s/scheduler.hpp"
+
+#include <limits>
+
+#include "util/log.hpp"
+
+namespace edgesim::k8s {
+
+namespace {
+
+int podsOnNode(const Store<Pod>& pods, const std::string& nodeName) {
+  int count = 0;
+  for (const auto* pod : pods.list()) {
+    if (pod->spec.nodeName == nodeName &&
+        (pod->status.phase == PodPhase::kPending ||
+         pod->status.phase == PodPhase::kRunning)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+int effectiveLoad(const Store<Pod>& pods,
+                  const std::map<std::string, int>& assumedLoad,
+                  const std::string& nodeName) {
+  int load = podsOnNode(pods, nodeName);
+  if (const auto it = assumedLoad.find(nodeName); it != assumedLoad.end()) {
+    load += it->second;
+  }
+  return load;
+}
+
+ScheduleStrategy leastLoadedStrategy() {
+  return [](const Pod& /*pod*/, const std::vector<NodeHandle>& nodes,
+            const Store<Pod>& allPods,
+            const std::map<std::string, int>& assumedLoad) -> std::string {
+    std::string best;
+    int bestLoad = std::numeric_limits<int>::max();
+    for (const auto& node : nodes) {
+      const int load = effectiveLoad(allPods, assumedLoad, node.name);
+      if (load >= node.podCapacity) continue;
+      if (load < bestLoad) {
+        bestLoad = load;
+        best = node.name;
+      }
+    }
+    return best;
+  };
+}
+
+ScheduleStrategy binPackStrategy() {
+  return [](const Pod& /*pod*/, const std::vector<NodeHandle>& nodes,
+            const Store<Pod>& allPods,
+            const std::map<std::string, int>& assumedLoad) -> std::string {
+    for (const auto& node : nodes) {
+      if (effectiveLoad(allPods, assumedLoad, node.name) < node.podCapacity) {
+        return node.name;
+      }
+    }
+    return "";
+  };
+}
+
+PodScheduler::PodScheduler(Simulation& sim, ApiServer& api,
+                           const ControlPlaneParams& params,
+                           std::vector<NodeHandle> nodes)
+    : sim_(sim), api_(api), params_(params), nodes_(std::move(nodes)) {
+  strategies_["default-scheduler"] = leastLoadedStrategy();
+  api_.pods().watch([this](const WatchEvent<Pod>& event) {
+    if (event.type == WatchEventType::kDeleted) {
+      assumedPods_.erase(event.object.meta.name);
+      return;
+    }
+    if (event.object.scheduled()) {
+      assumedPods_.erase(event.object.meta.name);
+    } else {
+      enqueue(event.object.meta.name);
+    }
+  });
+  resync_.start(sim_, params_.controllerResyncPeriod, [this] {
+    for (const auto* pod : api_.pods().list()) {
+      if (!pod->scheduled() && assumedPods_.count(pod->meta.name) == 0) {
+        enqueue(pod->meta.name);
+      }
+    }
+    return true;
+  }, params_.controllerResyncPeriod);
+}
+
+void PodScheduler::registerStrategy(const std::string& name,
+                                    ScheduleStrategy strategy) {
+  ES_ASSERT(strategy != nullptr);
+  strategies_[name] = std::move(strategy);
+}
+
+void PodScheduler::enqueue(const std::string& podName) {
+  if (!queued_.insert(podName).second) return;
+  sim_.schedule(params_.schedulingLatency, [this, podName] {
+    queued_.erase(podName);
+    scheduleOne(podName);
+  });
+}
+
+std::map<std::string, int> PodScheduler::pruneAndCountAssumed() {
+  std::map<std::string, int> load;
+  for (auto it = assumedPods_.begin(); it != assumedPods_.end();) {
+    const Pod* pod = api_.pods().get(it->first);
+    if (pod == nullptr || pod->scheduled()) {
+      it = assumedPods_.erase(it);
+    } else {
+      ++load[it->second];
+      ++it;
+    }
+  }
+  return load;
+}
+
+void PodScheduler::scheduleOne(const std::string& podName) {
+  const Pod* pod = api_.pods().get(podName);
+  if (pod == nullptr || pod->scheduled()) return;
+  if (assumedPods_.count(podName) != 0) return;  // bind already in flight
+
+  std::string strategyName = pod->spec.schedulerName;
+  if (strategyName.empty()) strategyName = "default-scheduler";
+  const auto it = strategies_.find(strategyName);
+  if (it == strategies_.end()) {
+    // Unknown scheduler: the pod stays Pending, exactly like real K8s.
+    ES_WARN("k8s.sched", "pod %s requests unknown scheduler '%s'",
+            podName.c_str(), strategyName.c_str());
+    ++unschedulable_;
+    return;
+  }
+
+  const auto assumedLoad = pruneAndCountAssumed();
+  const std::string nodeName =
+      it->second(*pod, nodes_, api_.pods(), assumedLoad);
+  if (nodeName.empty()) {
+    ++unschedulable_;
+    ES_DEBUG("k8s.sched", "pod %s unschedulable (no capacity)",
+             podName.c_str());
+    // Retry on the next resync.
+    return;
+  }
+
+  ++scheduled_;
+  assumedPods_[podName] = nodeName;  // assume before the bind commits
+  ES_DEBUG("k8s.sched", "binding pod %s -> node %s", podName.c_str(),
+           nodeName.c_str());
+  api_.pods().update(podName,
+                     [nodeName](Pod& p) { p.spec.nodeName = nodeName; });
+}
+
+}  // namespace edgesim::k8s

@@ -1,0 +1,74 @@
+// Kubernetes pod scheduler with pluggable scheduling strategies.
+//
+// The paper's *Local Scheduler* (fig. 6) decides which instance runs where
+// inside one edge cluster; on Kubernetes that role is played by the K8s
+// scheduler, possibly a custom one selected via the pod's `schedulerName`
+// (§IV-B: "for Kubernetes, we can even define a custom scheduler ... to be
+// used for our edge services only").  Strategies are registered by name,
+// mirroring that mechanism.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "k8s/api_server.hpp"
+#include "k8s/node.hpp"
+
+namespace edgesim::k8s {
+
+/// Picks a node name for `pod` from `nodes` (empty string = unschedulable).
+/// `assumedLoad` counts pods this scheduler has bound whose binding is not
+/// yet visible in the store (the scheduler-cache "assume" step of real K8s);
+/// add it to the store-derived load to avoid double-booking a node.
+using ScheduleStrategy = std::function<std::string(
+    const Pod& pod, const std::vector<NodeHandle>& nodes,
+    const Store<Pod>& allPods,
+    const std::map<std::string, int>& assumedLoad)>;
+
+/// Store-visible pods on a node plus in-flight assumed bindings.
+int effectiveLoad(const Store<Pod>& pods,
+                  const std::map<std::string, int>& assumedLoad,
+                  const std::string& nodeName);
+
+/// Built-in strategy: the node with the fewest scheduled pods that still has
+/// capacity (K8s LeastAllocated flavour).
+ScheduleStrategy leastLoadedStrategy();
+/// Built-in strategy: always the first node with capacity (bin packing).
+ScheduleStrategy binPackStrategy();
+
+class PodScheduler {
+ public:
+  PodScheduler(Simulation& sim, ApiServer& api,
+               const ControlPlaneParams& params,
+               std::vector<NodeHandle> nodes);
+
+  /// Register a named strategy; pods select it via spec.schedulerName.
+  void registerStrategy(const std::string& name, ScheduleStrategy strategy);
+
+  const std::vector<NodeHandle>& nodes() const { return nodes_; }
+  std::uint64_t scheduledCount() const { return scheduled_; }
+  std::uint64_t unschedulableCount() const { return unschedulable_; }
+
+ private:
+  void enqueue(const std::string& podName);
+  void scheduleOne(const std::string& podName);
+  /// Drop assumed entries whose binding is now visible (or whose pod is
+  /// gone) and rebuild the per-node assumed-load map.
+  std::map<std::string, int> pruneAndCountAssumed();
+
+  Simulation& sim_;
+  ApiServer& api_;
+  const ControlPlaneParams& params_;
+  std::vector<NodeHandle> nodes_;
+  std::map<std::string, ScheduleStrategy> strategies_;
+  PeriodicTimer resync_;
+  std::unordered_set<std::string> queued_;
+  std::map<std::string, std::string> assumedPods_;  // pod -> node
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t unschedulable_ = 0;
+};
+
+}  // namespace edgesim::k8s

@@ -1,0 +1,55 @@
+// Experiment measurement: timecurl-equivalent per-request records and a
+// series recorder that renders the paper's tables.
+//
+// The paper measures `time_total` with curl: "everything from when Curl
+// starts establishing a TCP connection until it gets a response for the
+// HTTP request".  `HttpTimings::timeTotal()` in net/host.hpp implements
+// exactly that; this module aggregates those samples per experiment series
+// and renders medians (the statistic used in Figs. 11-16).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace edgesim::metrics {
+
+/// One measured client request (timecurl.sh line).
+struct RequestRecord {
+  std::string series;     // e.g. "nginx/k8s/scaleup"
+  SimTime start;
+  SimTime total;          // curl time_total
+  bool success = true;
+  int synRetransmits = 0;
+};
+
+class Recorder {
+ public:
+  void add(RequestRecord record);
+  void addSample(const std::string& series, double value);
+
+  /// All samples of a series as doubles (seconds for durations).
+  const Samples* series(const std::string& name) const;
+  Samples& mutableSeries(const std::string& name) { return samples_[name]; }
+
+  std::vector<std::string> seriesNames() const;
+  std::size_t totalRecords() const { return records_.size(); }
+  const std::vector<RequestRecord>& records() const { return records_; }
+
+  std::size_t failureCount() const { return failures_; }
+
+  /// Render one row per series: count, median, mean, p95, min, max
+  /// (durations in seconds).
+  Table summaryTable(const std::string& valueHeader = "seconds") const;
+
+ private:
+  std::vector<RequestRecord> records_;
+  std::map<std::string, Samples> samples_;  // ordered for stable output
+  std::size_t failures_ = 0;
+};
+
+}  // namespace edgesim::metrics

@@ -1,0 +1,65 @@
+#include "net/addr.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace edgesim {
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  const auto parts = split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), octet);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || octet > 255) {
+      return std::nullopt;
+    }
+    value = (value << 8) | octet;
+  }
+  return Ipv4(value);
+}
+
+std::string Ipv4::toString() const {
+  return strprintf("%u.%u.%u.%u", (value >> 24) & 0xff, (value >> 16) & 0xff,
+                   (value >> 8) & 0xff, value & 0xff);
+}
+
+std::string Mac::toString() const {
+  return strprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+                   static_cast<unsigned>((value >> 40) & 0xff),
+                   static_cast<unsigned>((value >> 32) & 0xff),
+                   static_cast<unsigned>((value >> 24) & 0xff),
+                   static_cast<unsigned>((value >> 16) & 0xff),
+                   static_cast<unsigned>((value >> 8) & 0xff),
+                   static_cast<unsigned>(value & 0xff));
+}
+
+std::optional<Endpoint> Endpoint::parse(std::string_view text) {
+  const auto colon = text.rfind(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto ip = Ipv4::parse(text.substr(0, colon));
+  if (!ip) return std::nullopt;
+  const auto portText = text.substr(colon + 1);
+  unsigned port = 0;
+  const auto [ptr, ec] = std::from_chars(
+      portText.data(), portText.data() + portText.size(), port);
+  if (ec != std::errc{} || ptr != portText.data() + portText.size() ||
+      port > 65535 || portText.empty()) {
+    return std::nullopt;
+  }
+  return Endpoint(*ip, static_cast<std::uint16_t>(port));
+}
+
+std::string Endpoint::toString() const {
+  return strprintf("%s:%u", ip.toString().c_str(), port);
+}
+
+std::string FourTuple::toString() const {
+  return local.toString() + "->" + remote.toString();
+}
+
+}  // namespace edgesim

@@ -1,0 +1,92 @@
+// Network addressing primitives: IPv4, MAC, and endpoint (IP:port).
+//
+// Registered edge services in the paper are identified by their unique
+// IP address + port combination; `Endpoint` is that key throughout the
+// controller.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace edgesim {
+
+struct Ipv4 {
+  std::uint32_t value = 0;  // host byte order
+
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t v) : value(v) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | d) {}
+
+  static std::optional<Ipv4> parse(std::string_view text);
+  std::string toString() const;
+
+  constexpr auto operator<=>(const Ipv4&) const = default;
+  constexpr bool isZero() const { return value == 0; }
+};
+
+struct Mac {
+  std::uint64_t value = 0;  // lower 48 bits
+
+  constexpr Mac() = default;
+  constexpr explicit Mac(std::uint64_t v) : value(v & 0xffffffffffffULL) {}
+
+  static constexpr Mac broadcast() { return Mac(0xffffffffffffULL); }
+  std::string toString() const;
+
+  constexpr auto operator<=>(const Mac&) const = default;
+};
+
+struct Endpoint {
+  Ipv4 ip;
+  std::uint16_t port = 0;
+
+  constexpr Endpoint() = default;
+  constexpr Endpoint(Ipv4 i, std::uint16_t p) : ip(i), port(p) {}
+
+  /// Parse "10.0.0.5:80".
+  static std::optional<Endpoint> parse(std::string_view text);
+  std::string toString() const;
+
+  constexpr auto operator<=>(const Endpoint&) const = default;
+};
+
+/// TCP connection 4-tuple as seen from one side.
+struct FourTuple {
+  Endpoint local;
+  Endpoint remote;
+
+  constexpr auto operator<=>(const FourTuple&) const = default;
+  std::string toString() const;
+};
+
+}  // namespace edgesim
+
+template <>
+struct std::hash<edgesim::Ipv4> {
+  std::size_t operator()(const edgesim::Ipv4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value);
+  }
+};
+
+template <>
+struct std::hash<edgesim::Endpoint> {
+  std::size_t operator()(const edgesim::Endpoint& ep) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{ep.ip.value} << 16) | ep.port);
+  }
+};
+
+template <>
+struct std::hash<edgesim::FourTuple> {
+  std::size_t operator()(const edgesim::FourTuple& t) const noexcept {
+    const auto h1 = std::hash<edgesim::Endpoint>{}(t.local);
+    const auto h2 = std::hash<edgesim::Endpoint>{}(t.remote);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

@@ -1,0 +1,254 @@
+#include "net/host.hpp"
+
+#include "util/log.hpp"
+
+namespace edgesim {
+
+Host::Host(Network& network, std::string name, Ipv4 ip, Mac mac)
+    : NetNode(network, std::move(name)), ip_(ip), mac_(mac) {}
+
+void Host::listen(std::uint16_t port, HttpHandler handler) {
+  ES_ASSERT(handler != nullptr);
+  listeners_[port] = std::move(handler);
+}
+
+void Host::closeListener(std::uint16_t port) { listeners_.erase(port); }
+
+bool Host::listening(std::uint16_t port) const {
+  return listeners_.count(port) != 0;
+}
+
+std::uint16_t Host::allocatePortNumber() {
+  if (nextEphemeral_ < 32768) nextEphemeral_ = 32768;  // wrapped
+  return nextEphemeral_++;
+}
+
+void Host::send(const Packet& packet) {
+  ES_ASSERT_MSG(portCount() >= 1, "host has no uplink");
+  network().transmit(*this, 0, packet);
+}
+
+void Host::httpRequest(Endpoint dst, HttpRequest request, HttpCallback cb,
+                       RequestOptions options) {
+  ES_ASSERT(cb != nullptr);
+  const Endpoint local(ip_, allocatePortNumber());
+  const FourTuple key{local, dst};
+  ClientConn conn;
+  conn.remote = dst;
+  conn.localPort = local.port;
+  conn.request = std::move(request);
+  conn.cb = std::move(cb);
+  conn.options = options;
+  conn.rto = options.synRto;
+  conn.timings.start = network().sim().now();
+  auto [it, inserted] = clientConns_.emplace(key, std::move(conn));
+  ES_ASSERT(inserted);
+
+  it->second.totalTimer =
+      network().sim().schedule(options.totalTimeout, [this, key] {
+        finishClient(key, makeError(Errc::kTimeout, "http total timeout"));
+      });
+
+  ES_TRACE("tcp", "%s connect %s", name().c_str(), key.toString().c_str());
+  send(makeSyn(mac_, local, dst));
+  armSynRetransmit(key);
+}
+
+void Host::tcpProbe(Endpoint dst, ProbeCallback cb, SimTime timeout) {
+  ES_ASSERT(cb != nullptr);
+  const Endpoint local(ip_, allocatePortNumber());
+  const FourTuple key{local, dst};
+  ClientConn conn;
+  conn.isProbe = true;
+  conn.remote = dst;
+  conn.localPort = local.port;
+  conn.probeCb = std::move(cb);
+  conn.timings.start = network().sim().now();
+  auto [it, inserted] = clientConns_.emplace(key, std::move(conn));
+  ES_ASSERT(inserted);
+
+  it->second.totalTimer = network().sim().schedule(
+      timeout, [this, key] { finishProbe(key, false); });
+  send(makeSyn(mac_, local, dst));
+}
+
+void Host::armSynRetransmit(FourTuple key) {
+  auto it = clientConns_.find(key);
+  if (it == clientConns_.end()) return;
+  ClientConn& conn = it->second;
+  if (conn.isProbe) return;  // probes do not retransmit
+  conn.rtoTimer = network().sim().schedule(conn.rto, [this, key] {
+    auto cit = clientConns_.find(key);
+    if (cit == clientConns_.end()) return;
+    ClientConn& c = cit->second;
+    if (c.state != ClientState::kSynSent) return;
+    if (c.retries >= c.options.maxSynRetries) {
+      finishClient(key, makeError(Errc::kTimeout, "SYN retries exhausted"));
+      return;
+    }
+    ++c.retries;
+    ++c.timings.synRetransmits;
+    c.rto = c.rto * 2;  // exponential backoff
+    ES_TRACE("tcp", "%s SYN retransmit #%d %s", name().c_str(), c.retries,
+             key.toString().c_str());
+    send(makeSyn(mac_, Endpoint(ip_, c.localPort), c.remote));
+    armSynRetransmit(key);
+  });
+}
+
+void Host::finishClient(FourTuple key, Result<HttpExchange> result) {
+  auto it = clientConns_.find(key);
+  if (it == clientConns_.end()) return;
+  ClientConn conn = std::move(it->second);
+  clientConns_.erase(it);
+  conn.rtoTimer.cancel();
+  conn.totalTimer.cancel();
+  if (conn.isProbe) {
+    conn.probeCb(result.ok());
+    return;
+  }
+  conn.cb(std::move(result));
+}
+
+void Host::finishProbe(FourTuple key, bool open) {
+  auto it = clientConns_.find(key);
+  if (it == clientConns_.end()) return;
+  ClientConn conn = std::move(it->second);
+  clientConns_.erase(it);
+  conn.rtoTimer.cancel();
+  conn.totalTimer.cancel();
+  ES_ASSERT(conn.isProbe);
+  conn.probeCb(open);
+}
+
+void Host::receive(const Packet& packet, PortId /*inPort*/) {
+  if (packet.ipDst != ip_) {
+    ES_TRACE("tcp", "%s ignores packet for %s", name().c_str(),
+             packet.ipDst.toString().c_str());
+    return;
+  }
+  // Packets addressed to an ephemeral local port belong to client
+  // connections; otherwise they are server-side traffic.
+  const FourTuple clientKey{Endpoint(ip_, packet.tcpDst),
+                            packet.srcEndpoint()};
+  if (clientConns_.count(clientKey) != 0) {
+    handleClientPacket(packet);
+  } else {
+    handleServerPacket(packet);
+  }
+}
+
+void Host::handleClientPacket(const Packet& packet) {
+  const FourTuple key{Endpoint(ip_, packet.tcpDst), packet.srcEndpoint()};
+  auto it = clientConns_.find(key);
+  ES_ASSERT(it != clientConns_.end());
+  ClientConn& conn = it->second;
+
+  if (packet.hasFlag(tcpflags::kRst)) {
+    if (conn.isProbe) {
+      finishProbe(key, false);
+    } else {
+      finishClient(key,
+                   makeError(Errc::kUnavailable, "connection refused (RST)"));
+    }
+    return;
+  }
+
+  if (packet.hasFlag(tcpflags::kSyn) && packet.hasFlag(tcpflags::kAck)) {
+    if (conn.state != ClientState::kSynSent) return;  // duplicate SYN-ACK
+    if (conn.isProbe) {
+      // Half-open probe: tear down immediately, report success.
+      send(makeRst(mac_, key.local, key.remote));
+      finishProbe(key, true);
+      return;
+    }
+    conn.state = ClientState::kEstablished;
+    conn.timings.connected = network().sim().now();
+    conn.rtoTimer.cancel();
+    send(makeAck(mac_, key.local, key.remote));
+    auto app = std::make_shared<AppPayload>();
+    app->kind = AppPayload::Kind::kHttpRequest;
+    app->request = conn.request;
+    send(makeData(mac_, key.local, key.remote, conn.request.wireSize(),
+                  std::move(app)));
+    return;
+  }
+
+  if (packet.hasFlag(tcpflags::kPsh) && packet.app != nullptr &&
+      packet.app->kind == AppPayload::Kind::kHttpResponse) {
+    if (conn.state != ClientState::kEstablished) return;
+    conn.timings.responseDone = network().sim().now();
+    HttpExchange exchange;
+    exchange.request = conn.request;
+    exchange.response = packet.app->response;
+    exchange.timings = conn.timings;
+    send(makeFin(mac_, key.local, key.remote));
+    finishClient(key, std::move(exchange));
+    return;
+  }
+  // Bare ACK / FIN on the client side: nothing to do in this model.
+}
+
+void Host::handleServerPacket(const Packet& packet) {
+  const FourTuple key{packet.dstEndpoint(), packet.srcEndpoint()};
+
+  if (packet.hasFlag(tcpflags::kSyn) && !packet.hasFlag(tcpflags::kAck)) {
+    if (listeners_.count(packet.tcpDst) == 0) {
+      ++refused_;
+      ES_TRACE("tcp", "%s refuses SYN to closed port %u", name().c_str(),
+               packet.tcpDst);
+      send(makeRst(mac_, packet.dstEndpoint(), packet.srcEndpoint()));
+      return;
+    }
+    // New connection (or retransmitted SYN -- answer again either way).
+    serverConns_.emplace(key,
+                         ServerConn{packet.srcEndpoint(), packet.tcpDst, false});
+    send(makeSynAck(mac_, packet.dstEndpoint(), packet.srcEndpoint()));
+    return;
+  }
+
+  auto it = serverConns_.find(key);
+  if (it == serverConns_.end()) {
+    if (packet.hasFlag(tcpflags::kRst)) return;  // probe teardown
+    if (!packet.hasFlag(tcpflags::kSyn) && !packet.hasFlag(tcpflags::kFin)) {
+      // Stray segment for an unknown connection: refuse so peers don't hang.
+      send(makeRst(mac_, packet.dstEndpoint(), packet.srcEndpoint()));
+    }
+    return;
+  }
+
+  if (packet.hasFlag(tcpflags::kRst) || packet.hasFlag(tcpflags::kFin)) {
+    serverConns_.erase(it);
+    return;
+  }
+
+  if (packet.hasFlag(tcpflags::kPsh) && packet.app != nullptr &&
+      packet.app->kind == AppPayload::Kind::kHttpRequest) {
+    if (it->second.requestSeen) return;  // duplicate data segment
+    it->second.requestSeen = true;
+    auto handlerIt = listeners_.find(packet.tcpDst);
+    if (handlerIt == listeners_.end()) {
+      // Listener closed between SYN and data.
+      send(makeRst(mac_, packet.dstEndpoint(), packet.srcEndpoint()));
+      serverConns_.erase(it);
+      return;
+    }
+    const Endpoint local = packet.dstEndpoint();
+    const Endpoint remote = packet.srcEndpoint();
+    // The handler may respond synchronously or after scheduling compute
+    // time; either way the response is sent back over this connection.
+    handlerIt->second(
+        packet.app->request, [this, local, remote, key](HttpResponse response) {
+          auto app = std::make_shared<AppPayload>();
+          app->kind = AppPayload::Kind::kHttpResponse;
+          app->response = response;
+          const Bytes size = response.wireSize();
+          send(makeData(mac_, local, remote, size, std::move(app)));
+          serverConns_.erase(key);
+        });
+    return;
+  }
+  // Bare ACK completing the handshake: nothing to record.
+}
+
+}  // namespace edgesim

@@ -1,0 +1,138 @@
+// Host: an end system with an IP/MAC, a lightweight TCP implementation and
+// an HTTP client/server API.
+//
+// The TCP model is intentionally small but packet-accurate where the paper's
+// evaluation depends on it:
+//   * three-way handshake (SYN / SYN-ACK / ACK), one data segment per
+//     request and response, FIN teardown;
+//   * SYN retransmission with exponential backoff -- this is what happens
+//     while the SDN controller keeps the first request "on hold" during an
+//     on-demand deployment;
+//   * RST on closed ports ("connection refused") -- the reason the
+//     controller polls the service port before installing flows (§VI).
+// Sequence-number tracking, congestion control and segmentation are *not*
+// modelled; a request/response travels as one segment whose serialisation
+// time reflects its full byte size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+#include "util/result.hpp"
+
+namespace edgesim {
+
+/// Measured timings for one HTTP exchange (timecurl.sh semantics: the total
+/// runs from when the client starts the TCP connect until the HTTP response
+/// is fully received).
+struct HttpTimings {
+  SimTime start;         // SYN first sent
+  SimTime connected;     // SYN-ACK received
+  SimTime responseDone;  // response data received
+  int synRetransmits = 0;
+
+  SimTime timeTotal() const { return responseDone - start; }
+  SimTime timeConnect() const { return connected - start; }
+};
+
+struct HttpExchange {
+  HttpRequest request;
+  HttpResponse response;
+  HttpTimings timings;
+};
+
+/// Server-side handler: must eventually invoke `respond` exactly once
+/// (possibly after scheduling compute delay on the simulation).
+using HttpRespond = std::function<void(HttpResponse)>;
+using HttpHandler = std::function<void(const HttpRequest&, HttpRespond)>;
+
+/// Client knobs for one HTTP request.
+struct RequestOptions {
+  SimTime synRto = SimTime::millis(1000);  // initial SYN retransmit timeout
+  int maxSynRetries = 6;                   // 1s,2s,4s,... ~63 s budget
+  SimTime totalTimeout = SimTime::seconds(120.0);
+};
+
+class Host : public NetNode {
+ public:
+  using HttpCallback = std::function<void(Result<HttpExchange>)>;
+  using ProbeCallback = std::function<void(bool open)>;
+
+  Host(Network& network, std::string name, Ipv4 ip, Mac mac);
+
+  Ipv4 ip() const { return ip_; }
+  Mac mac() const { return mac_; }
+
+  // -- server API ---------------------------------------------------------
+  /// Open `port`; incoming requests are passed to `handler`.
+  void listen(std::uint16_t port, HttpHandler handler);
+  /// Close `port`; subsequent SYNs are refused with RST.
+  void closeListener(std::uint16_t port);
+  bool listening(std::uint16_t port) const;
+
+  // -- client API ---------------------------------------------------------
+  /// Issue an HTTP request to `dst`; `cb` fires exactly once with the
+  /// exchange (including timings) or an error (kUnavailable on RST,
+  /// kTimeout when retries are exhausted).
+  void httpRequest(Endpoint dst, HttpRequest request, HttpCallback cb,
+                   RequestOptions options = {});
+
+  /// Half-open TCP probe: SYN, then report whether the port answered with
+  /// SYN-ACK (true) or RST/timeout (false).  Used by the SDN controller's
+  /// readiness polling.
+  void tcpProbe(Endpoint dst, ProbeCallback cb,
+                SimTime timeout = SimTime::millis(500));
+
+  // -- NetNode ------------------------------------------------------------
+  void receive(const Packet& packet, PortId inPort) override;
+
+  std::uint64_t refusedConnections() const { return refused_; }
+
+ private:
+  enum class ClientState { kSynSent, kEstablished, kDone };
+
+  struct ClientConn {
+    ClientState state = ClientState::kSynSent;
+    bool isProbe = false;
+    Endpoint remote;
+    std::uint16_t localPort = 0;
+    HttpRequest request;
+    HttpCallback cb;
+    ProbeCallback probeCb;
+    HttpTimings timings;
+    RequestOptions options;
+    SimTime rto;
+    int retries = 0;
+    EventHandle rtoTimer;
+    EventHandle totalTimer;
+  };
+
+  struct ServerConn {
+    Endpoint remote;
+    std::uint16_t localPort = 0;
+    bool requestSeen = false;
+  };
+
+  void send(const Packet& packet);
+  void handleClientPacket(const Packet& packet);
+  void handleServerPacket(const Packet& packet);
+  void armSynRetransmit(FourTuple key);
+  void finishClient(FourTuple key, Result<HttpExchange> result);
+  void finishProbe(FourTuple key, bool open);
+  std::uint16_t allocatePortNumber();
+
+  Ipv4 ip_;
+  Mac mac_;
+  std::uint16_t nextEphemeral_ = 32768;
+  std::unordered_map<std::uint16_t, HttpHandler> listeners_;
+  std::unordered_map<FourTuple, ClientConn> clientConns_;
+  std::unordered_map<FourTuple, ServerConn> serverConns_;
+  std::uint64_t refused_ = 0;
+};
+
+}  // namespace edgesim

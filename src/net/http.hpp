@@ -1,0 +1,40 @@
+// Minimal HTTP message model carried as TCP payload metadata.
+//
+// The simulation transfers byte *counts*, not real bodies; `HttpRequest`/
+// `HttpResponse` carry the fields the evaluation needs (method, path,
+// payload size, status).  A small opaque body string is kept for examples
+// and tests that want to assert content round-trips.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace edgesim {
+
+enum class HttpMethod { kGet, kPost };
+
+const char* httpMethodName(HttpMethod method);
+
+struct HttpRequest {
+  HttpMethod method = HttpMethod::kGet;
+  std::string path = "/";
+  Bytes payload;      // request body size (e.g. 83 KiB cat picture for ResNet)
+  std::string body;   // optional literal content for tests/examples
+
+  /// Approximate wire size: request line + headers + body.
+  Bytes wireSize() const { return Bytes{200} + payload; }
+};
+
+struct HttpResponse {
+  int status = 200;
+  Bytes payload;      // response body size
+  std::string body;   // optional literal content
+
+  Bytes wireSize() const { return Bytes{200} + payload; }
+
+  bool ok() const { return status >= 200 && status < 300; }
+};
+
+}  // namespace edgesim

@@ -1,0 +1,79 @@
+// Network: owns links between node ports and models transmission timing.
+//
+// Each link direction has a serialisation stage (bandwidth) followed by
+// propagation (latency).  Back-to-back packets queue behind each other in
+// the serialisation stage (`busyUntil`), which is what makes large image
+// pulls slow down concurrent request traffic in the experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/simulation.hpp"
+#include "util/units.hpp"
+
+namespace edgesim {
+
+class Network {
+ public:
+  explicit Network(Simulation& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Simulation& sim() const { return sim_; }
+
+  /// Register a node (called from the NetNode constructor).
+  NodeId registerNode(NetNode& node);
+
+  /// Wire a bidirectional link; allocates one new port on each node and
+  /// returns the pair (port on a, port on b).
+  struct LinkPorts {
+    PortId portA;
+    PortId portB;
+  };
+  LinkPorts connect(NetNode& a, NetNode& b, SimTime latency,
+                    BitRate bandwidth);
+
+  /// Transmit `packet` out of (`node`, `port`); delivers to the peer after
+  /// serialisation + propagation.  Dropped (with a log line) if the port is
+  /// not wired.
+  void transmit(const NetNode& node, PortId port, const Packet& packet);
+
+  /// Peer node of (`node`, `port`), or nullptr if unwired.
+  NetNode* peer(const NetNode& node, PortId port) const;
+
+  /// Failure injection: take the link at (`node`, `port`) down (both
+  /// directions) or bring it back.  Packets sent over a down link are
+  /// silently dropped -- TCP's retransmission/timeout machinery reacts.
+  void setLinkUp(const NetNode& node, PortId port, bool up);
+  bool linkUp(const NetNode& node, PortId port) const;
+
+  std::uint64_t deliveredPackets() const { return delivered_; }
+  std::uint64_t droppedPackets() const { return dropped_; }
+
+ private:
+  struct HalfLink {
+    NetNode* from = nullptr;
+    PortId fromPort = 0;
+    NetNode* to = nullptr;
+    PortId toPort = 0;
+    SimTime latency;
+    BitRate bandwidth;
+    SimTime busyUntil;
+    bool up = true;
+  };
+
+  HalfLink* findHalf(const NetNode& node, PortId port);
+  const HalfLink* findHalf(const NetNode& node, PortId port) const;
+
+  Simulation& sim_;
+  std::vector<NetNode*> nodes_;
+  std::vector<std::unique_ptr<HalfLink>> halves_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace edgesim

@@ -1,0 +1,71 @@
+#include "net/packet.hpp"
+
+#include "util/strings.hpp"
+
+namespace edgesim {
+
+const char* httpMethodName(HttpMethod method) {
+  switch (method) {
+    case HttpMethod::kGet: return "GET";
+    case HttpMethod::kPost: return "POST";
+  }
+  return "?";
+}
+
+namespace {
+
+Packet makeBase(Mac srcMac, Endpoint src, Endpoint dst, std::uint8_t flags) {
+  Packet p;
+  p.ethSrc = srcMac;
+  p.ethDst = Mac::broadcast();  // resolved by switching fabric
+  p.ipSrc = src.ip;
+  p.ipDst = dst.ip;
+  p.tcpSrc = src.port;
+  p.tcpDst = dst.port;
+  p.tcpFlags = flags;
+  return p;
+}
+
+}  // namespace
+
+std::string Packet::summary() const {
+  std::string flags;
+  if (hasFlag(tcpflags::kSyn)) flags += "S";
+  if (hasFlag(tcpflags::kAck)) flags += "A";
+  if (hasFlag(tcpflags::kFin)) flags += "F";
+  if (hasFlag(tcpflags::kRst)) flags += "R";
+  if (hasFlag(tcpflags::kPsh)) flags += "P";
+  return strprintf("%s -> %s [%s] %llu B", srcEndpoint().toString().c_str(),
+                   dstEndpoint().toString().c_str(), flags.c_str(),
+                   static_cast<unsigned long long>(payloadBytes.value));
+}
+
+Packet makeSyn(Mac srcMac, Endpoint src, Endpoint dst) {
+  return makeBase(srcMac, src, dst, tcpflags::kSyn);
+}
+
+Packet makeSynAck(Mac srcMac, Endpoint src, Endpoint dst) {
+  return makeBase(srcMac, src, dst, tcpflags::kSyn | tcpflags::kAck);
+}
+
+Packet makeAck(Mac srcMac, Endpoint src, Endpoint dst) {
+  return makeBase(srcMac, src, dst, tcpflags::kAck);
+}
+
+Packet makeRst(Mac srcMac, Endpoint src, Endpoint dst) {
+  return makeBase(srcMac, src, dst, tcpflags::kRst);
+}
+
+Packet makeFin(Mac srcMac, Endpoint src, Endpoint dst) {
+  return makeBase(srcMac, src, dst, tcpflags::kFin | tcpflags::kAck);
+}
+
+Packet makeData(Mac srcMac, Endpoint src, Endpoint dst, Bytes payload,
+                std::shared_ptr<const AppPayload> app) {
+  Packet p = makeBase(srcMac, src, dst, tcpflags::kPsh | tcpflags::kAck);
+  p.payloadBytes = payload;
+  p.app = std::move(app);
+  return p;
+}
+
+}  // namespace edgesim

@@ -1,0 +1,68 @@
+#include "openflow/action.hpp"
+
+#include "util/strings.hpp"
+
+namespace edgesim::openflow {
+
+const char* fieldName(Field field) {
+  switch (field) {
+    case Field::kEthSrc: return "eth_src";
+    case Field::kEthDst: return "eth_dst";
+    case Field::kIpSrc: return "ip_src";
+    case Field::kIpDst: return "ip_dst";
+    case Field::kTcpSrc: return "tcp_src";
+    case Field::kTcpDst: return "tcp_dst";
+  }
+  return "?";
+}
+
+AppliedActions applyActions(const Packet& packet, const ActionList& actions) {
+  AppliedActions result;
+  result.packet = packet;
+  for (const auto& action : actions) {
+    if (const auto* set = std::get_if<SetFieldAction>(&action)) {
+      switch (set->field) {
+        case Field::kEthSrc:
+          result.packet.ethSrc = Mac(set->value);
+          break;
+        case Field::kEthDst:
+          result.packet.ethDst = Mac(set->value);
+          break;
+        case Field::kIpSrc:
+          result.packet.ipSrc = Ipv4(static_cast<std::uint32_t>(set->value));
+          break;
+        case Field::kIpDst:
+          result.packet.ipDst = Ipv4(static_cast<std::uint32_t>(set->value));
+          break;
+        case Field::kTcpSrc:
+          result.packet.tcpSrc = static_cast<std::uint16_t>(set->value);
+          break;
+        case Field::kTcpDst:
+          result.packet.tcpDst = static_cast<std::uint16_t>(set->value);
+          break;
+      }
+    } else if (const auto* output = std::get_if<OutputAction>(&action)) {
+      result.outputs.push_back(output->port);
+    } else {
+      result.toController = true;
+    }
+  }
+  return result;
+}
+
+std::string actionsToString(const ActionList& actions) {
+  std::vector<std::string> parts;
+  for (const auto& action : actions) {
+    if (const auto* set = std::get_if<SetFieldAction>(&action)) {
+      parts.push_back(strprintf("set(%s=%llu)", fieldName(set->field),
+                                static_cast<unsigned long long>(set->value)));
+    } else if (const auto* output = std::get_if<OutputAction>(&action)) {
+      parts.push_back(strprintf("output(%u)", output->port));
+    } else {
+      parts.push_back("controller");
+    }
+  }
+  return join(parts, ",");
+}
+
+}  // namespace edgesim::openflow

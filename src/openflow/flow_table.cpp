@@ -1,0 +1,110 @@
+#include "openflow/flow_table.hpp"
+
+#include <algorithm>
+
+namespace edgesim::openflow {
+
+const char* removalReasonName(RemovalReason reason) {
+  switch (reason) {
+    case RemovalReason::kIdleTimeout: return "idle-timeout";
+    case RemovalReason::kHardTimeout: return "hard-timeout";
+    case RemovalReason::kDelete: return "delete";
+  }
+  return "?";
+}
+
+void FlowTable::upsert(FlowEntry entry, SimTime now) {
+  entry.stats.created = now;
+  entry.stats.lastUsed = now;
+  for (auto& existing : entries_) {
+    if (existing.priority == entry.priority && existing.match == entry.match) {
+      // Replace in place, preserving position (priority unchanged).
+      existing = std::move(entry);
+      return;
+    }
+  }
+  // Insert before the first entry with lower priority (stable w.r.t. equal
+  // priorities: earlier installs win ties, matching our documented policy).
+  const auto pos = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&entry](const FlowEntry& e) { return e.priority < entry.priority; });
+  entries_.insert(pos, std::move(entry));
+}
+
+std::size_t FlowTable::remove(const FlowMatch& match, std::uint64_t cookie) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->match == match && (cookie == 0 || it->cookie == cookie)) {
+      notifyRemoval(*it, RemovalReason::kDelete);
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t FlowTable::removeByCookie(std::uint64_t cookie) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->cookie == cookie) {
+      notifyRemoval(*it, RemovalReason::kDelete);
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+FlowEntry* FlowTable::lookup(const Packet& packet, PortId inPort,
+                             SimTime now) {
+  for (auto& entry : entries_) {
+    if (entry.match.matches(packet, inPort)) {
+      ++entry.stats.packets;
+      entry.stats.bytes += packet.wireSize().value;
+      entry.stats.lastUsed = now;
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+const FlowEntry* FlowTable::peek(const Packet& packet, PortId inPort) const {
+  for (const auto& entry : entries_) {
+    if (entry.match.matches(packet, inPort)) return &entry;
+  }
+  return nullptr;
+}
+
+void FlowTable::expire(SimTime now) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    RemovalReason reason = RemovalReason::kDelete;
+    bool expired = false;
+    if (it->hardTimeout > SimTime::zero() &&
+        now - it->stats.created >= it->hardTimeout) {
+      expired = true;
+      reason = RemovalReason::kHardTimeout;
+    } else if (it->idleTimeout > SimTime::zero() &&
+               now - it->stats.lastUsed >= it->idleTimeout) {
+      expired = true;
+      reason = RemovalReason::kIdleTimeout;
+    }
+    if (expired) {
+      notifyRemoval(*it, reason);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FlowTable::notifyRemoval(const FlowEntry& entry, RemovalReason reason) {
+  if (entry.notifyOnRemoval && removalListener_) {
+    removalListener_(entry, reason);
+  }
+}
+
+}  // namespace edgesim::openflow

@@ -1,0 +1,81 @@
+// OpenFlow flow table: priority-ordered entries with idle/hard timeouts and
+// per-flow statistics.
+//
+// The paper's §V design keeps switch-side idle timeouts *short* (entries can
+// be re-installed cheaply from the controller's FlowMemory), so expiry is a
+// first-class behaviour here, complete with flow-removed notifications.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "openflow/action.hpp"
+#include "openflow/match.hpp"
+#include "sim/time.hpp"
+
+namespace edgesim::openflow {
+
+struct FlowStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  SimTime created;
+  SimTime lastUsed;
+};
+
+struct FlowEntry {
+  std::uint16_t priority = 0;
+  FlowMatch match;
+  ActionList actions;
+  SimTime idleTimeout = SimTime::zero();  // zero => never idles out
+  SimTime hardTimeout = SimTime::zero();  // zero => never expires
+  std::uint64_t cookie = 0;
+  bool notifyOnRemoval = false;
+  FlowStats stats;
+};
+
+enum class RemovalReason { kIdleTimeout, kHardTimeout, kDelete };
+
+const char* removalReasonName(RemovalReason reason);
+
+class FlowTable {
+ public:
+  using RemovalListener =
+      std::function<void(const FlowEntry&, RemovalReason)>;
+
+  /// Insert or replace (same match + priority replaces, per OpenFlow
+  /// OFPFC_ADD semantics). Keeps entries sorted by descending priority.
+  void upsert(FlowEntry entry, SimTime now);
+
+  /// Remove all entries matching `match` exactly (and `cookie` if nonzero).
+  /// Fires the removal listener with reason kDelete.
+  std::size_t remove(const FlowMatch& match, std::uint64_t cookie = 0);
+
+  /// Remove every entry with this cookie.
+  std::size_t removeByCookie(std::uint64_t cookie);
+
+  /// Highest-priority matching entry, updating its stats; nullptr on miss.
+  FlowEntry* lookup(const Packet& packet, PortId inPort, SimTime now);
+
+  /// Same as lookup but without stats side effects (diagnostics).
+  const FlowEntry* peek(const Packet& packet, PortId inPort) const;
+
+  /// Expire entries whose idle/hard timeout elapsed at `now`.
+  void expire(SimTime now);
+
+  void setRemovalListener(RemovalListener listener) {
+    removalListener_ = std::move(listener);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<FlowEntry>& entries() const { return entries_; }
+
+ private:
+  void notifyRemoval(const FlowEntry& entry, RemovalReason reason);
+
+  std::vector<FlowEntry> entries_;  // sorted by priority desc, stable
+  RemovalListener removalListener_;
+};
+
+}  // namespace edgesim::openflow

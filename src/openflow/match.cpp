@@ -1,0 +1,21 @@
+#include "openflow/match.hpp"
+
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace edgesim::openflow {
+
+std::string FlowMatch::toString() const {
+  std::vector<std::string> parts;
+  if (inPort) parts.push_back(strprintf("in_port=%u", *inPort));
+  if (ipSrc) parts.push_back("ip_src=" + ipSrc->toString());
+  if (ipDst) parts.push_back("ip_dst=" + ipDst->toString());
+  if (ipProto) parts.push_back(strprintf("ip_proto=%u", static_cast<unsigned>(*ipProto)));
+  if (tcpSrc) parts.push_back(strprintf("tcp_src=%u", *tcpSrc));
+  if (tcpDst) parts.push_back(strprintf("tcp_dst=%u", *tcpDst));
+  if (parts.empty()) return "any";
+  return join(parts, ",");
+}
+
+}  // namespace edgesim::openflow

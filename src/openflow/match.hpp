@@ -1,0 +1,84 @@
+// OpenFlow match structure (the OXM subset the paper's controller uses).
+//
+// Transparent redirection matches on the registered service address --
+// destination IP + TCP port -- optionally narrowed by source fields for
+// per-client flows, and by ingress port (fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+
+namespace edgesim::openflow {
+
+struct FlowMatch {
+  std::optional<PortId> inPort;
+  std::optional<Ipv4> ipSrc;
+  std::optional<Ipv4> ipDst;
+  std::optional<IpProto> ipProto;
+  std::optional<std::uint16_t> tcpSrc;
+  std::optional<std::uint16_t> tcpDst;
+
+  bool matches(const Packet& packet, PortId packetInPort) const {
+    if (inPort && *inPort != packetInPort) return false;
+    if (ipSrc && *ipSrc != packet.ipSrc) return false;
+    if (ipDst && *ipDst != packet.ipDst) return false;
+    if (ipProto && *ipProto != packet.ipProto) return false;
+    if (tcpSrc && *tcpSrc != packet.tcpSrc) return false;
+    if (tcpDst && *tcpDst != packet.tcpDst) return false;
+    return true;
+  }
+
+  /// Number of specified fields; used only for diagnostics.
+  int specificity() const {
+    int n = 0;
+    n += inPort.has_value();
+    n += ipSrc.has_value();
+    n += ipDst.has_value();
+    n += ipProto.has_value();
+    n += tcpSrc.has_value();
+    n += tcpDst.has_value();
+    return n;
+  }
+
+  bool operator==(const FlowMatch&) const = default;
+
+  std::string toString() const;
+
+  // ---- builders ----------------------------------------------------------
+  /// Match traffic from `client` to the registered `service` address.
+  static FlowMatch clientToService(Endpoint client, Endpoint service) {
+    FlowMatch m;
+    m.ipSrc = client.ip;
+    m.tcpSrc = client.port;
+    m.ipDst = service.ip;
+    m.tcpDst = service.port;
+    m.ipProto = IpProto::kTcp;
+    return m;
+  }
+
+  /// Match the reverse direction: the edge instance answering the client.
+  static FlowMatch instanceToClient(Endpoint instance, Endpoint client) {
+    FlowMatch m;
+    m.ipSrc = instance.ip;
+    m.tcpSrc = instance.port;
+    m.ipDst = client.ip;
+    m.tcpDst = client.port;
+    m.ipProto = IpProto::kTcp;
+    return m;
+  }
+
+  /// Match any traffic to a registered service address (coarse rule).
+  static FlowMatch anyToService(Endpoint service) {
+    FlowMatch m;
+    m.ipDst = service.ip;
+    m.tcpDst = service.port;
+    m.ipProto = IpProto::kTcp;
+    return m;
+  }
+};
+
+}  // namespace edgesim::openflow

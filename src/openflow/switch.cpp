@@ -1,0 +1,137 @@
+#include "openflow/switch.hpp"
+
+#include "util/log.hpp"
+
+namespace edgesim::openflow {
+
+OpenFlowSwitch::OpenFlowSwitch(Network& network, std::string name,
+                               Options options)
+    : NetNode(network, std::move(name)), options_(options) {
+  table_.setRemovalListener([this](const FlowEntry& entry,
+                                   RemovalReason reason) {
+    if (controller_ == nullptr) return;
+    FlowRemoved event{entry, reason};
+    this->network().sim().schedule(options_.channelLatency, [this, event] {
+      if (controller_ != nullptr) controller_->onFlowRemoved(*this, event);
+    });
+  });
+}
+
+void OpenFlowSwitch::setController(ControllerApp* controller) {
+  controller_ = controller;
+  if (controller_ != nullptr && !expiryTimer_.running()) {
+    expiryTimer_.start(network().sim(), options_.expiryScanPeriod, [this] {
+      table_.expire(network().sim().now());
+      return true;
+    });
+  }
+}
+
+void OpenFlowSwitch::receive(const Packet& packet, PortId inPort) {
+  FlowEntry* entry = table_.lookup(packet, inPort, network().sim().now());
+  if (entry == nullptr) {
+    ++tableMisses_;
+    ES_TRACE("ofswitch", "%s table-miss: %s", name().c_str(),
+             packet.summary().c_str());
+    sendPacketInToController(packet, inPort);
+    return;
+  }
+  ++matched_;
+  execute(packet, inPort, entry->actions);
+}
+
+void OpenFlowSwitch::execute(const Packet& packet, PortId inPort,
+                             const ActionList& actions) {
+  const AppliedActions applied = applyActions(packet, actions);
+  if (applied.toController) {
+    sendPacketInToController(packet, inPort);
+  }
+  for (const PortId out : applied.outputs) {
+    if (out == inPort) continue;  // no hairpin in this model
+    network().transmit(*this, out, applied.packet);
+  }
+}
+
+void OpenFlowSwitch::sendPacketInToController(const Packet& packet,
+                                              PortId inPort) {
+  if (controller_ == nullptr) {
+    ES_WARN("ofswitch", "%s: no controller attached; dropping %s",
+            name().c_str(), packet.summary().c_str());
+    return;
+  }
+  BufferId id = kNoBuffer;
+  if (buffers_.size() < options_.maxBufferedPackets) {
+    id = nextBufferId_++;
+    buffers_.emplace(id, std::make_pair(packet, inPort));
+    bufferOrder_.push_back(id);
+  } else if (!bufferOrder_.empty()) {
+    // Evict the oldest buffered packet (it will be retransmitted by TCP).
+    const BufferId victim = bufferOrder_.front();
+    bufferOrder_.pop_front();
+    buffers_.erase(victim);
+    id = nextBufferId_++;
+    buffers_.emplace(id, std::make_pair(packet, inPort));
+    bufferOrder_.push_back(id);
+  }
+  ++packetIns_;
+  PacketIn event{id, packet, inPort};
+  network().sim().schedule(options_.channelLatency, [this, event] {
+    if (controller_ != nullptr) controller_->onPacketIn(*this, event);
+  });
+}
+
+void OpenFlowSwitch::requestFlowStats(StatsCallback cb) {
+  ES_ASSERT(cb != nullptr);
+  network().sim().schedule(options_.channelLatency, [this, cb = std::move(cb)] {
+    const std::vector<FlowEntry> snapshot = table_.entries();
+    network().sim().schedule(options_.channelLatency,
+                             [cb, snapshot] { cb(snapshot); });
+  });
+}
+
+void OpenFlowSwitch::sendFlowMod(FlowEntry entry) {
+  network().sim().schedule(
+      options_.channelLatency, [this, entry = std::move(entry)]() mutable {
+        ES_TRACE("ofswitch", "%s flow-mod: prio=%u %s -> %s", name().c_str(),
+                 entry.priority, entry.match.toString().c_str(),
+                 actionsToString(entry.actions).c_str());
+        table_.upsert(std::move(entry), network().sim().now());
+      });
+}
+
+void OpenFlowSwitch::sendFlowRemove(const FlowMatch& match,
+                                    std::uint64_t cookie) {
+  network().sim().schedule(options_.channelLatency, [this, match, cookie] {
+    table_.remove(match, cookie);
+  });
+}
+
+void OpenFlowSwitch::sendPacketOut(BufferId bufferId, const Packet& packet,
+                                   const ActionList& actions) {
+  network().sim().schedule(
+      options_.channelLatency, [this, bufferId, packet, actions] {
+        Packet toSend = packet;
+        PortId inPort = kInvalidPort;
+        if (bufferId != kNoBuffer) {
+          const auto it = buffers_.find(bufferId);
+          if (it == buffers_.end()) {
+            ES_DEBUG("ofswitch", "%s packet-out: stale buffer %u",
+                     name().c_str(), bufferId);
+            return;  // buffer evicted; TCP retransmission recovers
+          }
+          toSend = it->second.first;
+          inPort = it->second.second;
+          buffers_.erase(it);
+          for (auto oit = bufferOrder_.begin(); oit != bufferOrder_.end();
+               ++oit) {
+            if (*oit == bufferId) {
+              bufferOrder_.erase(oit);
+              break;
+            }
+          }
+        }
+        execute(toSend, inPort, actions);
+      });
+}
+
+}  // namespace edgesim::openflow

@@ -1,0 +1,108 @@
+// OpenFlow switch: flow-table pipeline, packet buffering, and the control
+// channel to the SDN controller.
+//
+// Behaviour follows the OpenFlow 1.5 subset the paper relies on:
+//   * table-miss sends PacketIn (with a buffer id) to the controller;
+//   * FlowMod installs/removes entries; PacketOut releases buffered packets
+//     through an action list;
+//   * idle/hard timeouts expire entries, optionally notifying the
+//     controller with FlowRemoved (the controller's FlowMemory consumes
+//     these to track liveness, §V).
+// Both control-channel directions pay a configurable latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "openflow/flow_table.hpp"
+
+namespace edgesim::openflow {
+
+using BufferId = std::uint32_t;
+inline constexpr BufferId kNoBuffer = 0xffffffff;
+
+struct PacketIn {
+  BufferId bufferId = kNoBuffer;
+  Packet packet;
+  PortId inPort = kInvalidPort;
+};
+
+struct FlowRemoved {
+  FlowEntry entry;
+  RemovalReason reason = RemovalReason::kDelete;
+};
+
+class OpenFlowSwitch;
+
+/// Controller side of the OpenFlow channel.
+class ControllerApp {
+ public:
+  virtual ~ControllerApp() = default;
+  virtual void onPacketIn(OpenFlowSwitch& sw, const PacketIn& event) = 0;
+  virtual void onFlowRemoved(OpenFlowSwitch& sw, const FlowRemoved& event) = 0;
+};
+
+/// Switch configuration.
+struct SwitchOptions {
+  SimTime channelLatency = SimTime::micros(200);  // one-way, per message
+  SimTime expiryScanPeriod = SimTime::millis(500);
+  std::size_t maxBufferedPackets = 1024;
+};
+
+class OpenFlowSwitch : public NetNode {
+ public:
+  using Options = SwitchOptions;
+
+  OpenFlowSwitch(Network& network, std::string name, Options options = {});
+
+  /// Attach the controller and start the expiry scanner.
+  void setController(ControllerApp* controller);
+
+  // -- data plane ---------------------------------------------------------
+  void receive(const Packet& packet, PortId inPort) override;
+
+  // -- control plane (controller -> switch; pays channel latency) ---------
+  /// Install or replace a flow entry.
+  void sendFlowMod(FlowEntry entry);
+  /// Remove entries matching exactly.
+  void sendFlowRemove(const FlowMatch& match, std::uint64_t cookie = 0);
+  /// Release a buffered packet (or inject `packet` when bufferId is
+  /// kNoBuffer) through `actions`.
+  void sendPacketOut(BufferId bufferId, const Packet& packet,
+                     const ActionList& actions);
+  /// Flow statistics request (OFPMP_FLOW): snapshot of all entries,
+  /// delivered after a full control-channel round trip.  The controller's
+  /// FlowMemory uses this to observe traffic on long-lived entries that
+  /// never idle out (§V).
+  using StatsCallback = std::function<void(std::vector<FlowEntry>)>;
+  void requestFlowStats(StatsCallback cb);
+
+  // -- introspection ------------------------------------------------------
+  FlowTable& table() { return table_; }
+  const FlowTable& table() const { return table_; }
+  std::uint64_t packetInCount() const { return packetIns_; }
+  std::uint64_t tableMissCount() const { return tableMisses_; }
+  std::uint64_t matchedPackets() const { return matched_; }
+  std::size_t bufferedPackets() const { return buffers_.size(); }
+  const Options& options() const { return options_; }
+
+ private:
+  void execute(const Packet& packet, PortId inPort, const ActionList& actions);
+  void sendPacketInToController(const Packet& packet, PortId inPort);
+
+  Options options_;
+  FlowTable table_;
+  ControllerApp* controller_ = nullptr;
+  std::unordered_map<BufferId, std::pair<Packet, PortId>> buffers_;
+  std::deque<BufferId> bufferOrder_;  // FIFO eviction
+  BufferId nextBufferId_ = 1;
+  PeriodicTimer expiryTimer_;
+  std::uint64_t packetIns_ = 0;
+  std::uint64_t tableMisses_ = 0;
+  std::uint64_t matched_ = 0;
+};
+
+}  // namespace edgesim::openflow

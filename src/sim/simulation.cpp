@@ -1,0 +1,108 @@
+#include "sim/simulation.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace edgesim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+Simulation::~Simulation() = default;
+
+EventHandle Simulation::schedule(SimTime delay, std::function<void()> fn) {
+  ES_ASSERT_MSG(delay >= SimTime::zero(), "negative delay");
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulation::scheduleAt(SimTime when, std::function<void()> fn) {
+  ES_ASSERT_MSG(when >= now_, "scheduling into the past");
+  ES_ASSERT(fn != nullptr);
+  auto alive = std::make_shared<bool>(true);
+  EventHandle handle{std::weak_ptr<bool>(alive)};
+  queue_.push(Event{when, nextSeq_++, std::move(fn), std::move(alive)});
+  ++queueSize_;
+  return handle;
+}
+
+void Simulation::dispatch(Event event) {
+  now_ = event.when;
+  if (*event.alive) {
+    *event.alive = false;
+    ++processed_;
+    event.fn();
+  }
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    --queueSize_;
+    if (!*event.alive) continue;  // cancelled; skip without advancing
+    dispatch(std::move(event));
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulation::runUntil(SimTime until) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.top().when > until) break;
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+std::string Simulation::timePrefix() const {
+  return strprintf("[t=%11.6fs] ", now_.toSeconds());
+}
+
+Simulation::LogScope::LogScope(Simulation& sim) {
+  Logger::instance().setTimePrefix([&sim] { return sim.timePrefix(); });
+}
+
+Simulation::LogScope::~LogScope() { Logger::instance().clearTimePrefix(); }
+
+PeriodicTimer::~PeriodicTimer() { cancel(); }
+
+void PeriodicTimer::start(Simulation& sim, SimTime period,
+                          std::function<bool()> tick, SimTime initialDelay) {
+  ES_ASSERT(period > SimTime::zero());
+  ES_ASSERT(tick != nullptr);
+  cancel();
+  period_ = period;
+  tick_ = std::move(tick);
+  running_ = true;
+  alive_ = std::make_shared<bool>(true);
+  arm(sim, initialDelay);
+}
+
+void PeriodicTimer::arm(Simulation& sim, SimTime delay) {
+  handle_ = sim.schedule(delay, [this, &sim, alive = alive_] {
+    if (!*alive || !running_) return;
+    const bool again = tick_();
+    // The tick may have cancelled or destroyed this timer: re-check the
+    // liveness token before touching any member.
+    if (!*alive) return;
+    if (again) {
+      arm(sim, period_);
+    } else {
+      running_ = false;
+    }
+  });
+}
+
+void PeriodicTimer::cancel() {
+  if (alive_ != nullptr) *alive_ = false;
+  handle_.cancel();
+  running_ = false;
+}
+
+}  // namespace edgesim

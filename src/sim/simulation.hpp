@@ -1,0 +1,141 @@
+// Deterministic discrete-event simulation engine.
+//
+// Single-threaded by design: determinism is a core requirement (the tests
+// assert bit-identical reruns).  Events with equal timestamps execute in
+// scheduling order (a monotonically increasing sequence number breaks ties),
+// so component registration order -- not heap internals -- defines the
+// semantics.  Parallelism belongs one level up: run many Simulations on a
+// ThreadPool, one per experiment repetition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace edgesim {
+
+/// Handle for cancelling a scheduled event.  Cheap to copy; cancelling an
+/// already-fired or already-cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (const auto alive = alive_.lock()) *alive = false;
+  }
+  bool pending() const {
+    const auto alive = alive_.lock();
+    return alive && *alive;
+  }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedule `fn` to run `delay` after now (delay >= 0).
+  EventHandle schedule(SimTime delay, std::function<void()> fn);
+  /// Schedule `fn` at an absolute time (>= now).
+  EventHandle scheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Run until the event queue drains or `stop()` is called.
+  void run();
+  /// Run while events exist and their time is <= `until`; afterwards,
+  /// now() == min(until, drain time).
+  void runUntil(SimTime until);
+  /// Execute at most one event; returns false if the queue was empty.
+  bool step();
+
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  std::size_t pendingEvents() const { return queueSize_; }
+  std::uint64_t processedEvents() const { return processed_; }
+
+  /// "[t=...] " prefix for the logger.
+  std::string timePrefix() const;
+
+  /// Route the global logger's time prefix to this simulation for the
+  /// object's lifetime (used by tests/benches for readable traces).
+  class LogScope {
+   public:
+    explicit LogScope(Simulation& sim);
+    ~LogScope();
+    LogScope(const LogScope&) = delete;
+    LogScope& operator=(const LogScope&) = delete;
+  };
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event event);
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t queueSize_ = 0;
+  bool stopped_ = false;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+};
+
+/// Periodic callback helper; fires every `period` until cancelled or the
+/// callback returns false.  Safe to cancel or even destroy from within its
+/// own tick callback (common when a tick tears down the owning object).
+class PeriodicTimer {
+ public:
+  PeriodicTimer() = default;
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// `tick` returns true to continue, false to stop.
+  void start(Simulation& sim, SimTime period, std::function<bool()> tick,
+             SimTime initialDelay = SimTime::zero());
+  void cancel();
+  bool running() const { return running_; }
+
+ private:
+  void arm(Simulation& sim, SimTime delay);
+
+  SimTime period_;
+  std::function<bool()> tick_;
+  EventHandle handle_;
+  bool running_ = false;
+  /// Liveness token shared with in-flight events; flipped on cancel and
+  /// destruction so a stale event never touches this object.
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace edgesim

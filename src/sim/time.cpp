@@ -1,0 +1,16 @@
+#include "sim/time.hpp"
+
+#include "util/strings.hpp"
+
+namespace edgesim {
+
+std::string SimTime::toString() const {
+  const std::int64_t n = nanos_;
+  const std::int64_t mag = n < 0 ? -n : n;
+  if (mag >= 1000000000) return strprintf("%.3fs", toSeconds());
+  if (mag >= 1000000) return strprintf("%.2fms", toMillis());
+  if (mag >= 1000) return strprintf("%.1fus", toMicros());
+  return strprintf("%lldns", static_cast<long long>(n));
+}
+
+}  // namespace edgesim

@@ -1,0 +1,71 @@
+// Simulated time: signed 64-bit nanoseconds since simulation start.
+//
+// A strong type (not std::chrono) keeps the event queue simple and makes
+// accidental mixing with wall-clock durations a compile error.  Literals:
+//   using namespace edgesim::timeliterals;  5_s, 100_ms, 50_us, 7_ns
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace edgesim {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime nanos(std::int64_t n) { return SimTime(n); }
+  static constexpr SimTime micros(std::int64_t u) { return SimTime(u * 1000); }
+  static constexpr SimTime millis(std::int64_t m) { return SimTime(m * 1000000); }
+  static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t toNanos() const { return nanos_; }
+  constexpr double toMicros() const { return static_cast<double>(nanos_) / 1e3; }
+  constexpr double toMillis() const { return static_cast<double>(nanos_) / 1e6; }
+  constexpr double toSeconds() const { return static_cast<double>(nanos_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(nanos_ + o.nanos_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(nanos_ - o.nanos_); }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime(nanos_ * k); }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime(nanos_ / k); }
+  SimTime& operator+=(SimTime o) { nanos_ += o.nanos_; return *this; }
+  SimTime& operator-=(SimTime o) { nanos_ -= o.nanos_; return *this; }
+
+  /// Scale by a double (used for jittered latencies).
+  constexpr SimTime scaled(double k) const {
+    return SimTime(static_cast<std::int64_t>(static_cast<double>(nanos_) * k));
+  }
+
+  /// "1.234s" / "56.7ms" / "890us" / "12ns" -- picks a readable unit.
+  std::string toString() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t n) : nanos_(n) {}
+  std::int64_t nanos_ = 0;
+};
+
+namespace timeliterals {
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime::nanos(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::micros(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::millis(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime::seconds(static_cast<double>(v));
+}
+constexpr SimTime operator""_s(long double v) {
+  return SimTime::seconds(static_cast<double>(v));
+}
+}  // namespace timeliterals
+
+}  // namespace edgesim

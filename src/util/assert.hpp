@@ -1,0 +1,33 @@
+// Lightweight always-on assertion macros for invariant checking.
+//
+// Simulation code is full of protocol invariants ("a packet never leaves a
+// down link", "flow priorities are sorted") whose violation indicates a
+// programming error, not a runtime condition a caller could handle.  These
+// macros abort with a useful message instead of invoking UB, and they stay
+// enabled in release builds -- the simulator is fast enough that the checks
+// are lost in the noise.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace edgesim {
+
+[[noreturn]] inline void assertFail(const char* expr, const char* file,
+                                    int line, const char* msg) {
+  std::fprintf(stderr, "edgesim: assertion `%s` failed at %s:%d%s%s\n", expr,
+               file, line, msg[0] != '\0' ? ": " : "", msg);
+  std::abort();
+}
+
+}  // namespace edgesim
+
+#define ES_ASSERT(expr)                                             \
+  do {                                                              \
+    if (!(expr)) ::edgesim::assertFail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define ES_ASSERT_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr)) ::edgesim::assertFail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,45 @@
+// Flat key/value configuration with typed getters.
+//
+// The SDN controller of the paper loads its scheduler class and timeouts
+// from a configuration file; we mirror that with a simple "key = value"
+// format (comments with '#') plus programmatic construction for tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace edgesim {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key = value" lines; '#' starts a comment; blank lines ignored.
+  static Result<Config> parse(std::string_view text);
+
+  void set(std::string key, std::string value);
+
+  bool contains(const std::string& key) const;
+
+  std::optional<std::string> getString(const std::string& key) const;
+  std::optional<std::int64_t> getInt(const std::string& key) const;
+  std::optional<double> getDouble(const std::string& key) const;
+  std::optional<bool> getBool(const std::string& key) const;
+
+  std::string getStringOr(const std::string& key, std::string fallback) const;
+  std::int64_t getIntOr(const std::string& key, std::int64_t fallback) const;
+  double getDoubleOr(const std::string& key, double fallback) const;
+  bool getBoolOr(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& entries() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace edgesim

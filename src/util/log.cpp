@@ -1,0 +1,48 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace edgesim {
+
+const char* logLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& line) {
+    std::fprintf(stderr, "%s %s\n", logLevelName(level), line.c_str());
+  };
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Sink Logger::setSink(Sink sink) {
+  Sink old = std::move(sink_);
+  sink_ = std::move(sink);
+  return old;
+}
+
+void Logger::log(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  if (!enabled(level) || !sink_) return;
+  std::string line;
+  if (timePrefix_) line += timePrefix_();
+  line += "[";
+  line += component;
+  line += "] ";
+  line += message;
+  sink_(level, line);
+}
+
+}  // namespace edgesim

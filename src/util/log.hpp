@@ -1,0 +1,62 @@
+// Minimal structured logger.
+//
+// The simulation injects a time-prefix provider so log lines carry simulated
+// (not wall-clock) timestamps.  Log output is routed through a sink function
+// so tests can capture it; default sink is stderr.  Severity filtering is a
+// global atomic -- cheap enough to leave logging statements in hot paths.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace edgesim {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* logLevelName(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+  using TimePrefix = std::function<std::string()>;
+
+  /// Process-wide logger instance.
+  static Logger& instance();
+
+  void setLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Replace the output sink (returns the previous one).
+  Sink setSink(Sink sink);
+  /// Provide the "[t=1.234s]" style prefix; typically wired to Simulation.
+  void setTimePrefix(TimePrefix prefix) { timePrefix_ = std::move(prefix); }
+  void clearTimePrefix() { timePrefix_ = nullptr; }
+
+  void log(LogLevel level, const std::string& component,
+           const std::string& message);
+
+ private:
+  Logger();
+
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  TimePrefix timePrefix_;
+};
+
+}  // namespace edgesim
+
+#define ES_LOG(level, component, ...)                                \
+  do {                                                               \
+    auto& esLogger = ::edgesim::Logger::instance();                  \
+    if (esLogger.enabled(level))                                     \
+      esLogger.log(level, component, ::edgesim::strprintf(__VA_ARGS__)); \
+  } while (false)
+
+#define ES_TRACE(component, ...) ES_LOG(::edgesim::LogLevel::kTrace, component, __VA_ARGS__)
+#define ES_DEBUG(component, ...) ES_LOG(::edgesim::LogLevel::kDebug, component, __VA_ARGS__)
+#define ES_INFO(component, ...) ES_LOG(::edgesim::LogLevel::kInfo, component, __VA_ARGS__)
+#define ES_WARN(component, ...) ES_LOG(::edgesim::LogLevel::kWarn, component, __VA_ARGS__)
+#define ES_ERROR(component, ...) ES_LOG(::edgesim::LogLevel::kError, component, __VA_ARGS__)

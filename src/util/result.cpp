@@ -1,0 +1,30 @@
+#include "util/result.hpp"
+
+namespace edgesim {
+
+const char* errcName(Errc code) {
+  switch (code) {
+    case Errc::kOk: return "ok";
+    case Errc::kNotFound: return "not-found";
+    case Errc::kAlreadyExists: return "already-exists";
+    case Errc::kUnavailable: return "unavailable";
+    case Errc::kInvalidArgument: return "invalid-argument";
+    case Errc::kTimeout: return "timeout";
+    case Errc::kConflict: return "conflict";
+    case Errc::kResourceExhausted: return "resource-exhausted";
+    case Errc::kFailedPrecondition: return "failed-precondition";
+    case Errc::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::string Error::toString() const {
+  std::string out = errcName(code);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace edgesim

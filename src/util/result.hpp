@@ -1,0 +1,97 @@
+// Result<T>: a minimal expected-like type for recoverable failures.
+//
+// Simulated subsystems fail in ways a caller must handle (registry down,
+// image missing, port refused); exceptions would obscure those data-flow
+// paths, so fallible APIs return Result.  Programming errors use ES_ASSERT.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/assert.hpp"
+
+namespace edgesim {
+
+enum class Errc {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kUnavailable,
+  kInvalidArgument,
+  kTimeout,
+  kConflict,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+};
+
+const char* errcName(Errc code);
+
+struct Error {
+  Errc code = Errc::kInternal;
+  std::string message;
+
+  std::string toString() const;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    ES_ASSERT_MSG(ok(), "Result::value() on error");
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    ES_ASSERT_MSG(ok(), "Result::value() on error");
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    ES_ASSERT_MSG(ok(), "Result::value() on error");
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    ES_ASSERT_MSG(!ok(), "Result::error() on success");
+    return std::get<Error>(data_);
+  }
+
+  T valueOr(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> specialisation stand-in.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+
+  static Status okStatus() { return Status(); }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    ES_ASSERT_MSG(failed_, "Status::error() on success");
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+inline Error makeError(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace edgesim

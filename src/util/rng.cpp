@@ -1,0 +1,40 @@
+#include "util/rng.hpp"
+
+namespace edgesim {
+
+// Rejection-inversion sampling after W. Hormann & G. Derflinger,
+// "Rejection-inversion to generate variates from monotone discrete
+// distributions" (1996). O(1) per sample, no per-n precomputation.
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  ES_ASSERT(n >= 1);
+  ES_ASSERT(s > 0.0);
+  if (n == 1) return 1;
+
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    // Integral of x^-s (handles s == 1 via log).
+    if (s == 1.0) return std::log(x);
+    return std::pow(x, 1.0 - s) / (1.0 - s);
+  };
+  auto hInv = [s](double x) {
+    if (s == 1.0) return std::exp(x);
+    return std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
+  };
+
+  const double hx0 = h(0.5) - 1.0;
+  const double hn = h(nd + 0.5);
+
+  for (int iter = 0; iter < 1000; ++iter) {
+    const double u = hx0 + uniform01() * (hn - hx0);
+    const double x = hInv(u);
+    const double k = std::floor(x + 0.5);
+    const double kc = std::min(std::max(k, 1.0), nd);
+    if (kc - x <= 1.0 - std::pow(kc + 0.5, -s) - (h(kc + 0.5) - h(kc)) ||
+        u >= h(kc + 0.5) - std::pow(kc, -s)) {
+      return static_cast<std::uint64_t>(kc);
+    }
+  }
+  return 1;  // astronomically unlikely; keep determinism without throwing
+}
+
+}  // namespace edgesim

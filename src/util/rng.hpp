@@ -1,0 +1,130 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Every `Simulation` owns one `Rng` seeded from the experiment seed; derived
+// streams (`fork`) let independent components draw numbers without perturbing
+// each other's sequences, so adding a new consumer does not shift results of
+// existing ones.  The generator is xoshiro256**, seeded via splitmix64,
+// which passes BigCrush and is much faster than std::mt19937_64.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace edgesim {
+
+/// xoshiro256** PRNG with deterministic seeding and stream forking.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the single seed word into 256 bits of state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child stream. Deterministic: the same parent
+  /// state + tag always yields the same child.
+  Rng fork(std::uint64_t tag) {
+    return Rng((*this)() ^ (tag * 0x2545f4914f6cdd1dULL) ^ 0xd1b54a32d192ed03ULL);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    ES_ASSERT(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi) {
+    ES_ASSERT(lo <= hi);
+    const std::uint64_t range = hi - lo + 1;
+    if (range == 0) return (*this)();  // full 64-bit range
+    const std::uint64_t limit = max() - max() % range;
+    std::uint64_t v = (*this)();
+    while (v >= limit) v = (*this)();
+    return lo + v % range;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    ES_ASSERT(mean > 0.0);
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();  // guard log(0)
+    return -mean * std::log(u);
+  }
+
+  /// Pareto (Lomax-shifted) heavy-tail sample with minimum xm and shape a.
+  double pareto(double xm, double shape) {
+    ES_ASSERT(xm > 0.0 && shape > 0.0);
+    double u = uniform01();
+    while (u <= 0.0) u = uniform01();
+    return xm / std::pow(u, 1.0 / shape);
+  }
+
+  /// Log-normally distributed value parameterised by the mean/sigma of the
+  /// underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Normal sample (Box-Muller; one value per call, cached pair discarded
+  /// to keep fork()/reseed() semantics simple).
+  double normal(double mean, double stddev) {
+    double u1 = uniform01();
+    while (u1 <= 0.0) u1 = uniform01();
+    const double u2 = uniform01();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * 3.141592653589793 * u2);
+  }
+
+  /// Zipf-distributed rank in [1, n] with exponent s (via inverse-CDF over
+  /// precomputed weights is overkill here; rejection-inversion is used).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace edgesim

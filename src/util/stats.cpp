@@ -1,0 +1,130 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace edgesim {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Samples::add(double x) {
+  values_.push_back(x);
+  sortedValid_ = false;
+}
+
+void Samples::clear() {
+  values_.clear();
+  sorted_.clear();
+  sortedValid_ = false;
+}
+
+double Samples::min() const {
+  ES_ASSERT(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  ES_ASSERT(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::mean() const {
+  ES_ASSERT(!values_.empty());
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Samples::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+void Samples::ensureSorted() const {
+  if (sortedValid_) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sortedValid_ = true;
+}
+
+double Samples::quantile(double q) const {
+  ES_ASSERT_MSG(!values_.empty(), "quantile of empty sample set");
+  ES_ASSERT(q >= 0.0 && q <= 1.0);
+  ensureSorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lower = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lower);
+  if (lower + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lower] * (1.0 - frac) + sorted_[lower + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  ES_ASSERT(hi > lo);
+  ES_ASSERT(bins > 0);
+}
+
+void Histogram::add(double x, double weight) {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<std::int64_t>((x - lo_) / span *
+                                       static_cast<double>(counts_.size()));
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double Histogram::binLow(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::binHigh(std::size_t i) const { return binLow(i + 1); }
+
+std::string Histogram::render(std::size_t width) const {
+  const double peak = counts_.empty()
+                          ? 0.0
+                          : *std::max_element(counts_.begin(), counts_.end());
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bars =
+        peak > 0.0 ? static_cast<std::size_t>(counts_[i] / peak *
+                                              static_cast<double>(width))
+                   : 0;
+    out += strprintf("[%8.2f, %8.2f) %8.0f |", binLow(i), binHigh(i),
+                     counts_[i]);
+    out.append(bars, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace edgesim

@@ -1,0 +1,91 @@
+// Statistics primitives used by the metrics/bench layers.
+//
+// The paper reports medians (Figs. 11-16); we additionally expose mean,
+// stddev (Welford), arbitrary percentiles, and fixed-width histograms used
+// for the request/deployment distribution figures (Figs. 9-10).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edgesim {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample container with exact quantiles (sorts lazily, caches order).
+class Samples {
+ public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  double sum() const;
+
+  /// Exact quantile with linear interpolation, q in [0, 1].
+  /// Asserts on empty sample sets.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sortedValid_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bin so totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t binCount() const { return counts_.size(); }
+  double binLow(std::size_t i) const;
+  double binHigh(std::size_t i) const;
+  double binWeight(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+  /// Render as an ASCII bar chart, `width` columns for the largest bin.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace edgesim

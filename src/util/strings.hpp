@@ -1,0 +1,35 @@
+// Small string helpers shared across modules (no locale, ASCII-only).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace edgesim {
+
+/// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split `s` on `sep`, dropping empty fields.
+std::vector<std::string> splitNonEmpty(std::string_view s, char sep);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/// Join the range [begin, end) with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lower-case copy (ASCII).
+std::string toLower(std::string_view s);
+
+/// True if `s` parses completely as a (signed) integer / float.
+bool isInteger(std::string_view s);
+bool isNumber(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace edgesim

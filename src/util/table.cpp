@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace edgesim {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ES_ASSERT(!header_.empty());
+}
+
+void Table::addRow(std::vector<std::string> row) {
+  ES_ASSERT_MSG(row.size() == header_.size(), "row width != header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string sep = "+";
+  for (const auto w : widths) {
+    sep.append(w + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + renderRow(header_) + sep;
+  for (const auto& row : rows_) out += renderRow(row);
+  out += sep;
+  return out;
+}
+
+std::string Table::csv() const {
+  auto escape = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string out = "\"";
+    for (char c : field) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) line += ',';
+      line += escape(row[c]);
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = renderRow(header_);
+  for (const auto& row : rows_) out += renderRow(row);
+  return out;
+}
+
+}  // namespace edgesim

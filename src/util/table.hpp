@@ -1,0 +1,29 @@
+// ASCII table / CSV rendering for experiment output.
+//
+// Every bench binary prints the paper's rows as an aligned table plus a CSV
+// block so results can be diffed or plotted downstream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace edgesim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Aligned, boxed ASCII rendering.
+  std::string render() const;
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace edgesim

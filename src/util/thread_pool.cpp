@@ -1,0 +1,73 @@
+#include "util/thread_pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace edgesim {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cvTask_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  ES_ASSERT(task != nullptr);
+  {
+    std::lock_guard lock(mutex_);
+    ES_ASSERT_MSG(!stop_, "submit() after shutdown");
+    queue_.push_back(std::move(task));
+    ++inFlight_;
+  }
+  cvTask_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  cvDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cvTask_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --inFlight_;
+    }
+    cvDone_.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n, std::size_t threads,
+                             const std::function<void(std::size_t)>& fn) {
+  ThreadPool pool(threads);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait();
+}
+
+}  // namespace edgesim

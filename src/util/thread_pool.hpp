@@ -1,0 +1,52 @@
+// Fixed-size worker pool for running independent simulations in parallel.
+//
+// The discrete-event core is single-threaded by design (determinism);
+// parallelism lives *across* experiment repetitions: each task owns a
+// private Simulation, so tasks share nothing and scale linearly.  This is
+// the standard HPC decomposition for embarrassingly parallel sweeps.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace edgesim {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; tasks must not throw (the simulator reports failures
+  /// through its own channels).
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void wait();
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Convenience: run fn(i) for i in [0, n) across the pool and wait.
+  static void parallelFor(std::size_t n, std::size_t threads,
+                          const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cvTask_;
+  std::condition_variable cvDone_;
+  std::size_t inFlight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace edgesim

@@ -1,0 +1,79 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace edgesim {
+
+namespace {
+
+struct UnitEntry {
+  std::string_view suffix;
+  double multiplier;
+};
+
+// Longest suffixes first so "KiB" wins over "B".
+constexpr std::array<UnitEntry, 11> kUnits{{
+    {"KiB", 1024.0},
+    {"MiB", 1024.0 * 1024},
+    {"GiB", 1024.0 * 1024 * 1024},
+    {"TiB", 1024.0 * 1024 * 1024 * 1024},
+    {"KB", 1000.0},
+    {"MB", 1000.0 * 1000},
+    {"GB", 1000.0 * 1000 * 1000},
+    {"TB", 1000.0 * 1000 * 1000 * 1000},
+    {"K", 1024.0},
+    {"M", 1024.0 * 1024},
+    {"B", 1.0},
+}};
+
+}  // namespace
+
+bool parseBytes(std::string_view text, Bytes& out) {
+  std::string_view s = trim(text);
+  if (s.empty()) return false;
+
+  double multiplier = 1.0;
+  for (const auto& unit : kUnits) {
+    if (endsWith(s, unit.suffix)) {
+      multiplier = unit.multiplier;
+      s = trim(s.substr(0, s.size() - unit.suffix.size()));
+      break;
+    }
+  }
+  if (s.empty()) return false;
+
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || value < 0) return false;
+  out = Bytes{static_cast<std::uint64_t>(std::llround(value * multiplier))};
+  return true;
+}
+
+std::string formatBytes(Bytes b) {
+  const double v = static_cast<double>(b.value);
+  if (b.value < 1024) return strprintf("%llu B", static_cast<unsigned long long>(b.value));
+  if (b.value < 1024ULL * 1024) return strprintf("%.2f KiB", v / 1024.0);
+  if (b.value < 1024ULL * 1024 * 1024) return strprintf("%.1f MiB", v / (1024.0 * 1024));
+  return strprintf("%.2f GiB", v / (1024.0 * 1024 * 1024));
+}
+
+std::int64_t BitRate::transmissionNanos(Bytes b) const {
+  if (bitsPerSec == 0) return 0;
+  const double bits = static_cast<double>(b.value) * 8.0;
+  const double seconds = bits / static_cast<double>(bitsPerSec);
+  return static_cast<std::int64_t>(std::llround(seconds * 1e9));
+}
+
+std::string formatBitRate(BitRate r) {
+  const double v = static_cast<double>(r.bitsPerSec);
+  if (r.bitsPerSec >= 1000ULL * 1000 * 1000) return strprintf("%.1f Gbps", v / 1e9);
+  if (r.bitsPerSec >= 1000ULL * 1000) return strprintf("%.1f Mbps", v / 1e6);
+  if (r.bitsPerSec >= 1000ULL) return strprintf("%.1f Kbps", v / 1e3);
+  return strprintf("%llu bps", static_cast<unsigned long long>(r.bitsPerSec));
+}
+
+}  // namespace edgesim

@@ -1,0 +1,55 @@
+// Byte-size and rate units with parsing/formatting ("135MiB", "1Gbps").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace edgesim {
+
+/// A byte count. Plain integer wrapper so sizes don't mix with other ints.
+struct Bytes {
+  std::uint64_t value = 0;
+
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t v) : value(v) {}
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+  constexpr Bytes operator+(Bytes o) const { return Bytes{value + o.value}; }
+  constexpr Bytes operator-(Bytes o) const { return Bytes{value - o.value}; }
+  Bytes& operator+=(Bytes o) { value += o.value; return *this; }
+  Bytes& operator-=(Bytes o) { value -= o.value; return *this; }
+};
+
+constexpr Bytes operator""_B(unsigned long long v) { return Bytes{v}; }
+constexpr Bytes operator""_KiB(unsigned long long v) { return Bytes{v * 1024}; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return Bytes{v * 1024 * 1024}; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return Bytes{v * 1024 * 1024 * 1024}; }
+
+/// Parse "6.18 KiB", "135MiB", "308 MiB", "512", "1.5GB" (decimal units too).
+/// Returns false on malformed input.
+bool parseBytes(std::string_view text, Bytes& out);
+
+/// Human-readable size ("135.0 MiB").
+std::string formatBytes(Bytes b);
+
+/// Bits-per-second rate for link bandwidth modelling.
+struct BitRate {
+  std::uint64_t bitsPerSec = 0;
+
+  constexpr BitRate() = default;
+  constexpr explicit BitRate(std::uint64_t bps) : bitsPerSec(bps) {}
+  constexpr auto operator<=>(const BitRate&) const = default;
+
+  /// Nanoseconds needed to serialise `b` bytes at this rate (0 => instant).
+  std::int64_t transmissionNanos(Bytes b) const;
+};
+
+constexpr BitRate operator""_bps(unsigned long long v) { return BitRate{v}; }
+constexpr BitRate operator""_Kbps(unsigned long long v) { return BitRate{v * 1000}; }
+constexpr BitRate operator""_Mbps(unsigned long long v) { return BitRate{v * 1000 * 1000}; }
+constexpr BitRate operator""_Gbps(unsigned long long v) { return BitRate{v * 1000 * 1000 * 1000}; }
+
+std::string formatBitRate(BitRate r);
+
+}  // namespace edgesim

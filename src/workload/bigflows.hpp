@@ -1,0 +1,46 @@
+// Synthetic stand-in for the bigFlows.pcap capture.
+//
+// We do not ship the real capture; instead we generate a trace whose
+// *filtered aggregates match the paper's published numbers*: after the
+// port-80 / >=20-requests filter, exactly `targetServices` (42) services
+// receive exactly `targetRequests` (1708) requests within `duration`
+// (5 minutes), with a bursty start (fig. 10 shows up to 8 service
+// first-requests per second early in the trace).  The unfiltered trace
+// additionally contains noise the filter must discard: conversations to
+// other ports and destinations with fewer than 20 requests.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "workload/trace.hpp"
+
+namespace edgesim::workload {
+
+struct BigFlowsParams {
+  std::uint64_t seed = 1;
+  SimTime duration = SimTime::seconds(300.0);
+  std::size_t targetServices = 42;
+  std::size_t targetRequests = 1708;
+  std::size_t minRequestsPerService = 20;
+  /// Zipf exponent for the per-service request share (heavy tail: a few
+  /// hot services, many near the minimum -- visible in fig. 9).
+  double zipfExponent = 1.0;
+  /// Mean of the exponential distribution of service first-request times;
+  /// a small value front-loads deployments like fig. 10.
+  SimTime firstRequestMean = SimTime::seconds(35.0);
+  std::size_t clientCount = 20;  // the paper's 20 Raspberry Pi clients
+  /// Noise that the filter must discard.
+  std::size_t noiseConversationsOtherPorts = 60;
+  std::size_t noiseDestinationsBelowMinimum = 25;
+};
+
+/// Generate the synthetic trace (deterministic per seed).
+Trace generateBigFlows(const BigFlowsParams& params);
+
+/// Convenience: generate + filter in one step; the result is guaranteed to
+/// have exactly params.targetServices services and params.targetRequests
+/// requests in total.
+std::vector<ServiceLoad> generateFilteredServices(const BigFlowsParams& params);
+
+}  // namespace edgesim::workload

@@ -1,0 +1,43 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace edgesim::workload {
+
+std::size_t Trace::totalRequests() const {
+  std::size_t total = 0;
+  for (const auto& conversation : conversations) {
+    total += conversation.requestTimes.size();
+  }
+  return total;
+}
+
+std::vector<ServiceLoad> extractServices(const Trace& trace,
+                                         std::uint16_t port,
+                                         std::size_t minRequests) {
+  std::map<Endpoint, ServiceLoad> byDst;
+  for (const auto& conversation : trace.conversations) {
+    if (conversation.dst.port != port) continue;
+    auto& load = byDst[conversation.dst];
+    load.address = conversation.dst;
+    for (const SimTime t : conversation.requestTimes) {
+      load.requests.emplace_back(t, conversation.srcIp);
+    }
+  }
+
+  std::vector<ServiceLoad> services;
+  for (auto& [dst, load] : byDst) {
+    if (load.requests.size() < minRequests) continue;
+    std::sort(load.requests.begin(), load.requests.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    services.push_back(std::move(load));
+  }
+  std::sort(services.begin(), services.end(),
+            [](const ServiceLoad& a, const ServiceLoad& b) {
+              return a.firstRequestAt() < b.firstRequestAt();
+            });
+  return services;
+}
+
+}  // namespace edgesim::workload

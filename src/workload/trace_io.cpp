@@ -1,0 +1,112 @@
+#include "workload/trace_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <charconv>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace edgesim::workload {
+
+std::string traceToCsv(const Trace& trace) {
+  std::string out = "src_ip,dst_ip,dst_port,time_seconds\n";
+  for (const auto& conversation : trace.conversations) {
+    for (const SimTime t : conversation.requestTimes) {
+      // Nanosecond precision: SimTime round-trips exactly.
+      out += strprintf("%s,%s,%u,%.9f\n",
+                       conversation.srcIp.toString().c_str(),
+                       conversation.dst.ip.toString().c_str(),
+                       conversation.dst.port, t.toSeconds());
+    }
+  }
+  return out;
+}
+
+Result<Trace> traceFromCsv(const std::string& csv, SimTime minimumDuration) {
+  const auto lines = split(csv, '\n');
+  if (lines.empty()) {
+    return makeError(Errc::kInvalidArgument, "empty trace file");
+  }
+
+  // Group rows by (src, dst); preserve first-appearance order.
+  std::map<std::pair<Ipv4, Endpoint>, std::size_t> index;
+  Trace trace;
+  SimTime latest;
+
+  bool headerSeen = false;
+  int lineNo = 0;
+  for (const auto& raw : lines) {
+    ++lineNo;
+    const auto line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (!headerSeen) {
+      headerSeen = true;
+      if (line.find("src_ip") != std::string_view::npos) continue;
+      return makeError(Errc::kInvalidArgument,
+                       "missing header row (src_ip,dst_ip,dst_port,time_seconds)");
+    }
+    const auto fields = split(line, ',');
+    if (fields.size() != 4) {
+      return makeError(Errc::kInvalidArgument,
+                       strprintf("line %d: expected 4 fields", lineNo));
+    }
+    const auto src = Ipv4::parse(trim(fields[0]));
+    const auto dstIp = Ipv4::parse(trim(fields[1]));
+    if (!src || !dstIp) {
+      return makeError(Errc::kInvalidArgument,
+                       strprintf("line %d: bad IP address", lineNo));
+    }
+    unsigned port = 0;
+    {
+      const auto text = trim(fields[2]);
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), port);
+      if (ec != std::errc{} || ptr != text.data() + text.size() ||
+          port > 65535) {
+        return makeError(Errc::kInvalidArgument,
+                         strprintf("line %d: bad port", lineNo));
+      }
+    }
+    double seconds = 0;
+    {
+      const auto text = trim(fields[3]);
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), seconds);
+      if (ec != std::errc{} || ptr != text.data() + text.size() ||
+          seconds < 0) {
+        return makeError(Errc::kInvalidArgument,
+                         strprintf("line %d: bad time", lineNo));
+      }
+    }
+
+    const Endpoint dst(*dstIp, static_cast<std::uint16_t>(port));
+    const auto key = std::make_pair(*src, dst);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      TcpConversation conversation;
+      conversation.srcIp = *src;
+      conversation.dst = dst;
+      trace.conversations.push_back(std::move(conversation));
+      it = index.emplace(key, trace.conversations.size() - 1).first;
+    }
+    const SimTime at = SimTime::seconds(seconds);
+    trace.conversations[it->second].requestTimes.push_back(at);
+    latest = std::max(latest, at);
+  }
+
+  if (!headerSeen) {
+    return makeError(Errc::kInvalidArgument, "empty trace file");
+  }
+  for (auto& conversation : trace.conversations) {
+    std::sort(conversation.requestTimes.begin(),
+              conversation.requestTimes.end());
+  }
+  // Round the inferred duration up to a whole second.
+  const auto ceilSeconds =
+      SimTime::seconds(std::ceil(latest.toSeconds() + 1e-9));
+  trace.duration = std::max(minimumDuration, ceilSeconds);
+  return trace;
+}
+
+}  // namespace edgesim::workload

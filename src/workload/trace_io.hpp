@@ -1,0 +1,27 @@
+// Trace serialisation: a simple CSV interchange format so real traces
+// (e.g. conversations extracted from a pcap with external tooling) can be
+// fed to the simulator, and generated traces can be exported for plotting.
+//
+// Format (one row per request, header required):
+//   src_ip,dst_ip,dst_port,time_seconds
+//   10.0.2.1,198.18.1.1,80,0.482
+// Rows belonging to the same (src, dst) pair form one conversation.
+#pragma once
+
+#include <string>
+
+#include "util/result.hpp"
+#include "workload/trace.hpp"
+
+namespace edgesim::workload {
+
+/// Serialise a trace to CSV text.
+std::string traceToCsv(const Trace& trace);
+
+/// Parse CSV text into a trace; `duration` is inferred as the latest
+/// request time rounded up to the next second unless a larger value is
+/// given.  Returns a descriptive error on malformed rows.
+Result<Trace> traceFromCsv(const std::string& csv,
+                           SimTime minimumDuration = SimTime::zero());
+
+}  // namespace edgesim::workload

@@ -1,0 +1,158 @@
+#include "yamlite/node.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace edgesim::yamlite {
+
+Node Node::scalar(std::int64_t value) {
+  return scalar(strprintf("%lld", static_cast<long long>(value)));
+}
+
+NodeType Node::type() const {
+  switch (data_.index()) {
+    case 0: return NodeType::kNull;
+    case 1: return NodeType::kScalar;
+    case 2: return NodeType::kSequence;
+    default: return NodeType::kMapping;
+  }
+}
+
+const std::string& Node::asString() const {
+  ES_ASSERT_MSG(isScalar(), "asString() on non-scalar");
+  return std::get<std::string>(data_);
+}
+
+std::optional<std::int64_t> Node::asInt() const {
+  if (!isScalar()) return std::nullopt;
+  const auto& s = std::get<std::string>(data_);
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> Node::asDouble() const {
+  if (!isScalar()) return std::nullopt;
+  const auto& s = std::get<std::string>(data_);
+  double value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<bool> Node::asBool() const {
+  if (!isScalar()) return std::nullopt;
+  const auto lower = toLower(std::get<std::string>(data_));
+  if (lower == "true" || lower == "yes" || lower == "on") return true;
+  if (lower == "false" || lower == "no" || lower == "off") return false;
+  return std::nullopt;
+}
+
+Sequence& Node::items() {
+  ES_ASSERT_MSG(isSequence(), "items() on non-sequence");
+  return std::get<Sequence>(data_);
+}
+
+const Sequence& Node::items() const {
+  ES_ASSERT_MSG(isSequence(), "items() on non-sequence");
+  return std::get<Sequence>(data_);
+}
+
+void Node::push(Node child) {
+  if (isNull()) data_ = Sequence{};
+  items().push_back(std::move(child));
+}
+
+std::size_t Node::size() const {
+  if (isSequence()) return std::get<Sequence>(data_).size();
+  if (isMapping()) return std::get<MapEntries>(data_).size();
+  return 0;
+}
+
+MapEntries& Node::entries() {
+  ES_ASSERT_MSG(isMapping(), "entries() on non-mapping");
+  return std::get<MapEntries>(data_);
+}
+
+const MapEntries& Node::entries() const {
+  ES_ASSERT_MSG(isMapping(), "entries() on non-mapping");
+  return std::get<MapEntries>(data_);
+}
+
+Node* Node::find(std::string_view key) {
+  if (!isMapping()) return nullptr;
+  for (auto& [k, v] : std::get<MapEntries>(data_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Node* Node::find(std::string_view key) const {
+  return const_cast<Node*>(this)->find(key);
+}
+
+Node& Node::operator[](std::string_view key) {
+  if (isNull()) data_ = MapEntries{};
+  if (Node* existing = find(key)) return *existing;
+  auto& map = entries();
+  map.emplace_back(std::string(key), Node());
+  return map.back().second;
+}
+
+Node* Node::findPath(std::string_view dottedPath) {
+  Node* node = this;
+  std::size_t start = 0;
+  while (start <= dottedPath.size()) {
+    const auto dot = dottedPath.find('.', start);
+    const auto part = dottedPath.substr(
+        start, dot == std::string_view::npos ? dottedPath.size() - start
+                                             : dot - start);
+    node = node->find(part);
+    if (node == nullptr) return nullptr;
+    if (dot == std::string_view::npos) return node;
+    start = dot + 1;
+  }
+  return nullptr;
+}
+
+const Node* Node::findPath(std::string_view dottedPath) const {
+  return const_cast<Node*>(this)->findPath(dottedPath);
+}
+
+Node& Node::makePath(std::string_view dottedPath) {
+  Node* node = this;
+  std::size_t start = 0;
+  while (true) {
+    const auto dot = dottedPath.find('.', start);
+    const auto part = dottedPath.substr(
+        start, dot == std::string_view::npos ? dottedPath.size() - start
+                                             : dot - start);
+    node = &(*node)[part];
+    if (dot == std::string_view::npos) return *node;
+    start = dot + 1;
+  }
+}
+
+Node& Node::set(std::string_view key, Node value) {
+  Node& slot = (*this)[key];
+  slot = std::move(value);
+  return slot;
+}
+
+bool Node::erase(std::string_view key) {
+  if (!isMapping()) return false;
+  auto& map = std::get<MapEntries>(data_);
+  for (auto it = map.begin(); it != map.end(); ++it) {
+    if (it->first == key) {
+      map.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Node::operator==(const Node& other) const { return data_ == other.data_; }
+
+}  // namespace edgesim::yamlite

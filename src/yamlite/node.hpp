@@ -1,0 +1,107 @@
+// yamlite: a small YAML-subset document model.
+//
+// The paper's controller consumes Kubernetes Deployment definition files and
+// auto-annotates them (§V).  We implement the subset those files use: block
+// mappings, block sequences, scalars (plain / single- / double-quoted),
+// comments, and nesting -- no anchors, aliases, flow collections, or
+// multi-document streams.  Mappings preserve insertion order so emitted
+// files diff cleanly against their inputs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace edgesim::yamlite {
+
+class Node;
+
+using Sequence = std::vector<Node>;
+using MapEntries = std::vector<std::pair<std::string, Node>>;
+
+enum class NodeType { kNull, kScalar, kSequence, kMapping };
+
+class Node {
+ public:
+  Node() : data_(std::monostate{}) {}
+
+  static Node null() { return Node(); }
+  static Node scalar(std::string value) {
+    Node n;
+    n.data_ = std::move(value);
+    return n;
+  }
+  static Node scalar(std::string_view value) { return scalar(std::string(value)); }
+  static Node scalar(const char* value) { return scalar(std::string(value)); }
+  static Node scalar(std::int64_t value);
+  static Node scalar(int value) { return scalar(static_cast<std::int64_t>(value)); }
+  static Node scalar(bool value) { return scalar(std::string(value ? "true" : "false")); }
+  static Node sequence() {
+    Node n;
+    n.data_ = Sequence{};
+    return n;
+  }
+  static Node mapping() {
+    Node n;
+    n.data_ = MapEntries{};
+    return n;
+  }
+
+  NodeType type() const;
+  bool isNull() const { return type() == NodeType::kNull; }
+  bool isScalar() const { return type() == NodeType::kScalar; }
+  bool isSequence() const { return type() == NodeType::kSequence; }
+  bool isMapping() const { return type() == NodeType::kMapping; }
+
+  // -- scalar access ------------------------------------------------------
+  const std::string& asString() const;
+  std::optional<std::int64_t> asInt() const;
+  std::optional<double> asDouble() const;
+  std::optional<bool> asBool() const;
+
+  // -- sequence access ----------------------------------------------------
+  Sequence& items();
+  const Sequence& items() const;
+  void push(Node child);
+  std::size_t size() const;
+
+  // -- mapping access -----------------------------------------------------
+  MapEntries& entries();
+  const MapEntries& entries() const;
+
+  /// Pointer to the value under `key`, or nullptr.
+  Node* find(std::string_view key);
+  const Node* find(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Mapping index; creates the key (null value) on non-const access.
+  Node& operator[](std::string_view key);
+
+  /// Dotted-path lookup ("spec.template.metadata.labels"); nullptr if any
+  /// component is missing or a non-mapping is traversed.
+  Node* findPath(std::string_view dottedPath);
+  const Node* findPath(std::string_view dottedPath) const;
+
+  /// Dotted-path insert; creates intermediate mappings as needed.
+  Node& makePath(std::string_view dottedPath);
+
+  /// Set key to value (replacing), returns the stored node.
+  Node& set(std::string_view key, Node value);
+  /// Remove a key; returns true if it existed.
+  bool erase(std::string_view key);
+
+  bool operator==(const Node& other) const;
+
+ private:
+  // boxed containers keep Node cheap to move and allow recursion
+  std::variant<std::monostate, std::string, Sequence, MapEntries> data_;
+};
+
+}  // namespace edgesim::yamlite

@@ -1,0 +1,366 @@
+#include "yamlite/parse.hpp"
+
+#include <cctype>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace edgesim::yamlite {
+
+namespace {
+
+struct Line {
+  int indent = 0;
+  std::string content;
+  int number = 0;
+};
+
+Error parseError(int line, const std::string& message) {
+  return makeError(Errc::kInvalidArgument,
+                   strprintf("yaml line %d: %s", line, message.c_str()));
+}
+
+/// Strip a trailing comment that is outside quotes.
+std::string stripComment(std::string_view s) {
+  char quote = '\0';
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+    } else if (c == '#' && (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+      return std::string(trim(s.substr(0, i)));
+    }
+  }
+  return std::string(trim(s));
+}
+
+/// Find the key/value separating colon outside quotes; npos if none.
+std::size_t findColon(std::string_view s) {
+  char quote = '\0';
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+    } else if (c == ':' && (i + 1 == s.size() || s[i + 1] == ' ')) {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+Result<std::string> unquote(std::string_view s, int lineNo) {
+  s = trim(s);
+  if (s.size() >= 2 && s.front() == '\'' && s.back() == '\'') {
+    std::string out;
+    for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+      if (s[i] == '\'' && i + 2 < s.size() && s[i + 1] == '\'') {
+        out += '\'';
+        ++i;
+      } else {
+        out += s[i];
+      }
+    }
+    return out;
+  }
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    std::string out;
+    for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+      if (s[i] == '\\' && i + 2 < s.size()) {
+        ++i;
+        switch (s[i]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          default:
+            return parseError(lineNo,
+                              strprintf("unknown escape '\\%c'", s[i]));
+        }
+      } else {
+        out += s[i];
+      }
+    }
+    return out;
+  }
+  if (!s.empty() && (s.front() == '\'' || s.front() == '"')) {
+    return parseError(lineNo, "unterminated quoted scalar");
+  }
+  return std::string(s);
+}
+
+Node scalarOrNull(const std::string& text) {
+  if (text == "null" || text == "~" || text.empty()) return Node::null();
+  return Node::scalar(text);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  Result<Node> parseDocument() {
+    if (lines_.empty()) return Node::null();
+    auto result = parseNode(lines_[0].indent);
+    if (!result.ok()) return result;
+    if (pos_ != lines_.size()) {
+      return parseError(lines_[pos_].number, "unexpected dedent/content");
+    }
+    return result;
+  }
+
+ private:
+  bool atEnd() const { return pos_ >= lines_.size(); }
+  const Line& cur() const { return lines_[pos_]; }
+
+  static bool isDashItem(const std::string& s) {
+    return !s.empty() && s[0] == '-' && (s.size() == 1 || s[1] == ' ');
+  }
+
+  Result<Node> parseNode(int indent) {
+    if (atEnd() || cur().indent < indent) return Node::null();
+    if (isDashItem(cur().content)) return parseSequence(cur().indent);
+    if (findColon(cur().content) != std::string_view::npos) {
+      return parseMapping(cur().indent);
+    }
+    // bare scalar document / item
+    auto value = unquote(cur().content, cur().number);
+    if (!value.ok()) return value.error();
+    ++pos_;
+    return scalarOrNull(value.value());
+  }
+
+  Result<Node> parseSequence(int indent) {
+    Node seq = Node::sequence();
+    while (!atEnd() && cur().indent == indent && isDashItem(cur().content)) {
+      const int lineNo = cur().number;
+      std::string rest(trim(std::string_view(cur().content).substr(1)));
+      if (rest.empty()) {
+        ++pos_;
+        if (atEnd() || cur().indent <= indent) {
+          seq.push(Node::null());
+        } else {
+          auto child = parseNode(cur().indent);
+          if (!child.ok()) return child;
+          seq.push(std::move(child).value());
+        }
+        continue;
+      }
+      // Inline content after the dash: re-interpret this line as starting a
+      // nested node at the item indent (dash + one space = 2 columns).
+      const int itemIndent = indent + 2;
+      lines_[pos_].indent = itemIndent;
+      lines_[pos_].content = std::move(rest);
+      if (isDashItem(lines_[pos_].content)) {
+        auto child = parseSequence(itemIndent);
+        if (!child.ok()) return child;
+        seq.push(std::move(child).value());
+      } else if (findColon(lines_[pos_].content) != std::string_view::npos) {
+        auto child = parseMapping(itemIndent);
+        if (!child.ok()) return child;
+        seq.push(std::move(child).value());
+      } else {
+        auto value = unquote(lines_[pos_].content, lineNo);
+        if (!value.ok()) return value.error();
+        ++pos_;
+        seq.push(scalarOrNull(value.value()));
+      }
+    }
+    return seq;
+  }
+
+  Result<Node> parseMapping(int indent) {
+    Node map = Node::mapping();
+    while (!atEnd() && cur().indent == indent &&
+           !isDashItem(cur().content)) {
+      const int lineNo = cur().number;
+      const std::string content = cur().content;
+      const auto colon = findColon(content);
+      if (colon == std::string_view::npos) {
+        return parseError(lineNo, "expected 'key: value'");
+      }
+      auto key = unquote(std::string_view(content).substr(0, colon), lineNo);
+      if (!key.ok()) return key.error();
+      if (key.value().empty()) return parseError(lineNo, "empty key");
+      if (map.contains(key.value())) {
+        return parseError(lineNo,
+                          strprintf("duplicate key '%s'", key.value().c_str()));
+      }
+      const auto valueText =
+          std::string(trim(std::string_view(content).substr(colon + 1)));
+      ++pos_;
+      if (!valueText.empty()) {
+        auto value = unquote(valueText, lineNo);
+        if (!value.ok()) return value.error();
+        map.set(key.value(), scalarOrNull(value.value()));
+        continue;
+      }
+      // Block value: deeper indent, or a sequence at the same indent
+      // (K8s style), or null.
+      if (!atEnd() && cur().indent > indent) {
+        auto child = parseNode(cur().indent);
+        if (!child.ok()) return child;
+        map.set(key.value(), std::move(child).value());
+      } else if (!atEnd() && cur().indent == indent &&
+                 isDashItem(cur().content)) {
+        auto child = parseSequence(indent);
+        if (!child.ok()) return child;
+        map.set(key.value(), std::move(child).value());
+      } else {
+        map.set(key.value(), Node::null());
+      }
+    }
+    return map;
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+void emitScalar(const std::string& s, std::string& out) {
+  const bool needsQuotes =
+      s.empty() || s.find(": ") != std::string::npos ||
+      s.find(" #") != std::string::npos || s.front() == ' ' ||
+      s.back() == ' ' || s.front() == '\'' || s.front() == '"' ||
+      s.front() == '-' || s.front() == '#' || s == "null" || s == "~" ||
+      s.find('\n') != std::string::npos ||
+      (s.back() == ':') || s.find(":\t") != std::string::npos;
+  if (!needsQuotes) {
+    out += s;
+    return;
+  }
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+void emitNode(const Node& node, int indent, std::string& out);
+
+void emitMapping(const Node& node, int indent, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  for (const auto& [key, value] : node.entries()) {
+    out += pad;
+    emitScalar(key, out);
+    out += ':';
+    switch (value.type()) {
+      case NodeType::kNull:
+        out += '\n';
+        break;
+      case NodeType::kScalar:
+        out += ' ';
+        emitScalar(value.asString(), out);
+        out += '\n';
+        break;
+      case NodeType::kSequence:
+        out += '\n';
+        emitNode(value, indent, out);  // K8s style: dash at key indent
+        break;
+      case NodeType::kMapping:
+        out += '\n';
+        emitNode(value, indent + 2, out);
+        break;
+    }
+  }
+}
+
+void emitSequence(const Node& node, int indent, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  for (const auto& item : node.items()) {
+    switch (item.type()) {
+      case NodeType::kNull:
+        out += pad + "-\n";
+        break;
+      case NodeType::kScalar:
+        out += pad + "- ";
+        emitScalar(item.asString(), out);
+        out += '\n';
+        break;
+      case NodeType::kMapping: {
+        // "- key: value" with continuation lines at indent + 2.
+        std::string body;
+        emitMapping(item, indent + 2, body);
+        if (body.size() > pad.size() + 2) {
+          body[pad.size()] = '-';
+        }
+        out += body;
+        break;
+      }
+      case NodeType::kSequence:
+        out += pad + "-\n";
+        emitNode(item, indent + 2, out);
+        break;
+    }
+  }
+}
+
+void emitNode(const Node& node, int indent, std::string& out) {
+  switch (node.type()) {
+    case NodeType::kNull:
+      break;
+    case NodeType::kScalar:
+      out.append(static_cast<std::size_t>(indent), ' ');
+      emitScalar(node.asString(), out);
+      out += '\n';
+      break;
+    case NodeType::kSequence:
+      emitSequence(node, indent, out);
+      break;
+    case NodeType::kMapping:
+      emitMapping(node, indent, out);
+      break;
+  }
+}
+
+}  // namespace
+
+Result<Node> parse(std::string_view text) {
+  std::vector<Line> lines;
+  int number = 0;
+  for (const auto& raw : split(text, '\n')) {
+    ++number;
+    if (raw.find('\t') != std::string::npos) {
+      return parseError(number, "tabs are not allowed in yamlite");
+    }
+    if (startsWith(trim(raw), "---")) {
+      return parseError(number, "multi-document streams are not supported");
+    }
+    const std::string content = stripComment(raw);
+    if (content.empty()) continue;
+    int indent = 0;
+    while (indent < static_cast<int>(raw.size()) &&
+           raw[static_cast<std::size_t>(indent)] == ' ') {
+      ++indent;
+    }
+    if (!content.empty() &&
+        (content.front() == '{' || content.front() == '[')) {
+      return parseError(number, "flow collections are not supported");
+    }
+    if (content.front() == '|' || content.front() == '>') {
+      return parseError(number, "block scalars are not supported");
+    }
+    lines.push_back(Line{indent, content, number});
+  }
+  return Parser(std::move(lines)).parseDocument();
+}
+
+std::string emit(const Node& node) {
+  std::string out;
+  emitNode(node, 0, out);
+  return out;
+}
+
+}  // namespace edgesim::yamlite

@@ -1,0 +1,28 @@
+// yamlite parser and emitter.
+//
+// Supported syntax (the subset used by Kubernetes Deployment/Service files):
+//   * block mappings   `key: value` / `key:` + indented block
+//   * block sequences  `- item`, including inline-mapping items
+//     (`- name: nginx` with continuation lines at the item indent)
+//   * sequences indented at the same level as their mapping key (K8s style)
+//   * plain, 'single-quoted' and "double-quoted" scalars
+//   * `#` comments and blank lines
+// Not supported (rejected with an error): tabs, anchors/aliases, flow
+// collections `{}`/`[]`, multi-line block scalars `|`/`>`, documents `---`.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+#include "yamlite/node.hpp"
+
+namespace edgesim::yamlite {
+
+/// Parse a document; the root is a mapping, sequence, or scalar.
+Result<Node> parse(std::string_view text);
+
+/// Serialise a node as block YAML (2-space indent, K8s-style sequences).
+std::string emit(const Node& node);
+
+}  // namespace edgesim::yamlite

@@ -1,0 +1,483 @@
+// Tests for the container substrate: image refs/layers, registries, the
+// layer store (shared-layer refcounting), pull coalescing, and the
+// containerd runtime lifecycle.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "container/image.hpp"
+#include "container/layer_store.hpp"
+#include "container/puller.hpp"
+#include "container/registry.hpp"
+#include "container/runtime.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace edgesim::container {
+namespace {
+
+using namespace timeliterals;
+
+// ---------------------------------------------------------------- image ----
+
+TEST(ImageRef, ParseVariants) {
+  auto ref = ImageRef::parse("nginx:1.23.2");
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->registry, "");
+  EXPECT_EQ(ref->repository, "nginx");
+  EXPECT_EQ(ref->tag, "1.23.2");
+
+  ref = ImageRef::parse("gcr.io/tensorflow-serving/resnet");
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->registry, "gcr.io");
+  EXPECT_EQ(ref->repository, "tensorflow-serving/resnet");
+  EXPECT_EQ(ref->tag, "latest");
+
+  ref = ImageRef::parse("josefhammer/web-asm:amd64");
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->registry, "");
+  EXPECT_EQ(ref->repository, "josefhammer/web-asm");
+  EXPECT_EQ(ref->tag, "amd64");
+
+  ref = ImageRef::parse("registry.local:5000/app:v2");
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->registry, "registry.local:5000");
+  EXPECT_EQ(ref->repository, "app");
+  EXPECT_EQ(ref->tag, "v2");
+
+  EXPECT_FALSE(ImageRef::parse("").has_value());
+  EXPECT_FALSE(ImageRef::parse("nginx:").has_value());
+}
+
+TEST(ImageRef, RoundTripToString) {
+  const auto ref = ImageRef::parse("gcr.io/tf/resnet:v1");
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->toString(), "gcr.io/tf/resnet:v1");
+  EXPECT_EQ(ImageRef::parse(ref->toString()), ref);
+}
+
+TEST(MakeImage, LayerCountAndTotalSizeExact) {
+  const auto ref = *ImageRef::parse("nginx:1.23.2");
+  const Image image = makeImage(ref, 135_MiB, 6);
+  EXPECT_EQ(image.layerCount(), 6u);
+  EXPECT_EQ(image.totalSize(), 135_MiB);
+  // Dominant layer carries most of the bytes.
+  EXPECT_GT(image.layers[0].size.value, image.totalSize().value / 2);
+}
+
+TEST(MakeImage, SingleLayer) {
+  const Image image = makeImage(*ImageRef::parse("web-asm:amd64"),
+                                Bytes{6329}, 1);
+  EXPECT_EQ(image.layerCount(), 1u);
+  EXPECT_EQ(image.totalSize(), Bytes{6329});
+}
+
+TEST(MakeImage, SharedBaseLayersIncluded) {
+  const Image base = makeImage(*ImageRef::parse("nginx:1.23.2"), 135_MiB, 6);
+  std::vector<Layer> shared(base.layers.begin(), base.layers.begin() + 2);
+  Bytes sharedSize;
+  for (const auto& layer : shared) sharedSize += layer.size;
+
+  const Image derived =
+      makeImage(*ImageRef::parse("nginx-py:1"), sharedSize + 46_MiB, 7, shared);
+  EXPECT_EQ(derived.layerCount(), 7u);
+  EXPECT_EQ(derived.layers[0].digest, base.layers[0].digest);
+  EXPECT_EQ(derived.layers[1].digest, base.layers[1].digest);
+  EXPECT_EQ(derived.totalSize(), sharedSize + 46_MiB);
+}
+
+// ------------------------------------------------------------- registry ----
+
+TEST(RegistryTest, ManifestLookup) {
+  Registry registry("hub", publicRegistryProfile());
+  registry.push(makeImage(*ImageRef::parse("nginx:1.23.2"), 135_MiB, 6));
+  EXPECT_TRUE(registry.hasImage(*ImageRef::parse("nginx:1.23.2")));
+  EXPECT_FALSE(registry.hasImage(*ImageRef::parse("nginx:latest")));
+  const auto manifest = registry.manifest(*ImageRef::parse("nginx:1.23.2"));
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest.value().layerCount(), 6u);
+  const auto missing = registry.manifest(*ImageRef::parse("nope:1"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, Errc::kNotFound);
+}
+
+TEST(RegistryTest, UnavailableRejects) {
+  Registry registry("hub", publicRegistryProfile());
+  registry.push(makeImage(*ImageRef::parse("nginx:1"), 10_MiB, 2));
+  registry.setAvailable(false);
+  const auto manifest = registry.manifest(*ImageRef::parse("nginx:1"));
+  ASSERT_FALSE(manifest.ok());
+  EXPECT_EQ(manifest.error().code, Errc::kUnavailable);
+}
+
+TEST(RegistryTest, DownloadTimeScalesWithLayersAndBytes) {
+  Registry pub("hub", publicRegistryProfile());
+  Registry priv("local", privateRegistryProfile());
+  const Image small = makeImage(*ImageRef::parse("a:1"), 1_MiB, 1);
+  const Image large = makeImage(*ImageRef::parse("b:1"), 300_MiB, 9);
+  EXPECT_LT(pub.downloadTime(small.layers), pub.downloadTime(large.layers));
+  // Private registry is strictly faster, by >= 1 s for multi-layer images
+  // (fig. 13: "pull times improve by about 1.5 to 2 seconds").
+  const auto savings = pub.downloadTime(large.layers).toSeconds() -
+                       priv.downloadTime(large.layers).toSeconds();
+  EXPECT_GT(savings, 1.0);
+  EXPECT_LT(savings, 6.0);
+}
+
+TEST(RegistryTest, EmptyLayerListStillPaysRtt) {
+  Registry pub("hub", publicRegistryProfile());
+  EXPECT_EQ(pub.downloadTime({}), publicRegistryProfile().requestRtt);
+}
+
+// ----------------------------------------------------------- layer store ----
+
+TEST(LayerStoreTest, MissingLayersAndCommit) {
+  LayerStore store;
+  const Image image = makeImage(*ImageRef::parse("nginx:1"), 135_MiB, 6);
+  EXPECT_EQ(store.missingLayers(image).size(), 6u);
+  EXPECT_FALSE(store.hasImage(image.ref));
+  store.commitImage(image);
+  EXPECT_TRUE(store.hasImage(image.ref));
+  EXPECT_TRUE(store.missingLayers(image).empty());
+  EXPECT_EQ(store.diskUsage(), 135_MiB);
+}
+
+TEST(LayerStoreTest, SharedLayersCountedOnce) {
+  LayerStore store;
+  const Image base = makeImage(*ImageRef::parse("nginx:1"), 100_MiB, 4);
+  std::vector<Layer> shared(base.layers.begin(), base.layers.begin() + 2);
+  Bytes sharedSize;
+  for (const auto& layer : shared) sharedSize += layer.size;
+  const Image derived =
+      makeImage(*ImageRef::parse("app:1"), sharedSize + 30_MiB, 5, shared);
+
+  store.commitImage(base);
+  store.commitImage(derived);
+  EXPECT_EQ(store.imageCount(), 2u);
+  EXPECT_EQ(store.diskUsage(), 130_MiB);  // shared bytes once
+
+  // Only the derived image's own layers are missing after deleting it.
+  EXPECT_TRUE(store.removeImage(derived.ref));
+  EXPECT_EQ(store.diskUsage(), 100_MiB);
+  EXPECT_TRUE(store.hasImage(base.ref));
+  // §IV-C: re-pulling `derived` now only needs its non-shared layers.
+  EXPECT_EQ(store.missingLayers(derived).size(), 3u);
+}
+
+TEST(LayerStoreTest, RemoveLastReferenceGarbageCollects) {
+  LayerStore store;
+  const Image image = makeImage(*ImageRef::parse("a:1"), 10_MiB, 3);
+  store.commitImage(image);
+  EXPECT_TRUE(store.removeImage(image.ref));
+  EXPECT_EQ(store.layerCount(), 0u);
+  EXPECT_EQ(store.diskUsage(), Bytes{0});
+  EXPECT_FALSE(store.removeImage(image.ref));  // second delete fails
+}
+
+TEST(LayerStoreTest, DoubleCommitIsIdempotent) {
+  LayerStore store;
+  const Image image = makeImage(*ImageRef::parse("a:1"), 10_MiB, 2);
+  store.commitImage(image);
+  store.commitImage(image);
+  EXPECT_EQ(store.imageCount(), 1u);
+  EXPECT_EQ(store.diskUsage(), 10_MiB);
+  EXPECT_TRUE(store.removeImage(image.ref));
+  EXPECT_EQ(store.layerCount(), 0u);
+}
+
+// --------------------------------------------------------------- puller ----
+
+class PullerFixture : public ::testing::Test {
+ protected:
+  PullerFixture()
+      : sim_(31),
+        registry_("hub", publicRegistryProfile()),
+        puller_(sim_, store_) {
+    registry_.push(makeImage(*ImageRef::parse("nginx:1.23.2"), 135_MiB, 6));
+  }
+
+  Simulation sim_;
+  Registry registry_;
+  LayerStore store_;
+  ImagePuller puller_;
+};
+
+TEST_F(PullerFixture, ColdPullTakesDownloadTime) {
+  const auto ref = *ImageRef::parse("nginx:1.23.2");
+  std::optional<Status> done;
+  puller_.pull(registry_, ref, [&](Status s) { done = s; });
+  EXPECT_TRUE(puller_.pulling(ref));
+  sim_.run();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_TRUE(done->ok());
+  EXPECT_TRUE(store_.hasImage(ref));
+  const auto expected =
+      registry_.downloadTime(makeImage(ref, 135_MiB, 6).layers);
+  EXPECT_EQ(sim_.now(), expected);
+}
+
+TEST_F(PullerFixture, WarmPullIsImmediate) {
+  const auto ref = *ImageRef::parse("nginx:1.23.2");
+  store_.commitImage(makeImage(ref, 135_MiB, 6));
+  std::optional<Status> done;
+  puller_.pull(registry_, ref, [&](Status s) { done = s; });
+  sim_.run();
+  ASSERT_TRUE(done.has_value() && done->ok());
+  EXPECT_EQ(sim_.now(), SimTime::zero());
+  EXPECT_EQ(registry_.pullCount(), 0u);
+}
+
+TEST_F(PullerFixture, ConcurrentPullsCoalesce) {
+  const auto ref = *ImageRef::parse("nginx:1.23.2");
+  int completions = 0;
+  for (int i = 0; i < 5; ++i) {
+    puller_.pull(registry_, ref, [&](Status s) {
+      EXPECT_TRUE(s.ok());
+      ++completions;
+    });
+  }
+  sim_.run();
+  EXPECT_EQ(completions, 5);
+  EXPECT_EQ(puller_.completedPulls(), 1u);
+  EXPECT_EQ(puller_.coalescedPulls(), 4u);
+  EXPECT_EQ(registry_.pullCount(), 1u);
+}
+
+TEST_F(PullerFixture, MissingImageFails) {
+  std::optional<Status> done;
+  puller_.pull(registry_, *ImageRef::parse("ghost:1"),
+               [&](Status s) { done = s; });
+  sim_.run();
+  ASSERT_TRUE(done.has_value());
+  ASSERT_FALSE(done->ok());
+  EXPECT_EQ(done->error().code, Errc::kNotFound);
+}
+
+TEST_F(PullerFixture, RegistryDownFails) {
+  registry_.setAvailable(false);
+  std::optional<Status> done;
+  puller_.pull(registry_, *ImageRef::parse("nginx:1.23.2"),
+               [&](Status s) { done = s; });
+  sim_.run();
+  ASSERT_TRUE(done.has_value());
+  ASSERT_FALSE(done->ok());
+  EXPECT_EQ(done->error().code, Errc::kUnavailable);
+}
+
+// -------------------------------------------------------------- runtime ----
+
+class RuntimeFixture : public ::testing::Test {
+ protected:
+  RuntimeFixture()
+      : sim_(41),
+        net_(sim_),
+        node_(net_, "edge-node", Ipv4(10, 0, 1, 5), Mac(0x05)),
+        client_(net_, "client", Ipv4(10, 0, 0, 1), Mac(0x01)),
+        runtime_(sim_, node_, store_) {
+    net_.connect(client_, node_, 1_ms, 1_Gbps);
+    const Image image = makeImage(*ImageRef::parse("nginx:1.23.2"), 135_MiB, 6);
+    store_.commitImage(image);
+    spec_.name = "web";
+    spec_.image = image.ref;
+    spec_.containerPort = 80;
+    spec_.labels["edge.service"] = "web.example:80";
+    spec_.app.startupDelay = 60_ms;
+    spec_.app.requestCompute = 1_ms;
+    spec_.app.responseBytes = Bytes{500};
+  }
+
+  Simulation sim_;
+  Network net_;
+  LayerStore store_;
+  Host node_;
+  Host client_;
+  ContainerdRuntime runtime_;
+  ContainerSpec spec_;
+};
+
+TEST_F(RuntimeFixture, CreateRequiresImage) {
+  ContainerSpec ghost = spec_;
+  ghost.image = *ImageRef::parse("ghost:1");
+  const auto result = runtime_.create(ghost);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::kFailedPrecondition);
+}
+
+TEST_F(RuntimeFixture, LifecycleCreatedStartingRunning) {
+  const auto created = runtime_.create(spec_);
+  ASSERT_TRUE(created.ok());
+  const ContainerId id = created.value();
+  EXPECT_EQ(runtime_.find(id)->state, ContainerState::kCreated);
+
+  std::optional<Status> started;
+  ASSERT_TRUE(runtime_.start(id, [&](Status s) { started = s; }).ok());
+  EXPECT_EQ(runtime_.find(id)->state, ContainerState::kStarting);
+  sim_.run();
+  ASSERT_TRUE(started.has_value() && started->ok());
+  EXPECT_EQ(runtime_.find(id)->state, ContainerState::kRunning);
+  EXPECT_NE(runtime_.find(id)->hostPort, 0);
+  // Ready strictly after start (app startupDelay).
+  EXPECT_GE(runtime_.find(id)->readyAt - runtime_.find(id)->startedAt, 60_ms);
+}
+
+TEST_F(RuntimeFixture, ServesHttpOnceReady) {
+  const auto id = runtime_.create(spec_).value();
+  (void)runtime_.start(id, [](Status) {});
+  sim_.run();
+  const auto endpoint = runtime_.endpointOf(id);
+  ASSERT_TRUE(endpoint.ok());
+
+  std::optional<Result<HttpExchange>> got;
+  client_.httpRequest(endpoint.value(), HttpRequest{},
+                      [&](Result<HttpExchange> r) { got = std::move(r); });
+  sim_.run();
+  ASSERT_TRUE(got.has_value() && got->ok());
+  EXPECT_EQ(got->value().response.status, 200);
+  EXPECT_EQ(got->value().response.payload, Bytes{500});
+}
+
+TEST_F(RuntimeFixture, DoubleStartRejected) {
+  const auto id = runtime_.create(spec_).value();
+  (void)runtime_.start(id, [](Status) {});
+  sim_.run();
+  const auto second = runtime_.start(id, [](Status) {});
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, Errc::kFailedPrecondition);
+}
+
+TEST_F(RuntimeFixture, StopClosesPortAndAllowsRestart) {
+  const auto id = runtime_.create(spec_).value();
+  (void)runtime_.start(id, [](Status) {});
+  sim_.run();
+  const auto port = runtime_.find(id)->hostPort;
+  EXPECT_TRUE(node_.listening(port));
+
+  std::optional<Status> stopped;
+  ASSERT_TRUE(runtime_.stop(id, [&](Status s) { stopped = s; }).ok());
+  sim_.run();
+  ASSERT_TRUE(stopped.has_value() && stopped->ok());
+  EXPECT_EQ(runtime_.find(id)->state, ContainerState::kExited);
+  EXPECT_FALSE(node_.listening(port));
+  EXPECT_FALSE(runtime_.endpointOf(id).ok());
+
+  // Exited containers can be started again (docker start semantics).
+  std::optional<Status> restarted;
+  ASSERT_TRUE(runtime_.start(id, [&](Status s) { restarted = s; }).ok());
+  sim_.run();
+  ASSERT_TRUE(restarted.has_value() && restarted->ok());
+  EXPECT_EQ(runtime_.find(id)->state, ContainerState::kRunning);
+}
+
+TEST_F(RuntimeFixture, RemoveRequiresStopped) {
+  const auto id = runtime_.create(spec_).value();
+  (void)runtime_.start(id, [](Status) {});
+  sim_.run();
+  EXPECT_FALSE(runtime_.remove(id).ok());
+  (void)runtime_.stop(id, [](Status) {});
+  sim_.run();
+  EXPECT_TRUE(runtime_.remove(id).ok());
+  EXPECT_EQ(runtime_.find(id), nullptr);
+}
+
+TEST_F(RuntimeFixture, LabelSelectorListing) {
+  const auto id1 = runtime_.create(spec_).value();
+  ContainerSpec other = spec_;
+  other.labels["edge.service"] = "other.example:80";
+  const auto id2 = runtime_.create(other).value();
+  (void)id1;
+  (void)id2;
+  EXPECT_EQ(runtime_.list().size(), 2u);
+  EXPECT_EQ(runtime_.list({{"edge.service", "web.example:80"}}).size(), 1u);
+  EXPECT_EQ(runtime_.list({{"edge.service", "nope"}}).size(), 0u);
+}
+
+TEST_F(RuntimeFixture, CrashOnStartNeverBindsPort) {
+  ContainerSpec crashy = spec_;
+  crashy.app.crashOnStartProbability = 1.0;
+  const auto id = runtime_.create(crashy).value();
+  std::optional<Status> started;
+  (void)runtime_.start(id, [&](Status s) { started = s; });
+  sim_.run();
+  ASSERT_TRUE(started.has_value() && started->ok());
+  EXPECT_EQ(runtime_.find(id)->state, ContainerState::kExited);
+  EXPECT_EQ(runtime_.find(id)->hostPort, 0);
+}
+
+TEST_F(RuntimeFixture, HelperContainerWithoutPort) {
+  ContainerSpec helper = spec_;
+  helper.app.exposesPort = false;
+  const auto id = runtime_.create(helper).value();
+  (void)runtime_.start(id, [](Status) {});
+  sim_.run();
+  EXPECT_EQ(runtime_.find(id)->state, ContainerState::kRunning);
+  EXPECT_EQ(runtime_.find(id)->hostPort, 0);
+  EXPECT_FALSE(runtime_.endpointOf(id).ok());
+  // Ready as soon as running.
+  EXPECT_EQ(runtime_.find(id)->readyAt, runtime_.find(id)->startedAt);
+}
+
+TEST_F(RuntimeFixture, ConcurrentRequestsQueuePerContainer) {
+  // Single-worker service model: two simultaneous requests serialise, so
+  // the second completes roughly one compute interval after the first.
+  spec_.app.requestCompute = 100_ms;
+  const auto id = runtime_.create(spec_).value();
+  (void)runtime_.start(id, [](Status) {});
+  sim_.run();
+  const auto endpoint = runtime_.endpointOf(id).value();
+
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    client_.httpRequest(endpoint, HttpRequest{},
+                        [&](Result<HttpExchange> r) {
+                          ASSERT_TRUE(r.ok());
+                          completions.push_back(sim_.now());
+                        });
+  }
+  sim_.run();
+  ASSERT_EQ(completions.size(), 3u);
+  // Completion spacing ~= compute time (not all at once).
+  EXPECT_GE((completions[1] - completions[0]).toMillis(), 95.0);
+  EXPECT_GE((completions[2] - completions[1]).toMillis(), 95.0);
+  EXPECT_EQ(runtime_.find(id)->requestsServed, 3u);
+}
+
+TEST_F(RuntimeFixture, RequestCounterTracksLoad) {
+  const auto id = runtime_.create(spec_).value();
+  (void)runtime_.start(id, [](Status) {});
+  sim_.run();
+  EXPECT_EQ(runtime_.find(id)->requestsServed, 0u);
+  const auto endpoint = runtime_.endpointOf(id).value();
+  for (int i = 0; i < 5; ++i) {
+    client_.httpRequest(endpoint, HttpRequest{}, [](Result<HttpExchange>) {});
+  }
+  sim_.run();
+  EXPECT_EQ(runtime_.find(id)->requestsServed, 5u);
+}
+
+TEST_F(RuntimeFixture, StartLatencyIsImageSizeIndependent) {
+  // Asm (6 KiB) and Nginx (135 MiB) must start in comparable time ("no
+  // notable difference", fig. 11 discussion); only app startupDelay varies.
+  const Image tiny = makeImage(*ImageRef::parse("web-asm:amd64"), Bytes{6329}, 1);
+  store_.commitImage(tiny);
+  ContainerSpec asmSpec = spec_;
+  asmSpec.image = tiny.ref;
+  asmSpec.app.startupDelay = 5_ms;
+
+  const auto idAsm = runtime_.create(asmSpec).value();
+  SimTime asmStarted;
+  (void)runtime_.start(idAsm, [&](Status) { asmStarted = sim_.now(); });
+  sim_.run();
+
+  const auto idNginx = runtime_.create(spec_).value();
+  const SimTime base = sim_.now();
+  SimTime nginxStarted;
+  (void)runtime_.start(idNginx, [&](Status) { nginxStarted = sim_.now(); });
+  sim_.run();
+
+  const double asmSec = asmStarted.toSeconds();
+  const double nginxSec = (nginxStarted - base).toSeconds();
+  EXPECT_NEAR(asmSec, nginxSec, 0.15);  // same start cost, modulo jitter
+}
+
+}  // namespace
+}  // namespace edgesim::container

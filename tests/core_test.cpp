@@ -1,0 +1,538 @@
+// Unit tests for the core module: YAML annotator (§V), service models,
+// Table I catalogue, FlowMemory (§V), and the Global Scheduler decisions
+// (§IV-B) -- FAST/BEST semantics including "without waiting".
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/annotator.hpp"
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "core/flow_memory.hpp"
+#include "core/scheduler.hpp"
+#include "core/service_catalog.hpp"
+#include "core/service_model.hpp"
+#include "yamlite/parse.hpp"
+
+namespace edgesim::core {
+namespace {
+
+using namespace timeliterals;
+
+const Endpoint kSvc{Ipv4(203, 0, 113, 10), 80};
+
+// ------------------------------------------------------------ annotator ----
+
+TEST(Annotator, UniqueNameFromAddress) {
+  EXPECT_EQ(uniqueServiceName(kSvc), "edge-203-0-113-10-80");
+  EXPECT_EQ(uniqueServiceName(Endpoint(Ipv4(1, 2, 3, 4), 8080)),
+            "edge-1-2-3-4-8080");
+}
+
+TEST(Annotator, MinimalDefinitionGetsEverything) {
+  // "The only mandatory data is the name of the image."
+  const auto result = annotateServiceYaml(R"(spec:
+  template:
+    spec:
+      containers:
+      - image: nginx:1.23.2
+)",
+                                          kSvc, AnnotatorConfig{});
+  ASSERT_TRUE(result.ok()) << result.error().toString();
+  const auto& annotated = result.value();
+
+  EXPECT_EQ(annotated.uniqueName, "edge-203-0-113-10-80");
+  const auto& dep = annotated.deployment;
+  EXPECT_EQ(dep.findPath("metadata.name")->asString(), annotated.uniqueName);
+  EXPECT_EQ(dep.findPath("apiVersion")->asString(), "apps/v1");
+  EXPECT_EQ(dep.findPath("kind")->asString(), "Deployment");
+  // Scale to zero by default.
+  EXPECT_EQ(dep.findPath("spec.replicas")->asInt().value(), 0);
+  // matchLabels + edge.service label in all three places.
+  for (const char* path :
+       {"metadata.labels", "spec.selector.matchLabels",
+        "spec.template.metadata.labels"}) {
+    const auto* labels = dep.findPath(path);
+    ASSERT_NE(labels, nullptr) << path;
+    EXPECT_EQ(labels->find("edge.service")->asString(), "203.0.113.10:80");
+    EXPECT_EQ(labels->find("app")->asString(), annotated.uniqueName);
+  }
+  // Service generated with port/targetPort/protocol.
+  EXPECT_TRUE(annotated.serviceGenerated);
+  EXPECT_EQ(annotated.service.findPath("kind")->asString(), "Service");
+  const auto* ports = annotated.service.findPath("spec.ports");
+  ASSERT_NE(ports, nullptr);
+  EXPECT_EQ(ports->items()[0].find("port")->asInt().value(), 80);
+  EXPECT_EQ(ports->items()[0].find("targetPort")->asInt().value(), 80);
+  EXPECT_EQ(ports->items()[0].find("protocol")->asString(), "TCP");
+}
+
+TEST(Annotator, TargetPortFromContainerPort) {
+  const auto result = annotateServiceYaml(R"(spec:
+  template:
+    spec:
+      containers:
+      - image: tf/resnet:1
+        ports:
+        - containerPort: 8501
+)",
+                                          kSvc, AnnotatorConfig{});
+  ASSERT_TRUE(result.ok());
+  const auto* ports = result.value().service.findPath("spec.ports");
+  EXPECT_EQ(ports->items()[0].find("targetPort")->asInt().value(), 8501);
+  EXPECT_EQ(ports->items()[0].find("port")->asInt().value(), 80);
+}
+
+TEST(Annotator, SchedulerNameInjectedWhenConfigured) {
+  AnnotatorConfig config;
+  config.localScheduler = "edge-local-scheduler";
+  const auto result = annotateServiceYaml(
+      "spec:\n  template:\n    spec:\n      containers:\n      - image: a:1\n",
+      kSvc, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()
+                .deployment.findPath("spec.template.spec.schedulerName")
+                ->asString(),
+            "edge-local-scheduler");
+}
+
+TEST(Annotator, NoSchedulerNameByDefault) {
+  const auto result = annotateServiceYaml(
+      "spec:\n  template:\n    spec:\n      containers:\n      - image: a:1\n",
+      kSvc, AnnotatorConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(
+      result.value().deployment.findPath("spec.template.spec.schedulerName"),
+      nullptr);
+}
+
+TEST(Annotator, DeveloperProvidedServicePreserved) {
+  const auto result = annotateServiceYaml(R"(spec:
+  template:
+    spec:
+      containers:
+      - image: a:1
+service:
+  spec:
+    ports:
+    - port: 9999
+      targetPort: 9999
+)",
+                                          kSvc, AnnotatorConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().serviceGenerated);
+  const auto* ports = result.value().service.findPath("spec.ports");
+  ASSERT_NE(ports, nullptr);
+  EXPECT_EQ(ports->items()[0].find("port")->asInt().value(), 9999);
+  // The embedded service key is removed from the deployment document.
+  EXPECT_EQ(result.value().deployment.find("service"), nullptr);
+}
+
+TEST(Annotator, RejectsDefinitionWithoutImage) {
+  EXPECT_FALSE(annotateServiceYaml("spec:\n  replicas: 1\n", kSvc,
+                                   AnnotatorConfig{})
+                   .ok());
+  EXPECT_FALSE(annotateServiceYaml("just-a-scalar\n", kSvc, AnnotatorConfig{})
+                   .ok());
+  EXPECT_FALSE(annotateServiceYaml(
+                   "spec:\n  template:\n    spec:\n      containers: []\n",
+                   kSvc, AnnotatorConfig{})
+                   .ok());
+}
+
+TEST(Annotator, ExistingNameIsOverridden) {
+  const auto result = annotateServiceYaml(R"(metadata:
+  name: my-local-name
+spec:
+  template:
+    spec:
+      containers:
+      - image: a:1
+)",
+                                          kSvc, AnnotatorConfig{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().deployment.findPath("metadata.name")->asString(),
+            "edge-203-0-113-10-80");
+}
+
+TEST(Annotator, AnnotatedDocumentStillEmitsAndReparses) {
+  const auto result = annotateServiceYaml(
+      ServiceCatalog().entry("nginx-py").yaml, kSvc, AnnotatorConfig{});
+  ASSERT_TRUE(result.ok());
+  const auto emitted = yamlite::emit(result.value().deployment);
+  const auto reparsed = yamlite::parse(emitted);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().toString();
+  EXPECT_TRUE(result.value().deployment == reparsed.value());
+}
+
+// --------------------------------------------------------- service model ----
+
+TEST(ServiceModel, BuildsSpecsWithProfilesAndLabels) {
+  ServiceCatalog catalog;
+  const auto annotated = annotateServiceYaml(catalog.entry("nginx-py").yaml,
+                                             kSvc, AnnotatorConfig{});
+  ASSERT_TRUE(annotated.ok());
+  const auto model =
+      buildServiceModel(annotated.value(), kSvc, catalog.profiles());
+  ASSERT_TRUE(model.ok()) << model.error().toString();
+  const auto& m = model.value();
+  ASSERT_EQ(m.containers.size(), 2u);
+  EXPECT_EQ(m.containers[0].name, "nginx");
+  EXPECT_EQ(m.containers[0].containerPort, 80);
+  EXPECT_TRUE(m.containers[0].app.exposesPort);
+  EXPECT_EQ(m.containers[1].name, "env-writer");
+  EXPECT_FALSE(m.containers[1].app.exposesPort);
+  EXPECT_EQ(m.containers[1].env.at("WRITE_INTERVAL_SECONDS"), "1");
+  ASSERT_EQ(m.containers[0].volumeMounts.size(), 1u);
+  EXPECT_EQ(m.containers[0].volumeMounts[0].second, "/usr/share/nginx/html");
+  EXPECT_EQ(m.containers[0].labels.at("edge.service"), "203.0.113.10:80");
+  EXPECT_EQ(m.targetPort, 80);
+}
+
+TEST(ServiceModel, UnknownImageGetsDefaultProfile) {
+  const auto annotated = annotateServiceYaml(
+      "spec:\n  template:\n    spec:\n      containers:\n      - image: mystery:9\n",
+      kSvc, AnnotatorConfig{});
+  ASSERT_TRUE(annotated.ok());
+  AppProfileRegistry empty;
+  const auto model = buildServiceModel(annotated.value(), kSvc, empty);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model.value().containers[0].app.startupDelay.toNanos(), 0);
+}
+
+// -------------------------------------------------------------- catalog ----
+
+TEST(Catalog, TableOneContents) {
+  ServiceCatalog catalog;
+  ASSERT_EQ(catalog.entries().size(), 4u);
+
+  const auto& asmEntry = catalog.entry("asm");
+  EXPECT_EQ(asmEntry.displayName, "Asm");
+  EXPECT_EQ(catalog.totalLayerCount("asm"), 1u);
+  EXPECT_NEAR(static_cast<double>(catalog.totalImageSize("asm").value),
+              6.18 * 1024, 16.0);
+
+  EXPECT_EQ(catalog.totalImageSize("nginx"), 135_MiB);
+  EXPECT_EQ(catalog.totalLayerCount("nginx"), 6u);
+
+  const auto& resnet = catalog.entry("resnet");
+  EXPECT_EQ(catalog.totalImageSize("resnet"), 308_MiB);
+  EXPECT_EQ(catalog.totalLayerCount("resnet"), 9u);
+  EXPECT_EQ(resnet.requestMethod, HttpMethod::kPost);
+  EXPECT_EQ(resnet.requestPayload.value, 83u * 1024);
+
+  const auto& nginxPy = catalog.entry("nginx-py");
+  EXPECT_EQ(nginxPy.containerCount, 2);
+  EXPECT_EQ(catalog.totalImageSize("nginx-py"), 181_MiB);
+  EXPECT_EQ(catalog.totalLayerCount("nginx-py"), 7u);
+}
+
+TEST(Catalog, YamlDefinitionsParseAndAnnotate) {
+  ServiceCatalog catalog;
+  for (const auto& entry : catalog.entries()) {
+    const auto annotated =
+        annotateServiceYaml(entry.yaml, kSvc, AnnotatorConfig{});
+    ASSERT_TRUE(annotated.ok())
+        << entry.key << ": " << annotated.error().toString();
+    const auto model =
+        buildServiceModel(annotated.value(), kSvc, catalog.profiles());
+    ASSERT_TRUE(model.ok()) << entry.key;
+    EXPECT_EQ(static_cast<int>(model.value().containers.size()),
+              entry.containerCount);
+  }
+}
+
+TEST(Catalog, ProfilesMatchPaperQualitative) {
+  ServiceCatalog catalog;
+  const auto& profiles = catalog.profiles();
+  const auto asmApp = profiles.lookup("josefhammer/web-asm:amd64");
+  const auto nginxApp = profiles.lookup("nginx:1.23.2");
+  const auto resnetApp =
+      profiles.lookup("gcr.io/tensorflow-serving/resnet:latest");
+  // Asm has negligible launch time; ResNet's model load dominates.
+  EXPECT_LT(asmApp.startupDelay, nginxApp.startupDelay);
+  EXPECT_GT(resnetApp.startupDelay, nginxApp.startupDelay * 10);
+  // Warm requests: small services ~sub-ms; ResNet inference >> (fig. 16).
+  EXPECT_LT(nginxApp.requestCompute, 1_ms);
+  EXPECT_GT(resnetApp.requestCompute, 50_ms);
+}
+
+// ------------------------------------------------------------ flow memory ----
+
+TEST(FlowMemoryTest, UpsertLookupTouchExpire) {
+  FlowMemory memory(10_s);
+  const Ipv4 client(10, 0, 2, 1);
+  const Endpoint instance(Ipv4(10, 0, 1, 1), 30000);
+  memory.upsert(client, kSvc, instance, "docker-egs", SimTime::zero());
+
+  const auto* flow = memory.lookup(client, kSvc);
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->instance, instance);
+  EXPECT_EQ(flow->cluster, "docker-egs");
+
+  memory.touch(client, kSvc, 8_s);
+  EXPECT_TRUE(memory.expire(12_s).empty());  // idle only 4 s
+  const auto expired = memory.expire(18_s);  // idle 10 s
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].cluster, "docker-egs");
+  EXPECT_EQ(memory.lookup(client, kSvc), nullptr);
+}
+
+TEST(FlowMemoryTest, PerClientPerServiceKeys) {
+  FlowMemory memory(10_s);
+  const Endpoint svc2(Ipv4(203, 0, 113, 11), 80);
+  memory.upsert(Ipv4(10, 0, 2, 1), kSvc, Endpoint(Ipv4(1, 1, 1, 1), 1), "a",
+                SimTime::zero());
+  memory.upsert(Ipv4(10, 0, 2, 2), kSvc, Endpoint(Ipv4(1, 1, 1, 1), 1), "a",
+                SimTime::zero());
+  memory.upsert(Ipv4(10, 0, 2, 1), svc2, Endpoint(Ipv4(1, 1, 1, 2), 1), "b",
+                SimTime::zero());
+  EXPECT_EQ(memory.size(), 3u);
+  EXPECT_EQ(memory.flowsFor(kSvc, "a"), 2u);
+  EXPECT_EQ(memory.flowsFor(svc2, "b"), 1u);
+  EXPECT_EQ(memory.flowsFor(kSvc, "b"), 0u);
+}
+
+TEST(FlowMemoryTest, ForgetInstanceDropsAllItsFlows) {
+  FlowMemory memory(10_s);
+  const Endpoint instance(Ipv4(10, 0, 1, 1), 30000);
+  memory.upsert(Ipv4(10, 0, 2, 1), kSvc, instance, "a", SimTime::zero());
+  memory.upsert(Ipv4(10, 0, 2, 2), kSvc, instance, "a", SimTime::zero());
+  memory.forgetInstance(instance);
+  EXPECT_EQ(memory.size(), 0u);
+}
+
+// ------------------------------------------------------------- schedulers ----
+
+ClusterView makeView(const std::string& name, int rank, int ready,
+                     bool isCloud = false) {
+  ClusterView view;
+  view.name = name;
+  view.distanceRank = rank;
+  view.isCloud = isCloud;
+  for (int i = 0; i < ready; ++i) {
+    view.readyInstances.emplace_back(Ipv4(10, 0, 1, 1),
+                                     static_cast<std::uint16_t>(30000 + i));
+  }
+  view.freeCapacity = 10;
+  return view;
+}
+
+ScheduleRequest makeRequest(std::vector<ClusterView> clusters) {
+  ScheduleRequest request;
+  request.service = kSvc;
+  request.client = Ipv4(10, 0, 2, 1);
+  request.clusters = std::move(clusters);
+  return request;
+}
+
+TEST(Schedulers, ProximityDeploysNearbyAndWaits) {
+  auto scheduler = makeProximityScheduler();
+  // Nothing runs anywhere: FAST = nearest edge (deploy + wait), BEST empty.
+  auto decision = scheduler->decide(makeRequest(
+      {makeView("near", 0, 0), makeView("far", 1, 0),
+       makeView("cloud", 100, 1, true)}));
+  ASSERT_TRUE(decision.fast.has_value());
+  EXPECT_EQ(*decision.fast, "near");
+  EXPECT_FALSE(decision.best.has_value());
+  EXPECT_FALSE(decision.deploysWithoutWaiting());
+}
+
+TEST(Schedulers, ProximityPrefersNearestEvenIfFarRuns) {
+  auto scheduler = makeProximityScheduler();
+  const auto decision = scheduler->decide(makeRequest(
+      {makeView("near", 0, 0), makeView("far", 1, 1),
+       makeView("cloud", 100, 1, true)}));
+  ASSERT_TRUE(decision.fast.has_value());
+  EXPECT_EQ(*decision.fast, "near");  // waits for the optimal edge
+}
+
+TEST(Schedulers, LatencyFirstUsesFarInstanceAndDeploysNear) {
+  auto scheduler = makeLatencyFirstScheduler();
+  // fig. 3: far edge runs an instance; optimal (near) does not.
+  const auto decision = scheduler->decide(makeRequest(
+      {makeView("near", 0, 0), makeView("far", 1, 1),
+       makeView("cloud", 100, 1, true)}));
+  ASSERT_TRUE(decision.fast.has_value());
+  EXPECT_EQ(*decision.fast, "far");
+  ASSERT_TRUE(decision.best.has_value());
+  EXPECT_EQ(*decision.best, "near");
+  EXPECT_TRUE(decision.deploysWithoutWaiting());
+}
+
+TEST(Schedulers, LatencyFirstWaitsWhenNothingRuns) {
+  auto scheduler = makeLatencyFirstScheduler();
+  const auto decision = scheduler->decide(makeRequest(
+      {makeView("near", 0, 0), makeView("far", 1, 0)}));
+  ASSERT_TRUE(decision.fast.has_value());
+  EXPECT_EQ(*decision.fast, "near");
+  EXPECT_FALSE(decision.deploysWithoutWaiting());
+}
+
+TEST(Schedulers, LatencyFirstNoUpgradeWhenNearestAlreadyRuns) {
+  auto scheduler = makeLatencyFirstScheduler();
+  const auto decision = scheduler->decide(makeRequest(
+      {makeView("near", 0, 1), makeView("far", 1, 1)}));
+  ASSERT_TRUE(decision.fast.has_value());
+  EXPECT_EQ(*decision.fast, "near");
+  EXPECT_FALSE(decision.best.has_value());
+}
+
+TEST(Schedulers, CloudFallbackForwardsToCloudAndDeploysBest) {
+  auto scheduler = makeCloudFallbackScheduler();
+  const auto decision = scheduler->decide(makeRequest(
+      {makeView("near", 0, 0), makeView("cloud", 100, 1, true)}));
+  ASSERT_TRUE(decision.fast.has_value());
+  EXPECT_EQ(*decision.fast, "cloud");
+  ASSERT_TRUE(decision.best.has_value());
+  EXPECT_EQ(*decision.best, "near");
+}
+
+TEST(Schedulers, RoundRobinSpreadsAcrossRunningClusters) {
+  auto scheduler = makeRoundRobinScheduler();
+  const auto request = makeRequest(
+      {makeView("a", 0, 1), makeView("b", 1, 1), makeView("cloud", 100, 1, true)});
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 10; ++i) {
+    const auto decision = scheduler->decide(request);
+    ASSERT_TRUE(decision.fast.has_value());
+    ++counts[*decision.fast];
+  }
+  EXPECT_EQ(counts["a"], 5);
+  EXPECT_EQ(counts["b"], 5);
+  EXPECT_EQ(counts.count("cloud"), 0u);  // cloud not in rotation
+}
+
+TEST(Schedulers, RegistryCreatesByNameAndRejectsUnknown) {
+  auto& registry = SchedulerRegistry::instance();
+  for (const char* name :
+       {"proximity", "latency-first", "cloud-fallback", "round-robin"}) {
+    const auto created = registry.create(name, Config());
+    ASSERT_TRUE(created.ok()) << name;
+    EXPECT_STREQ(created.value()->name(), name);
+  }
+  EXPECT_FALSE(registry.create("no-such-scheduler", Config()).ok());
+  EXPECT_GE(registry.names().size(), 4u);
+}
+
+TEST(Schedulers, CustomSchedulerRegistration) {
+  class AlwaysFar final : public GlobalScheduler {
+   public:
+    const char* name() const override { return "always-far"; }
+    GlobalDecision decide(const ScheduleRequest&) override {
+      GlobalDecision decision;
+      decision.fast = "far";
+      return decision;
+    }
+  };
+  SchedulerRegistry::instance().registerScheduler(
+      "always-far",
+      [](const Config&) { return std::make_unique<AlwaysFar>(); });
+  const auto created =
+      SchedulerRegistry::instance().create("always-far", Config());
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(*created.value()->decide(makeRequest({})).fast, "far");
+}
+
+// ------------------------------------------------------ local scheduler ----
+
+TEST(LocalSchedulers, FirstIsStable) {
+  auto scheduler = makeFirstInstanceScheduler();
+  const std::vector<Endpoint> instances{
+      Endpoint(Ipv4(10, 0, 1, 1), 30000), Endpoint(Ipv4(10, 0, 1, 1), 30001)};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(scheduler->pick(instances, Ipv4(10, 0, 2, 1)), instances[0]);
+  }
+}
+
+TEST(LocalSchedulers, RoundRobinRotates) {
+  auto scheduler = makeInstanceRoundRobinScheduler();
+  const std::vector<Endpoint> instances{
+      Endpoint(Ipv4(10, 0, 1, 1), 30000), Endpoint(Ipv4(10, 0, 1, 1), 30001),
+      Endpoint(Ipv4(10, 0, 1, 1), 30002)};
+  std::map<Endpoint, int> counts;
+  for (int i = 0; i < 9; ++i) {
+    ++counts[scheduler->pick(instances, Ipv4(10, 0, 2, 1))];
+  }
+  for (const auto& instance : instances) EXPECT_EQ(counts[instance], 3);
+}
+
+TEST(LocalSchedulers, ClientHashIsDeterministicPerClient) {
+  auto scheduler = makeClientHashScheduler();
+  const std::vector<Endpoint> instances{
+      Endpoint(Ipv4(10, 0, 1, 1), 30000), Endpoint(Ipv4(10, 0, 1, 1), 30001),
+      Endpoint(Ipv4(10, 0, 1, 1), 30002), Endpoint(Ipv4(10, 0, 1, 1), 30003)};
+  // Same client -> same instance, always.
+  const auto first = scheduler->pick(instances, Ipv4(10, 0, 2, 7));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(scheduler->pick(instances, Ipv4(10, 0, 2, 7)), first);
+  }
+  // Many clients spread over more than one instance.
+  std::set<Endpoint> chosen;
+  for (int c = 1; c <= 32; ++c) {
+    chosen.insert(scheduler->pick(instances,
+                                  Ipv4(10, 0, 2, static_cast<std::uint8_t>(c))));
+  }
+  EXPECT_GT(chosen.size(), 1u);
+}
+
+TEST(LocalSchedulers, FactoryByName) {
+  EXPECT_STREQ(makeLocalScheduler("first")->name(), "first");
+  EXPECT_STREQ(makeLocalScheduler("instance-round-robin")->name(),
+               "instance-round-robin");
+  EXPECT_STREQ(makeLocalScheduler("client-hash")->name(), "client-hash");
+  EXPECT_STREQ(makeLocalScheduler("")->name(), "first");
+  EXPECT_STREQ(makeLocalScheduler("garbage")->name(), "first");
+}
+
+// Property: FAST, when set, always names a cluster from the request; BEST
+// never equals FAST.
+class SchedulerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerProperty, DecisionsAreWellFormed) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<std::unique_ptr<GlobalScheduler>> schedulers;
+  schedulers.push_back(makeProximityScheduler());
+  schedulers.push_back(makeLatencyFirstScheduler());
+  schedulers.push_back(makeCloudFallbackScheduler());
+  schedulers.push_back(makeRoundRobinScheduler());
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<ClusterView> clusters;
+    const auto clusterCount = rng.uniformInt(0, 4);
+    for (std::uint64_t i = 0; i < clusterCount; ++i) {
+      clusters.push_back(makeView(strprintf("c%llu", (unsigned long long)i),
+                                  static_cast<int>(rng.uniformInt(0, 3)),
+                                  static_cast<int>(rng.uniformInt(0, 2))));
+    }
+    if (rng.chance(0.7)) {
+      clusters.push_back(makeView("cloud", 100, 1, true));
+    }
+    const auto request = makeRequest(clusters);
+    for (auto& scheduler : schedulers) {
+      const auto decision = scheduler->decide(request);
+      auto contains = [&](const std::string& name) {
+        for (const auto& c : request.clusters) {
+          if (c.name == name) return true;
+        }
+        return false;
+      };
+      if (decision.fast) {
+        EXPECT_TRUE(contains(*decision.fast));
+      }
+      if (decision.best) {
+        EXPECT_TRUE(contains(*decision.best));
+        if (decision.fast) {
+          EXPECT_NE(*decision.best, *decision.fast);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace edgesim::core

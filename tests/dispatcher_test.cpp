@@ -1,0 +1,355 @@
+// Unit tests for the Dispatcher (fig. 7) against a scripted mock cluster
+// adapter: phase ordering (Pull -> Create -> Scale-Up -> wait), request
+// coalescing, FlowMemory fast path, BEST background deployments, cloud
+// fallback, and deployment timeout.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/dispatcher.hpp"
+#include "core/service_catalog.hpp"
+
+namespace edgesim::core {
+namespace {
+
+using namespace timeliterals;
+
+const Endpoint kSvc{Ipv4(203, 0, 113, 10), 80};
+
+/// Scripted adapter: phase latencies and state are fully controllable.
+class MockAdapter final : public ClusterAdapter {
+ public:
+  MockAdapter(Simulation& sim, std::string name, int rank)
+      : ClusterAdapter(std::move(name), rank), sim_(sim) {}
+
+  // --- scripted state ---
+  bool imageCached = false;
+  bool created = false;
+  bool running = false;        // becomes true readyDelay after scale-up
+  bool cloud = false;
+  SimTime pullDelay = 2_s;
+  SimTime createDelay = 100_ms;
+  SimTime scaleUpDelay = 300_ms;
+  SimTime readyDelay = 100_ms;  // scale-up completion -> port open
+  bool failPull = false;
+  bool neverReady = false;
+  Endpoint instance{Ipv4(10, 0, 1, 1), 30000};
+
+  // --- call log ---
+  std::vector<std::string> log;
+
+  bool isCloud() const override { return cloud; }
+
+  ClusterView view(const ServiceModel&) const override {
+    ClusterView v;
+    v.name = name();
+    v.distanceRank = distanceRank();
+    v.isCloud = cloud;
+    v.imageCached = imageCached;
+    v.serviceCreated = created;
+    if (running) v.readyInstances.push_back(instance);
+    v.freeCapacity = 10;
+    return v;
+  }
+
+  std::vector<Endpoint> readyInstances(const ServiceModel&) const override {
+    if (running) return {instance};
+    return {};
+  }
+
+  void pullImages(const ServiceModel&, Callback cb) override {
+    log.push_back("pull");
+    sim_.schedule(pullDelay, [this, cb] {
+      if (failPull) {
+        cb(makeError(Errc::kUnavailable, "registry down"));
+        return;
+      }
+      imageCached = true;
+      cb(Status());
+    });
+  }
+
+  void createService(const ServiceModel&, Callback cb) override {
+    log.push_back("create");
+    sim_.schedule(createDelay, [this, cb] {
+      created = true;
+      cb(Status());
+    });
+  }
+
+  void scaleUp(const ServiceModel&, Callback cb) override {
+    log.push_back("scaleup");
+    sim_.schedule(scaleUpDelay, [this, cb] {
+      if (!neverReady) {
+        sim_.schedule(readyDelay, [this] { running = true; });
+      }
+      cb(Status());
+    });
+  }
+
+  void scaleDown(const ServiceModel&, Callback cb) override {
+    log.push_back("scaledown");
+    running = false;
+    sim_.schedule(10_ms, [cb] { cb(Status()); });
+  }
+
+  void removeService(const ServiceModel&, Callback cb) override {
+    log.push_back("remove");
+    created = false;
+    running = false;
+    sim_.schedule(10_ms, [cb] { cb(Status()); });
+  }
+
+  void deleteImages(const ServiceModel&, Callback cb) override {
+    log.push_back("delete-images");
+    imageCached = false;
+    sim_.schedule(10_ms, [cb] { cb(Status()); });
+  }
+
+  void probeInstance(Endpoint probed, ProbeCallback cb) override {
+    sim_.schedule(1_ms, [this, probed, cb] {
+      cb(running && probed == instance);
+    });
+  }
+
+ private:
+  Simulation& sim_;
+};
+
+class DispatcherFixture : public ::testing::Test {
+ protected:
+  DispatcherFixture()
+      : sim_(81),
+        memory_(60_s),
+        near_(sim_, "near", 0),
+        far_(sim_, "far", 1),
+        cloud_(sim_, "cloud", 100) {
+    cloud_.cloud = true;
+    cloud_.imageCached = true;
+    cloud_.created = true;
+    cloud_.running = true;
+    cloud_.instance = Endpoint(Ipv4(198, 51, 100, 1), 20000);
+
+    ServiceCatalog catalog;
+    const auto annotated = annotateServiceYaml(catalog.entry("nginx").yaml,
+                                               kSvc, AnnotatorConfig{});
+    auto model = buildServiceModel(annotated.value(), kSvc, catalog.profiles());
+    model_ = std::move(model).value();
+    model_.tag = "nginx";
+  }
+
+  void makeDispatcher(std::unique_ptr<GlobalScheduler> scheduler) {
+    scheduler_ = std::move(scheduler);
+    dispatcher_ = std::make_unique<Dispatcher>(
+        sim_, memory_, *scheduler_,
+        std::vector<ClusterAdapter*>{&near_, &far_, &cloud_}, &recorder_);
+  }
+
+  Simulation sim_;
+  FlowMemory memory_;
+  MockAdapter near_;
+  MockAdapter far_;
+  MockAdapter cloud_;
+  metrics::Recorder recorder_;
+  ServiceModel model_;
+  std::unique_ptr<GlobalScheduler> scheduler_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+};
+
+TEST_F(DispatcherFixture, AllPhasesRunInOrderWhenCold) {
+  makeDispatcher(makeProximityScheduler());
+  std::optional<Result<Redirect>> got;
+  dispatcher_->resolve(model_, Ipv4(10, 0, 2, 1),
+                       [&](Result<Redirect> r) { got = std::move(r); });
+  sim_.run();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(got->ok()) << got->error().toString();
+  EXPECT_EQ(got->value().cluster, "near");
+  EXPECT_EQ(got->value().instance, near_.instance);
+  EXPECT_FALSE(got->value().fromMemory);
+  ASSERT_EQ(near_.log.size(), 3u);
+  EXPECT_EQ(near_.log[0], "pull");
+  EXPECT_EQ(near_.log[1], "create");
+  EXPECT_EQ(near_.log[2], "scaleup");
+  // Total ~ pull 2 s + create 0.1 + scaleup 0.3 + ready 0.1 + poll rounding.
+  EXPECT_GE(sim_.now(), 2500_ms);
+  EXPECT_LT(sim_.now(), 2700_ms);
+}
+
+TEST_F(DispatcherFixture, SkipsCompletedPhases) {
+  makeDispatcher(makeProximityScheduler());
+  near_.imageCached = true;
+  near_.created = true;
+  std::optional<Result<Redirect>> got;
+  dispatcher_->resolve(model_, Ipv4(10, 0, 2, 1),
+                       [&](Result<Redirect> r) { got = std::move(r); });
+  sim_.run();
+  ASSERT_TRUE(got.has_value() && got->ok());
+  ASSERT_EQ(near_.log.size(), 1u);
+  EXPECT_EQ(near_.log[0], "scaleup");
+  EXPECT_LT(sim_.now(), 600_ms);
+}
+
+TEST_F(DispatcherFixture, PhaseDurationsRecorded) {
+  makeDispatcher(makeProximityScheduler());
+  dispatcher_->resolve(model_, Ipv4(10, 0, 2, 1), [](Result<Redirect>) {});
+  sim_.run();
+  const auto* pull = recorder_.series("nginx/near/pull");
+  const auto* create = recorder_.series("nginx/near/create");
+  const auto* wait = recorder_.series("nginx/near/wait");
+  ASSERT_NE(pull, nullptr);
+  ASSERT_NE(create, nullptr);
+  ASSERT_NE(wait, nullptr);
+  EXPECT_NEAR(pull->median(), 2.0, 0.01);
+  EXPECT_NEAR(create->median(), 0.1, 0.01);
+  EXPECT_GT(wait->median(), 0.05);
+}
+
+TEST_F(DispatcherFixture, ConcurrentResolvesCoalesceIntoOneDeployment) {
+  makeDispatcher(makeProximityScheduler());
+  int completions = 0;
+  for (int i = 0; i < 8; ++i) {
+    dispatcher_->resolve(model_,
+                         Ipv4(10, 0, 2, static_cast<std::uint8_t>(i + 1)),
+                         [&](Result<Redirect> r) {
+                           ASSERT_TRUE(r.ok());
+                           ++completions;
+                         });
+  }
+  sim_.run();
+  EXPECT_EQ(completions, 8);
+  EXPECT_EQ(dispatcher_->deploymentsTriggered(), 1u);
+  // Phases ran exactly once.
+  ASSERT_EQ(near_.log.size(), 3u);
+}
+
+TEST_F(DispatcherFixture, MemoryHitShortCircuitsScheduling) {
+  makeDispatcher(makeProximityScheduler());
+  near_.imageCached = true;
+  near_.created = true;
+  near_.running = true;
+  memory_.upsert(Ipv4(10, 0, 2, 1), kSvc, near_.instance, "near",
+                 SimTime::zero());
+
+  std::optional<Result<Redirect>> got;
+  dispatcher_->resolve(model_, Ipv4(10, 0, 2, 1),
+                       [&](Result<Redirect> r) { got = std::move(r); });
+  sim_.run();
+  ASSERT_TRUE(got.has_value() && got->ok());
+  EXPECT_TRUE(got->value().fromMemory);
+  EXPECT_TRUE(near_.log.empty());  // no deployment calls at all
+}
+
+TEST_F(DispatcherFixture, StaleMemoryEntryFallsBackToScheduling) {
+  makeDispatcher(makeProximityScheduler());
+  near_.imageCached = true;
+  near_.created = true;
+  near_.running = false;  // instance scaled down since memorised
+  memory_.upsert(Ipv4(10, 0, 2, 1), kSvc, near_.instance, "near",
+                 SimTime::zero());
+
+  std::optional<Result<Redirect>> got;
+  dispatcher_->resolve(model_, Ipv4(10, 0, 2, 1),
+                       [&](Result<Redirect> r) { got = std::move(r); });
+  sim_.run();
+  ASSERT_TRUE(got.has_value() && got->ok());
+  EXPECT_FALSE(got->value().fromMemory);
+  // The stale entry was dropped and a fresh scale-up ran.
+  EXPECT_EQ(near_.log.back(), "scaleup");
+}
+
+TEST_F(DispatcherFixture, WithoutWaitingTriggersBackgroundBest) {
+  makeDispatcher(makeLatencyFirstScheduler());
+  far_.imageCached = true;
+  far_.created = true;
+  far_.running = true;
+  far_.instance = Endpoint(Ipv4(10, 0, 3, 1), 30000);
+  near_.imageCached = true;
+  near_.created = true;
+
+  std::optional<Result<Redirect>> got;
+  dispatcher_->resolve(model_, Ipv4(10, 0, 2, 1),
+                       [&](Result<Redirect> r) { got = std::move(r); });
+  sim_.run();
+  ASSERT_TRUE(got.has_value() && got->ok());
+  // Current request served by the far running instance...
+  EXPECT_EQ(got->value().cluster, "far");
+  // ...while the near cluster deployed in the background.
+  EXPECT_EQ(dispatcher_->backgroundDeployments(), 1u);
+  EXPECT_TRUE(near_.running);
+}
+
+TEST_F(DispatcherFixture, CloudFallbackWhenFastEmpty) {
+  makeDispatcher(makeCloudFallbackScheduler());
+  // Nothing runs at any edge; cloud-fallback sends the request to the
+  // cloud and deploys near in the background.
+  near_.imageCached = true;
+  near_.created = true;
+  std::optional<Result<Redirect>> got;
+  dispatcher_->resolve(model_, Ipv4(10, 0, 2, 1),
+                       [&](Result<Redirect> r) { got = std::move(r); });
+  sim_.run();
+  ASSERT_TRUE(got.has_value() && got->ok());
+  EXPECT_EQ(got->value().cluster, "cloud");
+  EXPECT_EQ(got->value().instance, cloud_.instance);
+  EXPECT_TRUE(near_.running);  // background deployment happened
+}
+
+TEST_F(DispatcherFixture, PullFailurePropagates) {
+  makeDispatcher(makeProximityScheduler());
+  near_.failPull = true;
+  far_.failPull = true;
+  std::optional<Result<Redirect>> got;
+  dispatcher_->resolve(model_, Ipv4(10, 0, 2, 1),
+                       [&](Result<Redirect> r) { got = std::move(r); });
+  sim_.run();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_FALSE(got->ok());
+  EXPECT_EQ(got->error().code, Errc::kUnavailable);
+}
+
+TEST_F(DispatcherFixture, DeploymentTimeoutFiresWhenNeverReady) {
+  DispatcherOptions options;
+  options.deployTimeout = 5_s;
+  scheduler_ = makeProximityScheduler();
+  dispatcher_ = std::make_unique<Dispatcher>(
+      sim_, memory_, *scheduler_,
+      std::vector<ClusterAdapter*>{&near_, &far_, &cloud_}, &recorder_,
+      options);
+  near_.imageCached = true;
+  near_.created = true;
+  near_.neverReady = true;  // scale-up succeeds; port never opens
+
+  std::optional<Result<Redirect>> got;
+  dispatcher_->resolve(model_, Ipv4(10, 0, 2, 1),
+                       [&](Result<Redirect> r) { got = std::move(r); });
+  sim_.runUntil(30_s);
+  ASSERT_TRUE(got.has_value());
+  ASSERT_FALSE(got->ok());
+  EXPECT_EQ(got->error().code, Errc::kTimeout);
+  EXPECT_EQ(dispatcher_->pendingDeployments(), 0u);
+}
+
+TEST_F(DispatcherFixture, AdapterLookupHelpers) {
+  makeDispatcher(makeProximityScheduler());
+  EXPECT_EQ(dispatcher_->adapterByName("near"), &near_);
+  EXPECT_EQ(dispatcher_->adapterByName("nope"), nullptr);
+  EXPECT_EQ(dispatcher_->cloudAdapter(), &cloud_);
+}
+
+TEST_F(DispatcherFixture, EnsureReadyReturnsExistingInstanceImmediately) {
+  makeDispatcher(makeProximityScheduler());
+  near_.running = true;
+  std::optional<Result<Endpoint>> got;
+  dispatcher_->ensureReady(model_, near_,
+                           [&](Result<Endpoint> r) { got = std::move(r); });
+  sim_.run();
+  ASSERT_TRUE(got.has_value() && got->ok());
+  EXPECT_EQ(got->value(), near_.instance);
+  EXPECT_TRUE(near_.log.empty());
+  EXPECT_EQ(dispatcher_->deploymentsTriggered(), 0u);
+}
+
+}  // namespace
+}  // namespace edgesim::core

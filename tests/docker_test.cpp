@@ -1,0 +1,230 @@
+// Tests for the Docker engine: pull/create/start lifecycle with API
+// latency, label queries, image removal semantics, and the end-to-end
+// "docker run a cached image in well under a second" calibration the
+// paper's fig. 11 depends on.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "docker/engine.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace edgesim::docker {
+namespace {
+
+using namespace timeliterals;
+using container::ContainerState;
+using container::Image;
+using container::LayerStore;
+using container::Registry;
+using container::makeImage;
+using container::privateRegistryProfile;
+using container::publicRegistryProfile;
+
+class DockerFixture : public ::testing::Test {
+ protected:
+  DockerFixture()
+      : sim_(51),
+        net_(sim_),
+        egs_(net_, "egs", Ipv4(10, 0, 1, 1), Mac(0x10)),
+        client_(net_, "client", Ipv4(10, 0, 0, 1), Mac(0x01)),
+        runtime_(sim_, egs_, store_),
+        puller_(sim_, store_),
+        registry_("hub", publicRegistryProfile()),
+        engine_(sim_, runtime_, puller_, &registry_) {
+    net_.connect(client_, egs_, 1_ms, 1_Gbps);
+    nginx_ = makeImage(*container::ImageRef::parse("nginx:1.23.2"), 135_MiB, 6);
+    registry_.push(nginx_);
+
+    spec_.name = "web";
+    spec_.image = nginx_.ref;
+    spec_.containerPort = 80;
+    spec_.labels["edge.service"] = "web.example:80";
+    spec_.app.startupDelay = 60_ms;
+    spec_.app.requestCompute = 1_ms;
+  }
+
+  Simulation sim_;
+  Network net_;
+  Host egs_;
+  Host client_;
+  LayerStore store_;
+  container::ContainerdRuntime runtime_;
+  container::ImagePuller puller_;
+  Registry registry_;
+  DockerEngine engine_;
+  Image nginx_;
+  container::ContainerSpec spec_;
+};
+
+TEST_F(DockerFixture, PullThenCreateThenStart) {
+  std::optional<Status> pulled;
+  engine_.pull(nginx_.ref, [&](Status s) { pulled = s; });
+  sim_.run();
+  ASSERT_TRUE(pulled.has_value() && pulled->ok());
+  EXPECT_TRUE(engine_.imageCached(nginx_.ref));
+
+  std::optional<Result<ContainerId>> created;
+  engine_.createContainer(spec_, [&](Result<ContainerId> r) { created = r; });
+  sim_.run();
+  ASSERT_TRUE(created.has_value() && created->ok());
+
+  std::optional<Status> started;
+  engine_.startContainer(created->value(), [&](Status s) { started = s; });
+  sim_.run();
+  ASSERT_TRUE(started.has_value() && started->ok());
+  EXPECT_EQ(engine_.inspect(created->value())->state, ContainerState::kRunning);
+}
+
+TEST_F(DockerFixture, CreateWithoutImageFails) {
+  std::optional<Result<ContainerId>> created;
+  engine_.createContainer(spec_, [&](Result<ContainerId> r) { created = r; });
+  sim_.run();
+  ASSERT_TRUE(created.has_value());
+  ASSERT_FALSE(created->ok());
+  EXPECT_EQ(created->error().code, Errc::kFailedPrecondition);
+}
+
+TEST_F(DockerFixture, StartUnknownContainerFails) {
+  std::optional<Status> started;
+  engine_.startContainer(999, [&](Status s) { started = s; });
+  sim_.run();
+  ASSERT_TRUE(started.has_value());
+  ASSERT_FALSE(started->ok());
+  EXPECT_EQ(started->error().code, Errc::kNotFound);
+}
+
+TEST_F(DockerFixture, CachedCreateStartServeUnderOneSecond) {
+  // The paper's headline: with the image cached, Docker answers the first
+  // request in well under a second.  Here: create + start + app init +
+  // HTTP round trip.
+  store_.commitImage(nginx_);
+  std::optional<SimTime> responded;
+  engine_.createContainer(spec_, [&](Result<ContainerId> created) {
+    ASSERT_TRUE(created.ok());
+    engine_.startContainer(created.value(), [&, id = created.value()](Status s) {
+      ASSERT_TRUE(s.ok());
+      // Poll the port like the SDN controller does, then issue the request.
+      sim_.schedule(200_ms, [&, id] {
+        const auto endpoint = engine_.endpointOf(id);
+        ASSERT_TRUE(endpoint.ok());
+        client_.httpRequest(endpoint.value(), HttpRequest{},
+                            [&](Result<HttpExchange> r) {
+                              ASSERT_TRUE(r.ok());
+                              responded = sim_.now();
+                            });
+      });
+    });
+  });
+  sim_.run();
+  ASSERT_TRUE(responded.has_value());
+  EXPECT_LT(responded->toSeconds(), 1.0);
+  EXPECT_GT(responded->toSeconds(), 0.3);  // not instantaneous either
+}
+
+TEST_F(DockerFixture, ListContainersByLabel) {
+  store_.commitImage(nginx_);
+  std::optional<Result<ContainerId>> created;
+  engine_.createContainer(spec_, [&](Result<ContainerId> r) { created = r; });
+  sim_.run();
+  ASSERT_TRUE(created.has_value() && created->ok());
+  EXPECT_EQ(engine_.listContainers({{"edge.service", "web.example:80"}}).size(),
+            1u);
+  EXPECT_TRUE(engine_.listContainers({{"edge.service", "other"}}).empty());
+}
+
+TEST_F(DockerFixture, RemoveImageInUseRefused) {
+  store_.commitImage(nginx_);
+  std::optional<Result<ContainerId>> created;
+  engine_.createContainer(spec_, [&](Result<ContainerId> r) { created = r; });
+  sim_.run();
+  ASSERT_TRUE(created.has_value() && created->ok());
+
+  std::optional<Status> removed;
+  engine_.removeImage(nginx_.ref, [&](Status s) { removed = s; });
+  sim_.run();
+  ASSERT_TRUE(removed.has_value());
+  ASSERT_FALSE(removed->ok());
+  EXPECT_EQ(removed->error().code, Errc::kConflict);
+
+  // After removing the container, image removal succeeds.
+  std::optional<Status> rmContainer;
+  engine_.removeContainer(created->value(), [&](Status s) { rmContainer = s; });
+  sim_.run();
+  ASSERT_TRUE(rmContainer.has_value() && rmContainer->ok());
+  std::optional<Status> removed2;
+  engine_.removeImage(nginx_.ref, [&](Status s) { removed2 = s; });
+  sim_.run();
+  ASSERT_TRUE(removed2.has_value() && removed2->ok());
+  EXPECT_FALSE(engine_.imageCached(nginx_.ref));
+}
+
+TEST_F(DockerFixture, RemoveMissingImageFails) {
+  std::optional<Status> removed;
+  engine_.removeImage(*container::ImageRef::parse("ghost:1"),
+                      [&](Status s) { removed = s; });
+  sim_.run();
+  ASSERT_TRUE(removed.has_value());
+  ASSERT_FALSE(removed->ok());
+  EXPECT_EQ(removed->error().code, Errc::kNotFound);
+}
+
+TEST_F(DockerFixture, StopThenRemoveContainer) {
+  store_.commitImage(nginx_);
+  std::optional<ContainerId> id;
+  engine_.createContainer(spec_, [&](Result<ContainerId> r) {
+    ASSERT_TRUE(r.ok());
+    id = r.value();
+    engine_.startContainer(*id, [](Status) {});
+  });
+  sim_.run();
+  ASSERT_TRUE(id.has_value());
+  ASSERT_EQ(engine_.inspect(*id)->state, ContainerState::kRunning);
+
+  std::optional<Status> stopped;
+  engine_.stopContainer(*id, [&](Status s) { stopped = s; });
+  sim_.run();
+  ASSERT_TRUE(stopped.has_value() && stopped->ok());
+
+  std::optional<Status> removed;
+  engine_.removeContainer(*id, [&](Status s) { removed = s; });
+  sim_.run();
+  ASSERT_TRUE(removed.has_value() && removed->ok());
+  EXPECT_EQ(engine_.inspect(*id), nullptr);
+}
+
+TEST_F(DockerFixture, PullFromPrivateRegistryFaster) {
+  Registry privateReg("local", privateRegistryProfile());
+  privateReg.push(nginx_);
+  DockerEngine privateEngine(sim_, runtime_, puller_, &privateReg);
+
+  std::optional<SimTime> publicDone;
+  engine_.pull(nginx_.ref, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    publicDone = sim_.now();
+  });
+  sim_.run();
+  ASSERT_TRUE(publicDone.has_value());
+
+  // Fresh store for the private pull.
+  LayerStore store2;
+  container::ImagePuller puller2(sim_, store2);
+  Host egs2(net_, "egs2", Ipv4(10, 0, 1, 2), Mac(0x11));
+  container::ContainerdRuntime runtime2(sim_, egs2, store2);
+  DockerEngine engine2(sim_, runtime2, puller2, &privateReg);
+  const SimTime base = sim_.now();
+  std::optional<SimTime> privateDone;
+  engine2.pull(nginx_.ref, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    privateDone = sim_.now() - base;
+  });
+  sim_.run();
+  ASSERT_TRUE(privateDone.has_value());
+  const double saving = publicDone->toSeconds() - privateDone->toSeconds();
+  EXPECT_GT(saving, 1.0);  // fig. 13: private registry saves 1.5-2 s
+  EXPECT_LT(saving, 4.0);
+}
+
+}  // namespace
+}  // namespace edgesim::docker

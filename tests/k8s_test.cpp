@@ -1,0 +1,526 @@
+// Tests for the Kubernetes substrate: API server stores/watches, the
+// Deployment -> ReplicaSet -> Pod reconcile chain, scheduling (including
+// custom schedulers, the paper's "Local Scheduler"), kubelet behaviour
+// (pulls, readiness probing, restarts), endpoints, scale-to-zero and
+// scale-up latency calibration (fig. 11's ~3 s).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "k8s/autoscaler.hpp"
+#include "k8s/cluster.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace edgesim::k8s {
+namespace {
+
+using namespace timeliterals;
+using container::makeImage;
+
+Deployment makeNginxDeployment(const std::string& name, int replicas,
+                               const container::ImageRef& image) {
+  Deployment deployment;
+  deployment.meta.name = name;
+  deployment.spec.replicas = replicas;
+  deployment.spec.selector = {{"app", name}};
+  deployment.spec.podTemplate.labels = {{"app", name},
+                                        {"edge.service", name + ":80"}};
+  container::ContainerSpec spec;
+  spec.name = name;
+  spec.image = image;
+  spec.containerPort = 80;
+  spec.labels = deployment.spec.podTemplate.labels;
+  spec.app.startupDelay = 60_ms;
+  spec.app.requestCompute = 1_ms;
+  deployment.spec.podTemplate.spec.containers.push_back(spec);
+  return deployment;
+}
+
+Service makeService(const std::string& name) {
+  Service service;
+  service.meta.name = name;
+  service.spec.selector = {{"app", name}};
+  service.spec.ports.push_back(ServicePort{80, 80, "TCP"});
+  return service;
+}
+
+class K8sFixture : public ::testing::Test {
+ protected:
+  K8sFixture() : sim_(61), net_(sim_) {
+    egs_ = std::make_unique<Host>(net_, "egs", Ipv4(10, 0, 1, 1), Mac(0x10));
+    store_ = std::make_unique<container::LayerStore>();
+    runtime_ = std::make_unique<container::ContainerdRuntime>(sim_, *egs_, *store_);
+    puller_ = std::make_unique<container::ImagePuller>(sim_, *store_);
+    registry_ = std::make_unique<container::Registry>(
+        "hub", container::publicRegistryProfile());
+
+    nginx_ = makeImage(*container::ImageRef::parse("nginx:1.23.2"), 135_MiB, 6);
+    registry_->push(nginx_);
+    store_->commitImage(nginx_);  // cached by default; pull tests drop this
+
+    NodeHandle node;
+    node.name = "egs";
+    node.host = egs_.get();
+    node.runtime = runtime_.get();
+    node.puller = puller_.get();
+    node.registry = registry_.get();
+    cluster_ = std::make_unique<K8sCluster>(sim_, ControlPlaneParams{},
+                                            std::vector<NodeHandle>{node});
+  }
+
+  /// Run until `predicate` or `deadline`; returns the time it became true.
+  std::optional<SimTime> runUntilTrue(std::function<bool()> predicate,
+                                      SimTime deadline) {
+    while (sim_.now() < deadline) {
+      if (predicate()) return sim_.now();
+      if (!sim_.step()) break;
+    }
+    return predicate() ? std::optional<SimTime>(sim_.now()) : std::nullopt;
+  }
+
+  Simulation sim_;
+  Network net_;
+  std::unique_ptr<Host> egs_;
+  std::unique_ptr<container::LayerStore> store_;
+  std::unique_ptr<container::ContainerdRuntime> runtime_;
+  std::unique_ptr<container::ImagePuller> puller_;
+  std::unique_ptr<container::Registry> registry_;
+  std::unique_ptr<K8sCluster> cluster_;
+  container::Image nginx_;
+};
+
+// ----------------------------------------------------------- api server ----
+
+TEST_F(K8sFixture, StoreCreateGetUpdateDelete) {
+  auto deployment = makeNginxDeployment("web", 0, nginx_.ref);
+  std::optional<Status> created;
+  cluster_->api().deployments().create(deployment,
+                                       [&](Status s) { created = s; });
+  sim_.runUntil(1_s);
+  ASSERT_TRUE(created.has_value() && created->ok());
+  const Deployment* stored = cluster_->api().deployments().get("web");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->spec.replicas, 0);
+  EXPECT_GT(stored->meta.uid, 0u);
+
+  std::optional<Status> duplicate;
+  cluster_->api().deployments().create(deployment,
+                                       [&](Status s) { duplicate = s; });
+  sim_.runUntil(2_s);
+  ASSERT_TRUE(duplicate.has_value());
+  EXPECT_EQ(duplicate->error().code, Errc::kAlreadyExists);
+
+  cluster_->api().deployments().update(
+      "web", [](Deployment& d) { d.spec.replicas = 3; });
+  sim_.runUntil(3_s);
+  EXPECT_EQ(cluster_->api().deployments().get("web")->spec.replicas, 3);
+
+  std::optional<Status> removed;
+  cluster_->api().deployments().remove("web", [&](Status s) { removed = s; });
+  sim_.runUntil(4_s);
+  ASSERT_TRUE(removed.has_value() && removed->ok());
+  EXPECT_EQ(cluster_->api().deployments().get("web"), nullptr);
+}
+
+TEST_F(K8sFixture, WatchDeliversEventsWithLatency) {
+  std::vector<std::pair<WatchEventType, SimTime>> events;
+  cluster_->api().deployments().watch(
+      [&](const WatchEvent<Deployment>& event) {
+        events.emplace_back(event.type, sim_.now());
+      });
+  cluster_->api().deployments().create(makeNginxDeployment("web", 0, nginx_.ref));
+  sim_.runUntil(1_s);
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_EQ(events[0].first, WatchEventType::kAdded);
+  // apiLatency + watchLatency at minimum.
+  EXPECT_GE(events[0].second, 60_ms);
+}
+
+TEST_F(K8sFixture, ResourceVersionMonotone) {
+  cluster_->api().deployments().create(makeNginxDeployment("a", 0, nginx_.ref));
+  cluster_->api().deployments().create(makeNginxDeployment("b", 0, nginx_.ref));
+  sim_.runUntil(1_s);
+  const Deployment* a = cluster_->api().deployments().get("a");
+  const Deployment* b = cluster_->api().deployments().get("b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a->meta.resourceVersion, b->meta.resourceVersion);
+}
+
+// ------------------------------------------------- reconcile pipeline ----
+
+TEST_F(K8sFixture, ScaleToZeroCreatesNoPods) {
+  cluster_->applyDeployment(makeNginxDeployment("web", 0, nginx_.ref));
+  sim_.runUntil(5_s);
+  EXPECT_NE(cluster_->api().replicaSets().get("web-rs"), nullptr);
+  EXPECT_EQ(cluster_->api().pods().size(), 0u);
+}
+
+TEST_F(K8sFixture, ScaleUpCreatesRunsAndReadiesPod) {
+  cluster_->applyDeployment(makeNginxDeployment("web", 0, nginx_.ref));
+  sim_.runUntil(2_s);
+  cluster_->scaleDeployment("web", 1);
+
+  const auto readyAt = runUntilTrue(
+      [&] {
+        const auto pods = cluster_->podsBySelector({{"app", "web"}});
+        return pods.size() == 1 && pods[0]->status.ready;
+      },
+      20_s);
+  ASSERT_TRUE(readyAt.has_value());
+
+  const auto pods = cluster_->podsBySelector({{"app", "web"}});
+  EXPECT_EQ(pods[0]->status.phase, PodPhase::kRunning);
+  EXPECT_EQ(pods[0]->spec.nodeName, "egs");
+  EXPECT_NE(pods[0]->status.endpoint.port, 0);
+
+  // fig. 11 calibration: the control-plane chain makes a cached-image
+  // scale-up land around 2-4 s (vs. Docker's sub-second).
+  const double seconds = readyAt->toSeconds() - 2.0;
+  EXPECT_GT(seconds, 1.5);
+  EXPECT_LT(seconds, 4.5);
+}
+
+TEST_F(K8sFixture, DeploymentStatusRollsUp) {
+  cluster_->applyDeployment(makeNginxDeployment("web", 2, nginx_.ref));
+  const auto done = runUntilTrue(
+      [&] {
+        const Deployment* d = cluster_->deployment("web");
+        return d != nullptr && d->status.readyReplicas == 2;
+      },
+      30_s);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(cluster_->deployment("web")->status.replicas, 2);
+}
+
+TEST_F(K8sFixture, ScaleDownRemovesPodsAndClosesPorts) {
+  cluster_->applyDeployment(makeNginxDeployment("web", 2, nginx_.ref));
+  ASSERT_TRUE(runUntilTrue(
+                  [&] {
+                    const Deployment* d = cluster_->deployment("web");
+                    return d != nullptr && d->status.readyReplicas == 2;
+                  },
+                  30_s)
+                  .has_value());
+
+  cluster_->scaleDeployment("web", 0);
+  const auto gone = runUntilTrue(
+      [&] { return cluster_->podsBySelector({{"app", "web"}}).empty(); }, 30_s);
+  ASSERT_TRUE(gone.has_value());
+  // All containers stopped on the node.
+  const auto remaining = runUntilTrue(
+      [&] {
+        for (const auto* info : runtime_->list()) {
+          if (info->state == container::ContainerState::kRunning) return false;
+        }
+        return true;
+      },
+      40_s);
+  EXPECT_TRUE(remaining.has_value());
+}
+
+TEST_F(K8sFixture, DeleteDeploymentCascades) {
+  cluster_->applyDeployment(makeNginxDeployment("web", 1, nginx_.ref));
+  ASSERT_TRUE(runUntilTrue(
+                  [&] {
+                    return !cluster_->podsBySelector({{"app", "web"}}).empty();
+                  },
+                  20_s)
+                  .has_value());
+  cluster_->deleteDeployment("web");
+  const auto gone = runUntilTrue(
+      [&] {
+        return cluster_->api().replicaSets().get("web-rs") == nullptr &&
+               cluster_->podsBySelector({{"app", "web"}}).empty();
+      },
+      30_s);
+  EXPECT_TRUE(gone.has_value());
+}
+
+TEST_F(K8sFixture, UncachedImageIsPulledFirst) {
+  // Use an image the node's layer store does not have yet.
+  const auto resnet = makeImage(
+      *container::ImageRef::parse("gcr.io/tensorflow-serving/resnet:latest"),
+      308_MiB, 9);
+  registry_->push(resnet);
+  cluster_->applyDeployment(makeNginxDeployment("resnet", 1, resnet.ref));
+  const auto ready = runUntilTrue(
+      [&] {
+        const auto pods = cluster_->podsBySelector({{"app", "resnet"}});
+        return pods.size() == 1 && pods[0]->status.ready;
+      },
+      60_s);
+  ASSERT_TRUE(ready.has_value());
+  // Pull time (~8-9 s for 308 MiB / 9 layers from the public registry)
+  // dominates; total must exceed the pure scale-up time by seconds.
+  EXPECT_GT(ready->toSeconds(), 7.0);
+  EXPECT_EQ(registry_->pullCount(), 1u);
+}
+
+// ---------------------------------------------------------- endpoints ----
+
+TEST_F(K8sFixture, EndpointsTrackReadyPods) {
+  cluster_->applyService(makeService("web"));
+  cluster_->applyDeployment(makeNginxDeployment("web", 0, nginx_.ref));
+  sim_.runUntil(3_s);
+  EXPECT_TRUE(cluster_->readyEndpoints("web").empty());
+
+  cluster_->scaleDeployment("web", 1);
+  const auto ready = runUntilTrue(
+      [&] { return cluster_->readyEndpoints("web").size() == 1; }, 20_s);
+  ASSERT_TRUE(ready.has_value());
+
+  cluster_->scaleDeployment("web", 0);
+  const auto empty = runUntilTrue(
+      [&] { return cluster_->readyEndpoints("web").empty(); }, 40_s);
+  EXPECT_TRUE(empty.has_value());
+}
+
+// ---------------------------------------------------------- scheduler ----
+
+TEST_F(K8sFixture, CustomSchedulerSelectedBySchedulerName) {
+  int customCalls = 0;
+  cluster_->scheduler().registerStrategy(
+      "edge-local-scheduler",
+      [&](const Pod&, const std::vector<NodeHandle>& nodes, const Store<Pod>&,
+          const std::map<std::string, int>&) -> std::string {
+        ++customCalls;
+        return nodes[0].name;
+      });
+  auto deployment = makeNginxDeployment("web", 1, nginx_.ref);
+  deployment.spec.podTemplate.spec.schedulerName = "edge-local-scheduler";
+  cluster_->applyDeployment(deployment);
+  const auto ready = runUntilTrue(
+      [&] {
+        const auto pods = cluster_->podsBySelector({{"app", "web"}});
+        return pods.size() == 1 && pods[0]->status.ready;
+      },
+      20_s);
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_GE(customCalls, 1);
+}
+
+TEST_F(K8sFixture, UnknownSchedulerLeavesPodPending) {
+  auto deployment = makeNginxDeployment("web", 1, nginx_.ref);
+  deployment.spec.podTemplate.spec.schedulerName = "no-such-scheduler";
+  cluster_->applyDeployment(deployment);
+  sim_.runUntil(8_s);
+  const auto pods = cluster_->podsBySelector({{"app", "web"}});
+  ASSERT_EQ(pods.size(), 1u);
+  EXPECT_FALSE(pods[0]->scheduled());
+  EXPECT_EQ(pods[0]->status.phase, PodPhase::kPending);
+  EXPECT_GE(cluster_->scheduler().unschedulableCount(), 1u);
+}
+
+// ------------------------------------------------------------- kubelet ----
+
+TEST_F(K8sFixture, CrashingContainerIsRestarted) {
+  auto deployment = makeNginxDeployment("web", 1, nginx_.ref);
+  // Crash roughly half the starts; kubelet restarts should still converge.
+  deployment.spec.podTemplate.spec.containers[0].app.crashOnStartProbability =
+      0.5;
+  cluster_->applyDeployment(deployment);
+  const auto ready = runUntilTrue(
+      [&] {
+        const auto pods = cluster_->podsBySelector({{"app", "web"}});
+        return !pods.empty() && pods[0]->status.ready;
+      },
+      120_s);
+  // With p=0.5 and restarts + RS replacement, readiness within 2 minutes is
+  // effectively certain for this seed.
+  ASSERT_TRUE(ready.has_value());
+}
+
+TEST_F(K8sFixture, AlwaysCrashingPodGoesFailedAndIsReplaced) {
+  auto deployment = makeNginxDeployment("web", 1, nginx_.ref);
+  deployment.spec.podTemplate.spec.containers[0].app.crashOnStartProbability =
+      1.0;
+  cluster_->applyDeployment(deployment);
+  sim_.runUntil(60_s);
+  // Never ready; the RS keeps replacing failed pods.
+  const auto pods = cluster_->podsBySelector({{"app", "web"}});
+  for (const auto* pod : pods) EXPECT_FALSE(pod->status.ready);
+  std::uint64_t restarts = 0;
+  for (auto* kubelet : cluster_->kubelets()) {
+    restarts += kubelet->restartedContainers();
+  }
+  EXPECT_GE(restarts, 1u);
+}
+
+// ---------------------------------------------------------- autoscaler ----
+
+TEST_F(K8sFixture, AutoscalerScalesOutUnderLoadAndBackWhenIdle) {
+  Host client(net_, "client", Ipv4(10, 0, 0, 9), Mac(0x99));
+  net_.connect(client, *egs_, 1_ms, 1_Gbps);
+
+  cluster_->applyService(makeService("web"));
+  cluster_->applyDeployment(makeNginxDeployment("web", 1, nginx_.ref));
+  ASSERT_TRUE(runUntilTrue(
+                  [&] { return cluster_->readyEndpoints("web").size() == 1; },
+                  20_s)
+                  .has_value());
+
+  auto requestCounter = [this]() -> std::uint64_t {
+    std::uint64_t total = 0;
+    for (const auto* info : runtime_->list({{"app", "web"}})) {
+      total += info->requestsServed;
+    }
+    return total;
+  };
+  AutoscalerParams params;
+  params.deployment = "web";
+  params.minReplicas = 1;
+  params.maxReplicas = 5;
+  params.targetRequestsPerReplica = 8.0;  // req/s per replica
+  params.syncPeriod = 5_s;
+  params.downscaleStabilisation = 30_s;
+  HorizontalAutoscaler hpa(sim_, *cluster_, params, requestCounter);
+
+  // ~20 req/s of load for 2 minutes, spread over the ready endpoints.
+  PeriodicTimer load;
+  std::size_t rr = 0;
+  load.start(sim_, 50_ms, [&]() -> bool {
+    if (sim_.now() > 120_s) return false;
+    const auto endpoints = cluster_->readyEndpoints("web");
+    if (!endpoints.empty()) {
+      client.httpRequest(endpoints[rr++ % endpoints.size()], HttpRequest{},
+                         [](Result<HttpExchange>) {});
+    }
+    return true;
+  });
+
+  // 20 req/s at 8 req/s/replica -> desired 3.
+  const auto scaledOut = runUntilTrue(
+      [&] {
+        const Deployment* d = cluster_->deployment("web");
+        return d != nullptr && d->spec.replicas == 3 &&
+               cluster_->readyEndpoints("web").size() == 3;
+      },
+      100_s);
+  ASSERT_TRUE(scaledOut.has_value());
+  EXPECT_GE(hpa.lastObservedRate(), 15.0);
+  EXPECT_LE(hpa.lastObservedRate(), 25.0);
+
+  // Load stops at t=120 s; after the stabilisation window the deployment
+  // returns to minReplicas.
+  const auto scaledIn = runUntilTrue(
+      [&] {
+        const Deployment* d = cluster_->deployment("web");
+        return d != nullptr && d->spec.replicas == 1;
+      },
+      SimTime::seconds(260.0));
+  ASSERT_TRUE(scaledIn.has_value());
+  EXPECT_GE(*scaledIn, 150_s);  // not before load-end + stabilisation
+  EXPECT_GE(hpa.scaleEvents(), 2u);
+}
+
+TEST_F(K8sFixture, AutoscalerRespectsMaxReplicas) {
+  Host client(net_, "client", Ipv4(10, 0, 0, 9), Mac(0x99));
+  net_.connect(client, *egs_, 1_ms, 1_Gbps);
+  cluster_->applyService(makeService("web"));
+  cluster_->applyDeployment(makeNginxDeployment("web", 1, nginx_.ref));
+  ASSERT_TRUE(runUntilTrue(
+                  [&] { return cluster_->readyEndpoints("web").size() == 1; },
+                  20_s)
+                  .has_value());
+
+  auto requestCounter = [this]() -> std::uint64_t {
+    std::uint64_t total = 0;
+    for (const auto* info : runtime_->list({{"app", "web"}})) {
+      total += info->requestsServed;
+    }
+    return total;
+  };
+  AutoscalerParams params;
+  params.deployment = "web";
+  params.maxReplicas = 2;
+  params.targetRequestsPerReplica = 1.0;  // absurdly low: always wants more
+  params.syncPeriod = 5_s;
+  HorizontalAutoscaler hpa(sim_, *cluster_, params, requestCounter);
+
+  PeriodicTimer load;
+  load.start(sim_, 100_ms, [&]() -> bool {
+    if (sim_.now() > 60_s) return false;
+    const auto endpoints = cluster_->readyEndpoints("web");
+    if (!endpoints.empty()) {
+      client.httpRequest(endpoints.front(), HttpRequest{},
+                         [](Result<HttpExchange>) {});
+    }
+    return true;
+  });
+  sim_.runUntil(60_s);
+  const Deployment* d = cluster_->deployment("web");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->spec.replicas, 2);  // clamped
+  EXPECT_EQ(hpa.lastDesiredReplicas(), 2);
+}
+
+// ------------------------------------------------------- multi-node ----
+
+TEST(K8sMultiNode, LeastLoadedSpreadsPods) {
+  Simulation sim(71);
+  Network net(sim);
+  Host hostA(net, "node-a", Ipv4(10, 0, 1, 1), Mac(0x10));
+  Host hostB(net, "node-b", Ipv4(10, 0, 1, 2), Mac(0x11));
+  container::LayerStore storeA;
+  container::LayerStore storeB;
+  container::ContainerdRuntime runtimeA(sim, hostA, storeA);
+  container::ContainerdRuntime runtimeB(sim, hostB, storeB);
+  container::ImagePuller pullerA(sim, storeA);
+  container::ImagePuller pullerB(sim, storeB);
+  const auto nginx =
+      makeImage(*container::ImageRef::parse("nginx:1.23.2"), 135_MiB, 6);
+  storeA.commitImage(nginx);
+  storeB.commitImage(nginx);
+
+  NodeHandle a{"node-a", &hostA, &runtimeA, &pullerA, nullptr, 110};
+  NodeHandle b{"node-b", &hostB, &runtimeB, &pullerB, nullptr, 110};
+  K8sCluster cluster(sim, ControlPlaneParams{}, {a, b});
+
+  cluster.applyDeployment(makeNginxDeployment("web", 4, nginx.ref));
+  sim.runUntil(30_s);
+
+  int onA = 0;
+  int onB = 0;
+  for (const auto* pod : cluster.podsBySelector({{"app", "web"}})) {
+    if (pod->spec.nodeName == "node-a") ++onA;
+    if (pod->spec.nodeName == "node-b") ++onB;
+  }
+  EXPECT_EQ(onA + onB, 4);
+  EXPECT_EQ(onA, 2);
+  EXPECT_EQ(onB, 2);
+}
+
+TEST(K8sMultiNode, CapacityExhaustionLeavesPodsPending) {
+  Simulation sim(72);
+  Network net(sim);
+  Host hostA(net, "node-a", Ipv4(10, 0, 1, 1), Mac(0x10));
+  container::LayerStore storeA;
+  container::ContainerdRuntime runtimeA(sim, hostA, storeA);
+  container::ImagePuller pullerA(sim, storeA);
+  const auto nginx =
+      makeImage(*container::ImageRef::parse("nginx:1.23.2"), 135_MiB, 6);
+  storeA.commitImage(nginx);
+
+  NodeHandle a{"node-a", &hostA, &runtimeA, &pullerA, nullptr, 2};
+  K8sCluster cluster(sim, ControlPlaneParams{}, {a});
+  cluster.applyDeployment(makeNginxDeployment("web", 5, nginx.ref));
+  sim.runUntil(30_s);
+
+  int scheduled = 0;
+  int pending = 0;
+  for (const auto* pod : cluster.podsBySelector({{"app", "web"}})) {
+    if (pod->scheduled()) {
+      ++scheduled;
+    } else {
+      ++pending;
+    }
+  }
+  EXPECT_EQ(scheduled, 2);
+  EXPECT_EQ(pending, 3);
+}
+
+}  // namespace
+}  // namespace edgesim::k8s

@@ -1,0 +1,239 @@
+// Cross-cutting property and stress tests:
+//   * randomly generated yamlite documents round-trip (grammar fuzz),
+//   * randomised concurrent workloads through the full testbed always
+//     terminate with every request answered exactly once,
+//   * end-to-end determinism across seeds,
+//   * FlowMemory model-based check against a reference map.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/testbed.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "yamlite/parse.hpp"
+
+namespace edgesim {
+namespace {
+
+using namespace timeliterals;
+using core::ClusterMode;
+using core::Testbed;
+using core::TestbedOptions;
+
+// ------------------------------------------------------- yamlite fuzz ----
+
+yamlite::Node randomNode(Rng& rng, int depth) {
+  const double r = rng.uniform01();
+  if (depth <= 0 || r < 0.45) {
+    // Scalar: mix plain words, numbers, and nasty strings.
+    switch (rng.uniformInt(0, 4)) {
+      case 0: return yamlite::Node::scalar(strprintf("word%llu",
+                  (unsigned long long)rng.uniformInt(0, 99)));
+      case 1: return yamlite::Node::scalar(
+                  static_cast<std::int64_t>(rng.uniformInt(0, 1000000)));
+      case 2: return yamlite::Node::scalar("needs: quoting");
+      case 3: return yamlite::Node::scalar("-starts-with-dash");
+      default: return yamlite::Node::scalar("with \"quotes\" and\nnewline");
+    }
+  }
+  if (r < 0.7) {
+    yamlite::Node seq = yamlite::Node::sequence();
+    const auto n = rng.uniformInt(1, 4);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      seq.push(randomNode(rng, depth - 1));
+    }
+    return seq;
+  }
+  yamlite::Node map = yamlite::Node::mapping();
+  const auto n = rng.uniformInt(1, 5);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    map.set(strprintf("key%llu", (unsigned long long)i),
+            randomNode(rng, depth - 1));
+  }
+  return map;
+}
+
+class YamlFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(YamlFuzz, RandomDocumentsRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1237 + 5);
+  for (int trial = 0; trial < 40; ++trial) {
+    yamlite::Node doc = yamlite::Node::mapping();
+    const auto n = rng.uniformInt(1, 5);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      doc.set(strprintf("top%llu", (unsigned long long)i), randomNode(rng, 3));
+    }
+    const std::string text = yamlite::emit(doc);
+    const auto parsed = yamlite::parse(text);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.error().toString() << "\n--- document:\n" << text;
+    EXPECT_TRUE(doc == parsed.value()) << "--- document:\n" << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YamlFuzz, ::testing::Range(1, 9));
+
+// ------------------------------------------------ workload stress ----
+
+class WorkloadStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadStress, EveryRequestAnsweredExactlyOnce) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  TestbedOptions options;
+  options.seed = seed;
+  options.clusterMode =
+      (seed % 2 == 0) ? ClusterMode::kDockerOnly : ClusterMode::kBoth;
+  options.controller.memoryIdleTimeout = SimTime::seconds(8.0);
+  options.controller.switchIdleTimeout = SimTime::seconds(2.0);
+  Testbed bed(options);
+
+  Rng rng(seed * 31 + 7);
+  // 2-4 services, mixed types (no resnet: keeps the horizon short).
+  const std::vector<std::string> kinds{"asm", "nginx", "nginx-py"};
+  const auto serviceCount = rng.uniformInt(2, 4);
+  std::vector<Endpoint> addresses;
+  for (std::uint64_t s = 0; s < serviceCount; ++s) {
+    const Endpoint address(
+        Ipv4(203, 0, 113, static_cast<std::uint8_t>(s + 1)), 80);
+    const auto& kind = kinds[rng.uniformInt(0, kinds.size() - 1)];
+    ASSERT_TRUE(bed.registerCatalogService(kind, address).ok());
+    bed.warmImageCache(kind);
+    addresses.push_back(address);
+  }
+
+  // 60 requests over 60 s from random clients to random services,
+  // including bursts at identical timestamps.
+  int answered = 0;
+  int issued = 0;
+  for (int i = 0; i < 60; ++i) {
+    const double at = rng.uniform(0.0, 60.0);
+    const auto client = rng.uniformInt(0, bed.clientCount() - 1);
+    const auto& address = addresses[rng.uniformInt(0, addresses.size() - 1)];
+    ++issued;
+    bed.sim().scheduleAt(SimTime::seconds(at), [&bed, client, address,
+                                                &answered] {
+      HttpRequest req;
+      bed.client(client).httpRequest(address, req,
+                                     [&answered](Result<HttpExchange> r) {
+                                       ASSERT_TRUE(r.ok())
+                                           << r.error().toString();
+                                       ++answered;
+                                     });
+    });
+  }
+  bed.sim().runUntil(SimTime::seconds(180.0));
+  EXPECT_EQ(answered, issued);
+  EXPECT_EQ(bed.controller().requestsFailed(), 0u);
+  // Nothing left half-finished inside the dispatcher.
+  EXPECT_EQ(bed.controller().dispatcher().pendingDeployments(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadStress, ::testing::Range(1, 9));
+
+// ---------------------------------------------------- determinism ----
+
+TEST(DeterminismProperty, IdenticalAcrossRunsForManySeeds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto run = [seed] {
+      TestbedOptions options;
+      options.seed = seed;
+      options.clusterMode = ClusterMode::kBoth;
+      Testbed bed(options);
+      EXPECT_TRUE(
+          bed.registerCatalogService("nginx", Endpoint(Ipv4(203, 0, 113, 1), 80))
+              .ok());
+      bed.warmImageCache("nginx");
+      std::vector<double> totals;
+      for (std::size_t c = 0; c < 5; ++c) {
+        bed.requestCatalog(c, "nginx", Endpoint(Ipv4(203, 0, 113, 1), 80),
+                           "t", [&totals](Result<HttpExchange> r) {
+                             ASSERT_TRUE(r.ok());
+                             totals.push_back(
+                                 r.value().timings.timeTotal().toSeconds());
+                           });
+      }
+      bed.sim().runUntil(SimTime::seconds(60.0));
+      return totals;
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a, b) << "seed " << seed;
+  }
+}
+
+// --------------------------------------------- FlowMemory model check ----
+
+TEST(FlowMemoryModel, MatchesReferenceMapUnderRandomOps) {
+  using core::FlowMemory;
+  Rng rng(424242);
+  const SimTime timeout = SimTime::seconds(10.0);
+  FlowMemory memory(timeout);
+
+  struct RefFlow {
+    Endpoint instance;
+    std::string cluster;
+    SimTime lastSeen;
+  };
+  std::map<std::pair<Ipv4, Endpoint>, RefFlow> reference;
+
+  SimTime now;
+  for (int step = 0; step < 2000; ++step) {
+    now += SimTime::millis(static_cast<std::int64_t>(rng.uniformInt(1, 2000)));
+    const Ipv4 client(10, 0, 2, static_cast<std::uint8_t>(rng.uniformInt(1, 5)));
+    const Endpoint service(
+        Ipv4(203, 0, 113, static_cast<std::uint8_t>(rng.uniformInt(1, 3))), 80);
+    const Endpoint instance(
+        Ipv4(10, 0, 1, 1),
+        static_cast<std::uint16_t>(30000 + rng.uniformInt(0, 3)));
+    const std::string cluster = rng.chance(0.5) ? "near" : "far";
+
+    switch (rng.uniformInt(0, 3)) {
+      case 0:
+        memory.upsert(client.value ? client : client, service, instance,
+                      cluster, now);
+        reference[{client, service}] = RefFlow{instance, cluster, now};
+        break;
+      case 1: {
+        memory.touch(client, service, now);
+        const auto it = reference.find({client, service});
+        if (it != reference.end()) {
+          it->second.lastSeen = std::max(it->second.lastSeen, now);
+        }
+        break;
+      }
+      case 2: {
+        const auto expired = memory.expire(now);
+        std::size_t refExpired = 0;
+        for (auto it = reference.begin(); it != reference.end();) {
+          if (now - it->second.lastSeen >= timeout) {
+            it = reference.erase(it);
+            ++refExpired;
+          } else {
+            ++it;
+          }
+        }
+        EXPECT_EQ(expired.size(), refExpired);
+        break;
+      }
+      default: {
+        const auto* flow = memory.lookup(client, service);
+        const auto it = reference.find({client, service});
+        if (it == reference.end()) {
+          EXPECT_EQ(flow, nullptr);
+        } else {
+          ASSERT_NE(flow, nullptr);
+          EXPECT_EQ(flow->instance, it->second.instance);
+          EXPECT_EQ(flow->cluster, it->second.cluster);
+          EXPECT_EQ(flow->lastSeen, it->second.lastSeen);
+        }
+        break;
+      }
+    }
+    EXPECT_EQ(memory.size(), reference.size());
+  }
+}
+
+}  // namespace
+}  // namespace edgesim

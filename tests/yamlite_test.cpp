@@ -1,0 +1,300 @@
+// Tests for the yamlite YAML-subset parser/emitter, exercised with real
+// Kubernetes Deployment/Service definition shapes (the paper's service
+// definition file format, §V).
+#include <gtest/gtest.h>
+
+#include "yamlite/node.hpp"
+#include "yamlite/parse.hpp"
+
+namespace edgesim::yamlite {
+namespace {
+
+TEST(Node, ScalarAccessors) {
+  const auto n = Node::scalar("42");
+  EXPECT_TRUE(n.isScalar());
+  EXPECT_EQ(n.asString(), "42");
+  EXPECT_EQ(n.asInt().value(), 42);
+  EXPECT_DOUBLE_EQ(n.asDouble().value(), 42.0);
+  EXPECT_FALSE(n.asBool().has_value());
+  EXPECT_TRUE(Node::scalar("true").asBool().value());
+  EXPECT_FALSE(Node::scalar("off").asBool().value());
+  EXPECT_EQ(Node::scalar(7).asInt().value(), 7);
+  EXPECT_EQ(Node::scalar(false).asString(), "false");
+}
+
+TEST(Node, MappingInsertLookupErase) {
+  Node map = Node::mapping();
+  map["a"] = Node::scalar("1");
+  map.set("b", Node::scalar("2"));
+  EXPECT_TRUE(map.contains("a"));
+  EXPECT_EQ(map.find("b")->asString(), "2");
+  EXPECT_EQ(map.find("zzz"), nullptr);
+  EXPECT_TRUE(map.erase("a"));
+  EXPECT_FALSE(map.erase("a"));
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(Node, MappingPreservesInsertionOrder) {
+  Node map = Node::mapping();
+  map["z"] = Node::scalar("1");
+  map["a"] = Node::scalar("2");
+  map["m"] = Node::scalar("3");
+  const auto& entries = map.entries();
+  EXPECT_EQ(entries[0].first, "z");
+  EXPECT_EQ(entries[1].first, "a");
+  EXPECT_EQ(entries[2].first, "m");
+}
+
+TEST(Node, IndexingNullPromotesToMapping) {
+  Node n;
+  EXPECT_TRUE(n.isNull());
+  n["spec"]["replicas"] = Node::scalar(0);
+  EXPECT_TRUE(n.isMapping());
+  EXPECT_EQ(n.findPath("spec.replicas")->asInt().value(), 0);
+}
+
+TEST(Node, PathHelpers) {
+  Node n;
+  n.makePath("spec.template.metadata.labels") = Node::mapping();
+  EXPECT_NE(n.findPath("spec.template.metadata.labels"), nullptr);
+  EXPECT_EQ(n.findPath("spec.missing.deeper"), nullptr);
+  n.makePath("spec.replicas") = Node::scalar(3);
+  EXPECT_EQ(n.findPath("spec.replicas")->asInt().value(), 3);
+}
+
+TEST(Node, PushPromotesNullToSequence) {
+  Node n;
+  n.push(Node::scalar("x"));
+  EXPECT_TRUE(n.isSequence());
+  EXPECT_EQ(n.size(), 1u);
+}
+
+TEST(Parse, SimpleMapping) {
+  const auto result = parse("name: nginx\nreplicas: 3\n");
+  ASSERT_TRUE(result.ok());
+  const auto& doc = result.value();
+  EXPECT_EQ(doc.find("name")->asString(), "nginx");
+  EXPECT_EQ(doc.find("replicas")->asInt().value(), 3);
+}
+
+TEST(Parse, NestedMapping) {
+  const auto result = parse(R"(metadata:
+  name: web
+  labels:
+    app: web
+    tier: edge
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& doc = result.value();
+  EXPECT_EQ(doc.findPath("metadata.labels.tier")->asString(), "edge");
+}
+
+TEST(Parse, SequenceOfScalars) {
+  const auto result = parse("args:\n  - -v\n  - --port=80\n");
+  ASSERT_TRUE(result.ok());
+  const auto& args = *result.value().find("args");
+  ASSERT_TRUE(args.isSequence());
+  ASSERT_EQ(args.size(), 2u);
+  EXPECT_EQ(args.items()[0].asString(), "-v");
+  EXPECT_EQ(args.items()[1].asString(), "--port=80");
+}
+
+TEST(Parse, K8sStyleSequenceAtKeyIndent) {
+  // Kubernetes YAML conventionally puts the dash at the key's indent level.
+  const auto result = parse(R"(spec:
+  containers:
+  - name: nginx
+    image: nginx:1.23.2
+  - name: sidecar
+    image: envwriter:latest
+)");
+  ASSERT_TRUE(result.ok());
+  const auto* containers = result.value().findPath("spec.containers");
+  ASSERT_NE(containers, nullptr);
+  ASSERT_TRUE(containers->isSequence());
+  ASSERT_EQ(containers->size(), 2u);
+  EXPECT_EQ(containers->items()[0].find("image")->asString(), "nginx:1.23.2");
+  EXPECT_EQ(containers->items()[1].find("name")->asString(), "sidecar");
+}
+
+TEST(Parse, FullDeploymentDefinition) {
+  const auto result = parse(R"(apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: nginx-deployment
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: nginx
+  template:
+    metadata:
+      labels:
+        app: nginx
+    spec:
+      containers:
+      - name: nginx
+        image: nginx:1.23.2
+        ports:
+        - containerPort: 80
+        volumeMounts:
+        - name: shared
+          mountPath: /usr/share/nginx/html
+      volumes:
+      - name: shared
+        hostPath:
+          path: /data/www
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& doc = result.value();
+  EXPECT_EQ(doc.find("kind")->asString(), "Deployment");
+  const auto* port = doc.findPath("spec.template.spec.containers");
+  ASSERT_NE(port, nullptr);
+  const auto& container = port->items()[0];
+  EXPECT_EQ(container.find("ports")->items()[0].find("containerPort")->asInt().value(), 80);
+  EXPECT_EQ(
+      container.find("volumeMounts")->items()[0].find("mountPath")->asString(),
+      "/usr/share/nginx/html");
+  EXPECT_EQ(doc.findPath("spec.template.spec.volumes")->items()[0]
+                .findPath("hostPath.path")->asString(),
+            "/data/www");
+}
+
+TEST(Parse, CommentsAndBlankLines) {
+  const auto result = parse(R"(
+# deployment for the edge
+name: web  # service name
+image: nginx   # image ref
+
+port: 80
+)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().find("name")->asString(), "web");
+  EXPECT_EQ(result.value().find("port")->asInt().value(), 80);
+}
+
+TEST(Parse, QuotedScalars) {
+  const auto result = parse(R"(single: 'it''s quoted'
+double: "line\nbreak: ok"
+hash: "value # not a comment"
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& doc = result.value();
+  EXPECT_EQ(doc.find("single")->asString(), "it's quoted");
+  EXPECT_EQ(doc.find("double")->asString(), "line\nbreak: ok");
+  EXPECT_EQ(doc.find("hash")->asString(), "value # not a comment");
+}
+
+TEST(Parse, NullValues) {
+  const auto result = parse("a: null\nb: ~\nc:\nd: 1\n");
+  ASSERT_TRUE(result.ok());
+  const auto& doc = result.value();
+  EXPECT_TRUE(doc.find("a")->isNull());
+  EXPECT_TRUE(doc.find("b")->isNull());
+  EXPECT_TRUE(doc.find("c")->isNull());
+  EXPECT_EQ(doc.find("d")->asInt().value(), 1);
+}
+
+TEST(Parse, EmptyDocumentIsNull) {
+  const auto result = parse("\n# only comments\n\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().isNull());
+}
+
+TEST(Parse, BareScalarDocument) {
+  const auto result = parse("just-a-string\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().asString(), "just-a-string");
+}
+
+TEST(Parse, RejectsUnsupportedSyntax) {
+  EXPECT_FALSE(parse("a:\tvalue\n").ok());          // tab
+  EXPECT_FALSE(parse("---\na: 1\n").ok());          // multi-doc
+  EXPECT_FALSE(parse("a: 1\na: 2\n").ok());         // duplicate key
+  EXPECT_FALSE(parse("{a: 1}\n").ok());             // flow mapping
+  EXPECT_FALSE(parse("key: 'unterminated\n").ok()); // bad quote
+}
+
+TEST(Parse, TopLevelSequence) {
+  const auto result = parse("- a\n- b\n- c\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().isSequence());
+  EXPECT_EQ(result.value().size(), 3u);
+}
+
+TEST(Parse, SequenceItemWithNestedBlock) {
+  const auto result = parse(R"(-
+  name: standalone
+  port: 8080
+- name: inline
+)");
+  ASSERT_TRUE(result.ok());
+  const auto& seq = result.value();
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq.items()[0].find("port")->asInt().value(), 8080);
+  EXPECT_EQ(seq.items()[1].find("name")->asString(), "inline");
+}
+
+TEST(Emit, ScalarQuotingRules) {
+  Node map = Node::mapping();
+  map["plain"] = Node::scalar("simple");
+  map["colon"] = Node::scalar("a: b");
+  map["empty"] = Node::scalar("");
+  map["dash"] = Node::scalar("-starts");
+  const auto text = emit(map);
+  EXPECT_NE(text.find("plain: simple"), std::string::npos);
+  EXPECT_NE(text.find("colon: \"a: b\""), std::string::npos);
+  EXPECT_NE(text.find("empty: \"\""), std::string::npos);
+  EXPECT_NE(text.find("dash: \"-starts\""), std::string::npos);
+}
+
+// Round-trip property over representative document shapes.
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, ParseEmitParseIsIdentity) {
+  const auto first = parse(GetParam());
+  ASSERT_TRUE(first.ok()) << first.error().toString();
+  const auto text = emit(first.value());
+  const auto second = parse(text);
+  ASSERT_TRUE(second.ok()) << second.error().toString() << "\n--- emitted:\n"
+                           << text;
+  EXPECT_TRUE(first.value() == second.value()) << "--- emitted:\n" << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Docs, RoundTrip,
+    ::testing::Values(
+        "a: 1\n",
+        "a:\n  b:\n    c: deep\n",
+        "list:\n- 1\n- 2\n- 3\n",
+        "containers:\n- name: a\n  image: x:1\n- name: b\n  image: y:2\n",
+        "metadata:\n  labels:\n    edge.service: \"my.svc:80\"\n",
+        "spec:\n  ports:\n  - port: 80\n    targetPort: 8080\n    protocol: TCP\n",
+        "mixed:\n- scalar\n- key: value\n- deeper:\n    x: 1\n",
+        "quoted: \"with \\\"escapes\\\" and\\nnewline\"\n",
+        "nested:\n- - 1\n  - 2\n",
+        "apiVersion: v1\nkind: Service\nmetadata:\n  name: svc\nspec:\n"
+        "  selector:\n    app: web\n  ports:\n  - port: 80\n"));
+
+TEST(Emit, K8sDeploymentShape) {
+  Node doc = Node::mapping();
+  doc["apiVersion"] = Node::scalar("apps/v1");
+  doc["kind"] = Node::scalar("Deployment");
+  doc.makePath("metadata.name") = Node::scalar("web");
+  doc.makePath("spec.replicas") = Node::scalar(0);
+  Node container = Node::mapping();
+  container["name"] = Node::scalar("web");
+  container["image"] = Node::scalar("nginx:1.23.2");
+  doc.makePath("spec.template.spec.containers").push(std::move(container));
+  const auto text = emit(doc);
+  EXPECT_NE(text.find("kind: Deployment"), std::string::npos);
+  EXPECT_NE(text.find("replicas: 0"), std::string::npos);
+  EXPECT_NE(text.find("- name: web"), std::string::npos);
+  // Emitted document must parse back identically.
+  const auto reparsed = parse(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(doc == reparsed.value());
+}
+
+}  // namespace
+}  // namespace edgesim::yamlite
