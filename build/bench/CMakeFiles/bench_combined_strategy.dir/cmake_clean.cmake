@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_combined_strategy.dir/bench_combined_strategy.cpp.o"
+  "CMakeFiles/bench_combined_strategy.dir/bench_combined_strategy.cpp.o.d"
+  "bench_combined_strategy"
+  "bench_combined_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_combined_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pull.dir/bench_fig13_pull.cpp.o"
+  "CMakeFiles/bench_fig13_pull.dir/bench_fig13_pull.cpp.o.d"
+  "bench_fig13_pull"
+  "bench_fig13_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_wait_scaleup.cpp" "bench/CMakeFiles/bench_fig14_wait_scaleup.dir/bench_fig14_wait_scaleup.cpp.o" "gcc" "bench/CMakeFiles/bench_fig14_wait_scaleup.dir/bench_fig14_wait_scaleup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgesim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_docker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_yamlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

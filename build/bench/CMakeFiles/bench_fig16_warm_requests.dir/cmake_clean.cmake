@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_warm_requests.dir/bench_fig16_warm_requests.cpp.o"
+  "CMakeFiles/bench_fig16_warm_requests.dir/bench_fig16_warm_requests.cpp.o.d"
+  "bench_fig16_warm_requests"
+  "bench_fig16_warm_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_warm_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ondemand_modes.dir/bench_ondemand_modes.cpp.o"
+  "CMakeFiles/bench_ondemand_modes.dir/bench_ondemand_modes.cpp.o.d"
+  "bench_ondemand_modes"
+  "bench_ondemand_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ondemand_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proactive_prediction.dir/bench_proactive_prediction.cpp.o"
+  "CMakeFiles/bench_proactive_prediction.dir/bench_proactive_prediction.cpp.o.d"
+  "bench_proactive_prediction"
+  "bench_proactive_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proactive_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_serverless_comparison.dir/bench_serverless_comparison.cpp.o"
+  "CMakeFiles/bench_serverless_comparison.dir/bench_serverless_comparison.cpp.o.d"
+  "bench_serverless_comparison"
+  "bench_serverless_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_serverless_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

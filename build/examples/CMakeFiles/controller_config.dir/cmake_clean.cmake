@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_config.dir/controller_config.cpp.o"
+  "CMakeFiles/controller_config.dir/controller_config.cpp.o.d"
+  "controller_config"
+  "controller_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_classification_edge.dir/image_classification_edge.cpp.o"
+  "CMakeFiles/image_classification_edge.dir/image_classification_edge.cpp.o.d"
+  "image_classification_edge"
+  "image_classification_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_classification_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_container_app.dir/multi_container_app.cpp.o"
+  "CMakeFiles/multi_container_app.dir/multi_container_app.cpp.o.d"
+  "multi_container_app"
+  "multi_container_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_container_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

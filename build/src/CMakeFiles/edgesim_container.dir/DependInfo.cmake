@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/container/image.cpp" "src/CMakeFiles/edgesim_container.dir/container/image.cpp.o" "gcc" "src/CMakeFiles/edgesim_container.dir/container/image.cpp.o.d"
+  "/root/repo/src/container/layer_store.cpp" "src/CMakeFiles/edgesim_container.dir/container/layer_store.cpp.o" "gcc" "src/CMakeFiles/edgesim_container.dir/container/layer_store.cpp.o.d"
+  "/root/repo/src/container/puller.cpp" "src/CMakeFiles/edgesim_container.dir/container/puller.cpp.o" "gcc" "src/CMakeFiles/edgesim_container.dir/container/puller.cpp.o.d"
+  "/root/repo/src/container/registry.cpp" "src/CMakeFiles/edgesim_container.dir/container/registry.cpp.o" "gcc" "src/CMakeFiles/edgesim_container.dir/container/registry.cpp.o.d"
+  "/root/repo/src/container/runtime.cpp" "src/CMakeFiles/edgesim_container.dir/container/runtime.cpp.o" "gcc" "src/CMakeFiles/edgesim_container.dir/container/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

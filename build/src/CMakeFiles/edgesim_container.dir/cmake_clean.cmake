@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_container.dir/container/image.cpp.o"
+  "CMakeFiles/edgesim_container.dir/container/image.cpp.o.d"
+  "CMakeFiles/edgesim_container.dir/container/layer_store.cpp.o"
+  "CMakeFiles/edgesim_container.dir/container/layer_store.cpp.o.d"
+  "CMakeFiles/edgesim_container.dir/container/puller.cpp.o"
+  "CMakeFiles/edgesim_container.dir/container/puller.cpp.o.d"
+  "CMakeFiles/edgesim_container.dir/container/registry.cpp.o"
+  "CMakeFiles/edgesim_container.dir/container/registry.cpp.o.d"
+  "CMakeFiles/edgesim_container.dir/container/runtime.cpp.o"
+  "CMakeFiles/edgesim_container.dir/container/runtime.cpp.o.d"
+  "libedgesim_container.a"
+  "libedgesim_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annotator.cpp" "src/CMakeFiles/edgesim_core.dir/core/annotator.cpp.o" "gcc" "src/CMakeFiles/edgesim_core.dir/core/annotator.cpp.o.d"
+  "/root/repo/src/core/cluster_adapter.cpp" "src/CMakeFiles/edgesim_core.dir/core/cluster_adapter.cpp.o" "gcc" "src/CMakeFiles/edgesim_core.dir/core/cluster_adapter.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/CMakeFiles/edgesim_core.dir/core/controller.cpp.o" "gcc" "src/CMakeFiles/edgesim_core.dir/core/controller.cpp.o.d"
+  "/root/repo/src/core/dispatcher.cpp" "src/CMakeFiles/edgesim_core.dir/core/dispatcher.cpp.o" "gcc" "src/CMakeFiles/edgesim_core.dir/core/dispatcher.cpp.o.d"
+  "/root/repo/src/core/flow_memory.cpp" "src/CMakeFiles/edgesim_core.dir/core/flow_memory.cpp.o" "gcc" "src/CMakeFiles/edgesim_core.dir/core/flow_memory.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/edgesim_core.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/edgesim_core.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/serverless_adapter.cpp" "src/CMakeFiles/edgesim_core.dir/core/serverless_adapter.cpp.o" "gcc" "src/CMakeFiles/edgesim_core.dir/core/serverless_adapter.cpp.o.d"
+  "/root/repo/src/core/service_catalog.cpp" "src/CMakeFiles/edgesim_core.dir/core/service_catalog.cpp.o" "gcc" "src/CMakeFiles/edgesim_core.dir/core/service_catalog.cpp.o.d"
+  "/root/repo/src/core/service_model.cpp" "src/CMakeFiles/edgesim_core.dir/core/service_model.cpp.o" "gcc" "src/CMakeFiles/edgesim_core.dir/core/service_model.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/CMakeFiles/edgesim_core.dir/core/testbed.cpp.o" "gcc" "src/CMakeFiles/edgesim_core.dir/core/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgesim_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_docker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_serverless.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_yamlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_core.dir/core/annotator.cpp.o"
+  "CMakeFiles/edgesim_core.dir/core/annotator.cpp.o.d"
+  "CMakeFiles/edgesim_core.dir/core/cluster_adapter.cpp.o"
+  "CMakeFiles/edgesim_core.dir/core/cluster_adapter.cpp.o.d"
+  "CMakeFiles/edgesim_core.dir/core/controller.cpp.o"
+  "CMakeFiles/edgesim_core.dir/core/controller.cpp.o.d"
+  "CMakeFiles/edgesim_core.dir/core/dispatcher.cpp.o"
+  "CMakeFiles/edgesim_core.dir/core/dispatcher.cpp.o.d"
+  "CMakeFiles/edgesim_core.dir/core/flow_memory.cpp.o"
+  "CMakeFiles/edgesim_core.dir/core/flow_memory.cpp.o.d"
+  "CMakeFiles/edgesim_core.dir/core/scheduler.cpp.o"
+  "CMakeFiles/edgesim_core.dir/core/scheduler.cpp.o.d"
+  "CMakeFiles/edgesim_core.dir/core/serverless_adapter.cpp.o"
+  "CMakeFiles/edgesim_core.dir/core/serverless_adapter.cpp.o.d"
+  "CMakeFiles/edgesim_core.dir/core/service_catalog.cpp.o"
+  "CMakeFiles/edgesim_core.dir/core/service_catalog.cpp.o.d"
+  "CMakeFiles/edgesim_core.dir/core/service_model.cpp.o"
+  "CMakeFiles/edgesim_core.dir/core/service_model.cpp.o.d"
+  "CMakeFiles/edgesim_core.dir/core/testbed.cpp.o"
+  "CMakeFiles/edgesim_core.dir/core/testbed.cpp.o.d"
+  "libedgesim_core.a"
+  "libedgesim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

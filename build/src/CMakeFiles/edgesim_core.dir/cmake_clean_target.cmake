@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgesim_core.a"
+)

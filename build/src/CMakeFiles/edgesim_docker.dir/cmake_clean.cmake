@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_docker.dir/docker/engine.cpp.o"
+  "CMakeFiles/edgesim_docker.dir/docker/engine.cpp.o.d"
+  "libedgesim_docker.a"
+  "libedgesim_docker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_docker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/k8s/autoscaler.cpp" "src/CMakeFiles/edgesim_k8s.dir/k8s/autoscaler.cpp.o" "gcc" "src/CMakeFiles/edgesim_k8s.dir/k8s/autoscaler.cpp.o.d"
+  "/root/repo/src/k8s/cluster.cpp" "src/CMakeFiles/edgesim_k8s.dir/k8s/cluster.cpp.o" "gcc" "src/CMakeFiles/edgesim_k8s.dir/k8s/cluster.cpp.o.d"
+  "/root/repo/src/k8s/controllers.cpp" "src/CMakeFiles/edgesim_k8s.dir/k8s/controllers.cpp.o" "gcc" "src/CMakeFiles/edgesim_k8s.dir/k8s/controllers.cpp.o.d"
+  "/root/repo/src/k8s/kubelet.cpp" "src/CMakeFiles/edgesim_k8s.dir/k8s/kubelet.cpp.o" "gcc" "src/CMakeFiles/edgesim_k8s.dir/k8s/kubelet.cpp.o.d"
+  "/root/repo/src/k8s/objects.cpp" "src/CMakeFiles/edgesim_k8s.dir/k8s/objects.cpp.o" "gcc" "src/CMakeFiles/edgesim_k8s.dir/k8s/objects.cpp.o.d"
+  "/root/repo/src/k8s/scheduler.cpp" "src/CMakeFiles/edgesim_k8s.dir/k8s/scheduler.cpp.o" "gcc" "src/CMakeFiles/edgesim_k8s.dir/k8s/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgesim_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_yamlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_k8s.dir/k8s/autoscaler.cpp.o"
+  "CMakeFiles/edgesim_k8s.dir/k8s/autoscaler.cpp.o.d"
+  "CMakeFiles/edgesim_k8s.dir/k8s/cluster.cpp.o"
+  "CMakeFiles/edgesim_k8s.dir/k8s/cluster.cpp.o.d"
+  "CMakeFiles/edgesim_k8s.dir/k8s/controllers.cpp.o"
+  "CMakeFiles/edgesim_k8s.dir/k8s/controllers.cpp.o.d"
+  "CMakeFiles/edgesim_k8s.dir/k8s/kubelet.cpp.o"
+  "CMakeFiles/edgesim_k8s.dir/k8s/kubelet.cpp.o.d"
+  "CMakeFiles/edgesim_k8s.dir/k8s/objects.cpp.o"
+  "CMakeFiles/edgesim_k8s.dir/k8s/objects.cpp.o.d"
+  "CMakeFiles/edgesim_k8s.dir/k8s/scheduler.cpp.o"
+  "CMakeFiles/edgesim_k8s.dir/k8s/scheduler.cpp.o.d"
+  "libedgesim_k8s.a"
+  "libedgesim_k8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_metrics.dir/metrics/recorder.cpp.o"
+  "CMakeFiles/edgesim_metrics.dir/metrics/recorder.cpp.o.d"
+  "libedgesim_metrics.a"
+  "libedgesim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/addr.cpp" "src/CMakeFiles/edgesim_net.dir/net/addr.cpp.o" "gcc" "src/CMakeFiles/edgesim_net.dir/net/addr.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/CMakeFiles/edgesim_net.dir/net/host.cpp.o" "gcc" "src/CMakeFiles/edgesim_net.dir/net/host.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/edgesim_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/edgesim_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/edgesim_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/edgesim_net.dir/net/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

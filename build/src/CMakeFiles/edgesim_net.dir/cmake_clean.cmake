@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_net.dir/net/addr.cpp.o"
+  "CMakeFiles/edgesim_net.dir/net/addr.cpp.o.d"
+  "CMakeFiles/edgesim_net.dir/net/host.cpp.o"
+  "CMakeFiles/edgesim_net.dir/net/host.cpp.o.d"
+  "CMakeFiles/edgesim_net.dir/net/network.cpp.o"
+  "CMakeFiles/edgesim_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/edgesim_net.dir/net/packet.cpp.o"
+  "CMakeFiles/edgesim_net.dir/net/packet.cpp.o.d"
+  "libedgesim_net.a"
+  "libedgesim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

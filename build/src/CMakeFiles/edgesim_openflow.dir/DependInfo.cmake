@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openflow/action.cpp" "src/CMakeFiles/edgesim_openflow.dir/openflow/action.cpp.o" "gcc" "src/CMakeFiles/edgesim_openflow.dir/openflow/action.cpp.o.d"
+  "/root/repo/src/openflow/flow_table.cpp" "src/CMakeFiles/edgesim_openflow.dir/openflow/flow_table.cpp.o" "gcc" "src/CMakeFiles/edgesim_openflow.dir/openflow/flow_table.cpp.o.d"
+  "/root/repo/src/openflow/match.cpp" "src/CMakeFiles/edgesim_openflow.dir/openflow/match.cpp.o" "gcc" "src/CMakeFiles/edgesim_openflow.dir/openflow/match.cpp.o.d"
+  "/root/repo/src/openflow/switch.cpp" "src/CMakeFiles/edgesim_openflow.dir/openflow/switch.cpp.o" "gcc" "src/CMakeFiles/edgesim_openflow.dir/openflow/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgesim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_openflow.dir/openflow/action.cpp.o"
+  "CMakeFiles/edgesim_openflow.dir/openflow/action.cpp.o.d"
+  "CMakeFiles/edgesim_openflow.dir/openflow/flow_table.cpp.o"
+  "CMakeFiles/edgesim_openflow.dir/openflow/flow_table.cpp.o.d"
+  "CMakeFiles/edgesim_openflow.dir/openflow/match.cpp.o"
+  "CMakeFiles/edgesim_openflow.dir/openflow/match.cpp.o.d"
+  "CMakeFiles/edgesim_openflow.dir/openflow/switch.cpp.o"
+  "CMakeFiles/edgesim_openflow.dir/openflow/switch.cpp.o.d"
+  "libedgesim_openflow.a"
+  "libedgesim_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

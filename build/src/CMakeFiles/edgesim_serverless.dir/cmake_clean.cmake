@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_serverless.dir/serverless/faas_runtime.cpp.o"
+  "CMakeFiles/edgesim_serverless.dir/serverless/faas_runtime.cpp.o.d"
+  "libedgesim_serverless.a"
+  "libedgesim_serverless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_serverless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

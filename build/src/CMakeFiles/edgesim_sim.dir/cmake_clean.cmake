@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/edgesim_sim.dir/sim/simulation.cpp.o.d"
+  "CMakeFiles/edgesim_sim.dir/sim/time.cpp.o"
+  "CMakeFiles/edgesim_sim.dir/sim/time.cpp.o.d"
+  "libedgesim_sim.a"
+  "libedgesim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_util.dir/util/config.cpp.o"
+  "CMakeFiles/edgesim_util.dir/util/config.cpp.o.d"
+  "CMakeFiles/edgesim_util.dir/util/log.cpp.o"
+  "CMakeFiles/edgesim_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/edgesim_util.dir/util/result.cpp.o"
+  "CMakeFiles/edgesim_util.dir/util/result.cpp.o.d"
+  "CMakeFiles/edgesim_util.dir/util/rng.cpp.o"
+  "CMakeFiles/edgesim_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/edgesim_util.dir/util/stats.cpp.o"
+  "CMakeFiles/edgesim_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/edgesim_util.dir/util/strings.cpp.o"
+  "CMakeFiles/edgesim_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/edgesim_util.dir/util/table.cpp.o"
+  "CMakeFiles/edgesim_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/edgesim_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/edgesim_util.dir/util/thread_pool.cpp.o.d"
+  "CMakeFiles/edgesim_util.dir/util/units.cpp.o"
+  "CMakeFiles/edgesim_util.dir/util/units.cpp.o.d"
+  "libedgesim_util.a"
+  "libedgesim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_workload.dir/workload/bigflows.cpp.o"
+  "CMakeFiles/edgesim_workload.dir/workload/bigflows.cpp.o.d"
+  "CMakeFiles/edgesim_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/edgesim_workload.dir/workload/trace.cpp.o.d"
+  "CMakeFiles/edgesim_workload.dir/workload/trace_io.cpp.o"
+  "CMakeFiles/edgesim_workload.dir/workload/trace_io.cpp.o.d"
+  "libedgesim_workload.a"
+  "libedgesim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

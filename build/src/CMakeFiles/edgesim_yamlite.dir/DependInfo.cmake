@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/yamlite/node.cpp" "src/CMakeFiles/edgesim_yamlite.dir/yamlite/node.cpp.o" "gcc" "src/CMakeFiles/edgesim_yamlite.dir/yamlite/node.cpp.o.d"
+  "/root/repo/src/yamlite/parse.cpp" "src/CMakeFiles/edgesim_yamlite.dir/yamlite/parse.cpp.o" "gcc" "src/CMakeFiles/edgesim_yamlite.dir/yamlite/parse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgesim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

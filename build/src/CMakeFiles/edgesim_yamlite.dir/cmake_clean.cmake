@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgesim_yamlite.dir/yamlite/node.cpp.o"
+  "CMakeFiles/edgesim_yamlite.dir/yamlite/node.cpp.o.d"
+  "CMakeFiles/edgesim_yamlite.dir/yamlite/parse.cpp.o"
+  "CMakeFiles/edgesim_yamlite.dir/yamlite/parse.cpp.o.d"
+  "libedgesim_yamlite.a"
+  "libedgesim_yamlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgesim_yamlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgesim_yamlite.a"
+)

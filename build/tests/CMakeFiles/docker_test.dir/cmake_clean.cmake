@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docker_test.dir/docker_test.cpp.o"
+  "CMakeFiles/docker_test.dir/docker_test.cpp.o.d"
+  "docker_test"
+  "docker_test.pdb"
+  "docker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

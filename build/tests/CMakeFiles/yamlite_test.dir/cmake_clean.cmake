@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yamlite_test.dir/yamlite_test.cpp.o"
+  "CMakeFiles/yamlite_test.dir/yamlite_test.cpp.o.d"
+  "yamlite_test"
+  "yamlite_test.pdb"
+  "yamlite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yamlite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
