@@ -35,17 +35,39 @@ void ImagePuller::pull(const Registry& registry, const ImageRef& ref,
 
   const Image image = manifest.value();
   const auto missing = store_.missingLayers(image);
-  const SimTime duration = registry.downloadTime(missing);
+  SimTime duration = registry.downloadTime(missing);
+
+  // Scripted fault injection: one decision per download.  A failing fault
+  // models an interrupted pull (the error surfaces after `stall`, and all
+  // coalesced waiters see it); a stall-only fault models a throttled
+  // registry and just lengthens the download.
+  std::optional<fault::InjectedFault> injected;
+  if (faults_ != nullptr) {
+    injected = faults_->evaluate(fault::FaultSite::kRegistryPull,
+                                 faultTarget_.empty() ? registry.name()
+                                                      : faultTarget_);
+  }
+  if (injected.has_value() && !injected->fail) duration += injected->stall;
+
   // Serialise behind any pull already saturating the downlink.
   const SimTime start = std::max(sim_.now(), busyUntil_);
   const SimTime done = start + duration;
+
+  if (injected.has_value() && injected->fail) {
+    ES_DEBUG("pull", "%s: injected failure after %s", key.c_str(),
+             injected->stall.toString().c_str());
+    sim_.schedule(injected->stall, [this, key, error = injected->error] {
+      ++failed_;
+      finish(key, error);
+    });
+    return;
+  }
+
   busyUntil_ = done;
   ES_DEBUG("pull", "%s: %zu/%zu layers missing, eta %s", key.c_str(),
            missing.size(), image.layerCount(), duration.toString().c_str());
 
   sim_.schedule(done - sim_.now(), [this, key, image] {
-    // The registry may have gone down mid-pull (failure injection is
-    // evaluated at completion time to model an interrupted download).
     store_.commitImage(image);
     ++completed_;
     finish(key, Status());

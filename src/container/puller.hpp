@@ -12,6 +12,7 @@
 
 #include "container/layer_store.hpp"
 #include "container/registry.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/simulation.hpp"
 #include "util/result.hpp"
 
@@ -33,8 +34,18 @@ class ImagePuller {
     return inFlight_.count(ref.toString()) != 0;
   }
 
+  /// Consult `plan` (site kRegistryPull, target = `target`, typically the
+  /// node name) before each uncached pull: a failing fault aborts the pull
+  /// (all coalesced waiters see the error), a stall-only fault extends the
+  /// download.  Pass nullptr to detach.
+  void setFaultPlan(fault::FaultPlan* plan, std::string target = "") {
+    faults_ = plan;
+    faultTarget_ = std::move(target);
+  }
+
   std::uint64_t completedPulls() const { return completed_; }
   std::uint64_t coalescedPulls() const { return coalesced_; }
+  std::uint64_t failedPulls() const { return failed_; }
 
  private:
   struct Inflight {
@@ -45,6 +56,8 @@ class ImagePuller {
 
   Simulation& sim_;
   LayerStore& store_;
+  fault::FaultPlan* faults_ = nullptr;
+  std::string faultTarget_;
   std::unordered_map<std::string, Inflight> inFlight_;
   /// Pulls of *different* images share the node's downlink; they are
   /// serialised (earliest request first), so two concurrent pulls take the
@@ -52,6 +65,7 @@ class ImagePuller {
   SimTime busyUntil_;
   std::uint64_t completed_ = 0;
   std::uint64_t coalesced_ = 0;
+  std::uint64_t failed_ = 0;
 };
 
 }  // namespace edgesim::container

@@ -71,6 +71,11 @@ std::vector<Endpoint> DockerAdapter::readyInstances(
 
 void DockerAdapter::pullImages(const ServiceModel& service, Callback cb) {
   ES_ASSERT(cb != nullptr);
+  if (auto injected = checkRpcFault("pull")) {
+    sim_.schedule(mgmtRtt_ + injected->stall,
+                  [cb, error = injected->error] { cb(error); });
+    return;
+  }
   auto remaining = std::make_shared<std::size_t>(service.containers.size());
   auto firstError = std::make_shared<Status>();
   for (const auto& spec : service.containers) {
@@ -83,6 +88,11 @@ void DockerAdapter::pullImages(const ServiceModel& service, Callback cb) {
 
 void DockerAdapter::createService(const ServiceModel& service, Callback cb) {
   ES_ASSERT(cb != nullptr);
+  if (auto injected = checkRpcFault("create")) {
+    sim_.schedule(mgmtRtt_ + injected->stall,
+                  [cb, error = injected->error] { cb(error); });
+    return;
+  }
   auto& ids = services_[service.uniqueName];
   if (!ids.empty()) {
     sim_.schedule(SimTime::zero(), [cb] { cb(Status()); });
@@ -93,22 +103,26 @@ void DockerAdapter::createService(const ServiceModel& service, Callback cb) {
   // visibly more on Docker (fig. 12's Nginx+Py).
   auto collected = std::make_shared<std::vector<ContainerId>>();
   auto createNext = std::make_shared<std::function<void(std::size_t)>>();
-  *createNext = [this, service, collected, createNext,
-                 cb](std::size_t index) {
+  // The recursive step captures itself weakly -- a shared self-capture would
+  // make the std::function own its own closure and leak the whole chain.
+  // Each in-flight engine callback holds the strong reference instead.
+  std::weak_ptr<std::function<void(std::size_t)>> weakNext = createNext;
+  *createNext = [this, service, collected, weakNext, cb](std::size_t index) {
     if (index >= service.containers.size()) {
       services_[service.uniqueName] = *collected;
       cb(Status());
       return;
     }
+    auto self = weakNext.lock();  // alive: we are being invoked through it
     engine_.createContainer(
         service.containers[index],
-        [collected, createNext, cb, index](Result<ContainerId> result) {
+        [collected, self, cb, index](Result<ContainerId> result) {
           if (!result.ok()) {
             cb(result.error());
             return;
           }
           collected->push_back(result.value());
-          (*createNext)(index + 1);
+          (*self)(index + 1);
         });
   };
   (*createNext)(0);
@@ -116,6 +130,11 @@ void DockerAdapter::createService(const ServiceModel& service, Callback cb) {
 
 void DockerAdapter::scaleUp(const ServiceModel& service, Callback cb) {
   ES_ASSERT(cb != nullptr);
+  if (auto injected = checkRpcFault("scaleup")) {
+    sim_.schedule(mgmtRtt_ + injected->stall,
+                  [cb, error = injected->error] { cb(error); });
+    return;
+  }
   const auto it = services_.find(service.uniqueName);
   if (it == services_.end() || it->second.empty()) {
     sim_.schedule(SimTime::zero(), [cb] {
@@ -126,24 +145,27 @@ void DockerAdapter::scaleUp(const ServiceModel& service, Callback cb) {
   // Sequential starts, mirroring per-container API calls.
   const auto ids = it->second;
   auto startNext = std::make_shared<std::function<void(std::size_t)>>();
-  *startNext = [this, ids, startNext, cb](std::size_t index) {
+  // Weak self-capture for the same reason as in createService above.
+  std::weak_ptr<std::function<void(std::size_t)>> weakNext = startNext;
+  *startNext = [this, ids, weakNext, cb](std::size_t index) {
     if (index >= ids.size()) {
       cb(Status());
       return;
     }
+    auto self = weakNext.lock();
     const ContainerId id = ids[index];
     const ContainerInfo* info = engine_.inspect(id);
     if (info != nullptr && (info->state == ContainerState::kRunning ||
                             info->state == ContainerState::kStarting)) {
-      (*startNext)(index + 1);  // already up (idempotent scale-up)
+      (*self)(index + 1);  // already up (idempotent scale-up)
       return;
     }
-    engine_.startContainer(id, [startNext, cb, index](Status status) {
+    engine_.startContainer(id, [self, cb, index](Status status) {
       if (!status.ok()) {
         cb(status);
         return;
       }
-      (*startNext)(index + 1);
+      (*self)(index + 1);
     });
   };
   (*startNext)(0);
@@ -286,6 +308,11 @@ std::vector<Endpoint> K8sAdapter::readyInstances(
 
 void K8sAdapter::pullImages(const ServiceModel& service, Callback cb) {
   ES_ASSERT(cb != nullptr);
+  if (auto injected = checkRpcFault("pull")) {
+    sim_.schedule(mgmtRtt_ + injected->stall,
+                  [cb, error = injected->error] { cb(error); });
+    return;
+  }
   // Pre-pull on every node so the kubelet's pull is a cache hit wherever
   // the pod lands (single-node clusters: exactly one pull).
   auto remaining =
@@ -310,6 +337,11 @@ void K8sAdapter::pullImages(const ServiceModel& service, Callback cb) {
 
 void K8sAdapter::createService(const ServiceModel& service, Callback cb) {
   ES_ASSERT(cb != nullptr);
+  if (auto injected = checkRpcFault("create")) {
+    sim_.schedule(mgmtRtt_ + injected->stall,
+                  [cb, error = injected->error] { cb(error); });
+    return;
+  }
   // Deployment (replicas=0, "scale to zero") + Service, per the annotator.
   auto remaining = std::make_shared<int>(2);
   auto firstError = std::make_shared<Status>();
@@ -323,6 +355,11 @@ void K8sAdapter::createService(const ServiceModel& service, Callback cb) {
 
 void K8sAdapter::scaleUp(const ServiceModel& service, Callback cb) {
   ES_ASSERT(cb != nullptr);
+  if (auto injected = checkRpcFault("scaleup")) {
+    sim_.schedule(mgmtRtt_ + injected->stall,
+                  [cb, error = injected->error] { cb(error); });
+    return;
+  }
   const k8s::Deployment* deployment =
       cluster_.deployment(service.uniqueName);
   if (deployment == nullptr) {

@@ -21,6 +21,7 @@
 #include "core/scheduler.hpp"
 #include "core/service_model.hpp"
 #include "docker/engine.hpp"
+#include "fault/fault_plan.hpp"
 #include "k8s/cluster.hpp"
 
 namespace edgesim::core {
@@ -58,9 +59,28 @@ class ClusterAdapter {
   /// flows, §VI.)
   virtual void probeInstance(Endpoint instance, ProbeCallback cb) = 0;
 
+  /// Consult `plan` (site kClusterRpc, target "<name>/<phase>") before each
+  /// deployment-phase RPC: a triggered fault fails the phase after the
+  /// fault's stall, which the Dispatcher's retry policy then handles.
+  void setFaultPlan(fault::FaultPlan* plan) { faults_ = plan; }
+  fault::FaultPlan* faultPlan() const { return faults_; }
+
+ protected:
+  /// Evaluate the kClusterRpc site for `phase` ("pull", "create", ...).
+  /// Returns a fault only when the RPC must fail; stall-only triggers are
+  /// ignored at this site.
+  std::optional<fault::InjectedFault> checkRpcFault(const char* phase) {
+    if (faults_ == nullptr) return std::nullopt;
+    auto injected = faults_->evaluate(fault::FaultSite::kClusterRpc,
+                                      name_ + "/" + phase);
+    if (injected.has_value() && !injected->fail) return std::nullopt;
+    return injected;
+  }
+
  private:
   std::string name_;
   int distanceRank_;
+  fault::FaultPlan* faults_ = nullptr;
 };
 
 // --------------------------------------------------------------------------

@@ -36,6 +36,22 @@ ControllerOptions ControllerOptions::fromConfig(const Config& config) {
                       options.removeIdleAfter.toNanos() / 1000000));
   options.deleteImagesOnRemove =
       config.getBoolOr("delete_images_on_remove", options.deleteImagesOnRemove);
+  options.deployTimeout = SimTime::millis(
+      config.getIntOr("deploy_timeout_ms",
+                      options.deployTimeout.toNanos() / 1000000));
+  options.phaseTimeout = SimTime::millis(
+      config.getIntOr("phase_timeout_ms",
+                      options.phaseTimeout.toNanos() / 1000000));
+  options.deployRetries = static_cast<int>(
+      config.getIntOr("deploy_retries", options.deployRetries));
+  options.retryBackoff = SimTime::millis(
+      config.getIntOr("retry_backoff_ms",
+                      options.retryBackoff.toNanos() / 1000000));
+  options.cloudFallback =
+      config.getBoolOr("cloud_fallback", options.cloudFallback);
+  options.quarantineCooldown = SimTime::millis(
+      config.getIntOr("quarantine_cooldown_ms",
+                      options.quarantineCooldown.toNanos() / 1000000));
   return options;
 }
 
@@ -57,6 +73,12 @@ EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
   DispatcherOptions dispatcherOptions;
   dispatcherOptions.portPollInterval = options_.portPollInterval;
   dispatcherOptions.instancePolicy = options_.instancePolicy;
+  dispatcherOptions.deployTimeout = options_.deployTimeout;
+  dispatcherOptions.phaseTimeout = options_.phaseTimeout;
+  dispatcherOptions.retry.maxRetries = options_.deployRetries;
+  dispatcherOptions.retry.initialBackoff = options_.retryBackoff;
+  dispatcherOptions.cloudFallback = options_.cloudFallback;
+  dispatcherOptions.quarantineCooldown = options_.quarantineCooldown;
   dispatcher_ = std::make_unique<Dispatcher>(
       sim_, memory_, *scheduler_, adapters_, recorder_, dispatcherOptions);
 
@@ -209,6 +231,12 @@ void EdgeController::handleRegisteredService(OpenFlowSwitch& sw,
         }
         ++resolved_;
         const Redirect& redirect = result.value();
+        if (redirect.degraded) {
+          ++degraded_;
+          ES_INFO("controller", "degraded resolve for %s -> cloud instance %s",
+                  service.uniqueName.c_str(),
+                  redirect.instance.toString().c_str());
+        }
         installRedirectFlows(sw, key.client, service, redirect.instance);
         releaseBuffered(sw, key, service, redirect.instance);
       });

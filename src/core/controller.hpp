@@ -50,6 +50,19 @@ struct ControllerOptions {
   bool deleteImagesOnRemove = false;
   /// Port-ready polling interval (§VI).
   SimTime portPollInterval = SimTime::millis(50);
+  /// Budget for one deployment attempt (Dispatcher deployTimeout).
+  SimTime deployTimeout = SimTime::seconds(120.0);
+  /// Per-phase watchdog passed to the Dispatcher; zero disables.
+  SimTime phaseTimeout = SimTime::zero();
+  /// Retry budget + backoff for failed deployment phases.
+  int deployRetries = 3;
+  SimTime retryBackoff = SimTime::millis(200);
+  /// Degrade clients to the cloud when an edge deployment exhausts its
+  /// retries (instead of failing the request).
+  bool cloudFallback = true;
+  /// Quarantine window for a cluster that exhausted its retries; zero
+  /// disables quarantine.
+  SimTime quarantineCooldown = SimTime::seconds(30.0);
   /// Per-cluster Local Scheduler injected by the annotator ("" = default).
   /// This names the *placement-time* scheduler (K8s schedulerName).
   std::string localScheduler;
@@ -114,6 +127,9 @@ class EdgeController : public openflow::ControllerApp {
   std::uint64_t packetInCount() const { return packetIns_; }
   std::uint64_t requestsResolved() const { return resolved_; }
   std::uint64_t requestsFailed() const { return failed_; }
+  /// Resolves answered with a degraded (cloud-fallback) redirect; these
+  /// count toward requestsResolved() as well.
+  std::uint64_t requestsDegraded() const { return degraded_; }
   std::uint64_t scaleDowns() const { return scaleDowns_; }
   std::uint64_t removals() const { return removals_; }
   /// BEST deployments that became ready and triggered flow migration.
@@ -168,6 +184,7 @@ class EdgeController : public openflow::ControllerApp {
   std::uint64_t packetIns_ = 0;
   std::uint64_t resolved_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t degraded_ = 0;
   std::uint64_t scaleDowns_ = 0;
   std::uint64_t removals_ = 0;
   std::uint64_t migrations_ = 0;

@@ -1,9 +1,20 @@
 #include "core/dispatcher.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace edgesim::core {
+
+SimTime RetryPolicy::backoff(int retryIndex) const {
+  SimTime delay = initialBackoff;
+  for (int i = 0; i < retryIndex; ++i) {
+    delay = delay.scaled(multiplier);
+    if (delay >= maxBackoff) return maxBackoff;
+  }
+  return std::min(delay, maxBackoff);
+}
 
 Dispatcher::Dispatcher(Simulation& sim, FlowMemory& memory,
                        GlobalScheduler& scheduler,
@@ -74,8 +85,8 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
     request.clusters.push_back(adapter->view(service));
   }
 
-  // 3. FAST / BEST decision.
-  const GlobalDecision decision = scheduler_.decide(request);
+  // 3. FAST / BEST decision (quarantined clusters are filtered out).
+  const GlobalDecision decision = scheduler_.schedule(request, sim_.now());
 
   // 4. Background deployment for BEST ("without waiting", fig. 3).
   if (decision.deploysWithoutWaiting()) {
@@ -132,6 +143,35 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
   ensureReady(service, *fast,
               [this, service, client, clusterName, cb](Result<Endpoint> result) {
                 if (!result.ok()) {
+                  // Graceful degradation: the edge deployment died even after
+                  // retries -- answer from the cloud rather than failing the
+                  // client.  Not memorized, so the next request tries the
+                  // edge again (by then the quarantine may have lifted).
+                  ClusterAdapter* cloud = cloudAdapter();
+                  if (options_.cloudFallback && cloud != nullptr &&
+                      cloud->name() != clusterName) {
+                    const auto cloudReady = cloud->readyInstances(service);
+                    if (!cloudReady.empty()) {
+                      ++fallbacks_;
+                      if (recorder_ != nullptr) {
+                        recorder_->addSample("fallback", 1.0);
+                        recorder_->addSample(
+                            strprintf("%s/%s/fallback", service.tag.c_str(),
+                                      clusterName.c_str()),
+                            1.0);
+                      }
+                      ES_WARN("dispatcher",
+                              "degrading %s to cloud after failure on %s: %s",
+                              service.uniqueName.c_str(), clusterName.c_str(),
+                              result.error().toString().c_str());
+                      Redirect redirect{localScheduler_->pick(cloudReady,
+                                                              client),
+                                        cloud->name(), false};
+                      redirect.degraded = true;
+                      cb(redirect);
+                      return;
+                    }
+                  }
                   cb(result.error());
                   return;
                 }
@@ -161,85 +201,152 @@ void Dispatcher::ensureReady(const ServiceModel& service,
   PendingDeploy deploy;
   deploy.waiters.push_back(std::move(cb));
   deploy.startedAt = sim_.now();
-  deploy.timeoutHandle = sim_.schedule(options_.deployTimeout, [this, key] {
+  deploy.cluster = cluster.name();
+  const SimTime hardDeadline =
+      options_.deployTimeout *
+      static_cast<std::int64_t>(options_.retry.maxRetries + 1);
+  deploy.timeoutHandle = sim_.schedule(hardDeadline, [this, key] {
     finishDeploy(key, makeError(Errc::kTimeout, "deployment timed out"));
   });
   pending_.emplace(key, std::move(deploy));
   ++deployments_;
-  runPhases(service, cluster, key);
+  runPhases(service, cluster, key, /*epoch=*/0);
+}
+
+void Dispatcher::armPhaseTimer(const ServiceModel& service,
+                               ClusterAdapter& cluster, const std::string& key,
+                               int epoch) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  it->second.phaseTimer.cancel();
+  if (options_.phaseTimeout <= SimTime::zero()) return;
+  it->second.phaseTimer =
+      sim_.schedule(options_.phaseTimeout, [this, service, &cluster, key,
+                                            epoch] {
+        onPhaseFailure(service, cluster, key, epoch,
+                       makeError(Errc::kTimeout, "deployment phase timed out on " +
+                                                     cluster.name()));
+      });
+}
+
+void Dispatcher::onPhaseFailure(const ServiceModel& service,
+                                ClusterAdapter& cluster, const std::string& key,
+                                int epoch, Error error) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end() || it->second.epoch != epoch) return;
+  PendingDeploy& deploy = it->second;
+  deploy.phaseTimer.cancel();
+  ++deploy.epoch;  // invalidate every callback of the failed attempt
+  if (deploy.retriesUsed >= options_.retry.maxRetries) {
+    finishDeploy(key, std::move(error));
+    return;
+  }
+  const SimTime delay = options_.retry.backoff(deploy.retriesUsed);
+  ++deploy.retriesUsed;
+  ++retries_;
+  if (recorder_ != nullptr) {
+    recorder_->addSample("retry", 1.0);
+    recorder_->addSample(strprintf("%s/%s/retry", service.tag.c_str(),
+                                   cluster.name().c_str()),
+                         delay.toSeconds());
+  }
+  ES_INFO("dispatcher", "retry %d/%d of %s on %s in %.3fs after: %s",
+          deploy.retriesUsed, options_.retry.maxRetries,
+          service.uniqueName.c_str(), cluster.name().c_str(), delay.toSeconds(),
+          error.toString().c_str());
+  const int nextEpoch = deploy.epoch;
+  sim_.schedule(delay, [this, service, &cluster, key, nextEpoch] {
+    runPhases(service, cluster, key, nextEpoch);
+  });
 }
 
 void Dispatcher::runPhases(const ServiceModel& service,
-                           ClusterAdapter& cluster, const std::string& key) {
+                           ClusterAdapter& cluster, const std::string& key,
+                           int epoch) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end() || it->second.epoch != epoch) return;
   const ClusterView view = cluster.view(service);
   const SimTime phaseStart = sim_.now();
+  armPhaseTimer(service, cluster, key, epoch);
 
   if (!view.imageCached) {
     // Phase 1: Pull.
-    cluster.pullImages(service, [this, service, &cluster, key,
+    cluster.pullImages(service, [this, service, &cluster, key, epoch,
                                  phaseStart](Status status) {
+      const auto pit = pending_.find(key);
+      if (pit == pending_.end() || pit->second.epoch != epoch) return;
       recordPhase(service, cluster, "pull", sim_.now() - phaseStart);
       if (!status.ok()) {
-        finishDeploy(key, status.error());
+        onPhaseFailure(service, cluster, key, epoch, status.error());
         return;
       }
-      runPhases(service, cluster, key);
+      runPhases(service, cluster, key, epoch);
     });
     return;
   }
 
   if (!view.serviceCreated) {
     // Phase 2: Create.
-    cluster.createService(service, [this, service, &cluster, key,
+    cluster.createService(service, [this, service, &cluster, key, epoch,
                                     phaseStart](Status status) {
+      const auto pit = pending_.find(key);
+      if (pit == pending_.end() || pit->second.epoch != epoch) return;
       recordPhase(service, cluster, "create", sim_.now() - phaseStart);
       if (!status.ok()) {
-        finishDeploy(key, status.error());
+        onPhaseFailure(service, cluster, key, epoch, status.error());
         return;
       }
-      runPhases(service, cluster, key);
+      runPhases(service, cluster, key, epoch);
     });
     return;
   }
 
-  // Phase 3: Scale Up, then wait for the port to open.
-  cluster.scaleUp(service, [this, service, &cluster, key,
+  // Phase 3: Scale Up, then wait for the port to open.  The phase timer
+  // armed above spans the scale-up command plus the wait.
+  cluster.scaleUp(service, [this, service, &cluster, key, epoch,
                             phaseStart](Status status) {
+    const auto pit = pending_.find(key);
+    if (pit == pending_.end() || pit->second.epoch != epoch) return;
     recordPhase(service, cluster, "scaleup-cmd", sim_.now() - phaseStart);
     if (!status.ok()) {
-      finishDeploy(key, status.error());
+      onPhaseFailure(service, cluster, key, epoch, status.error());
       return;
     }
-    pollUntilReady(service, cluster, key, sim_.now());
+    pollUntilReady(service, cluster, key, sim_.now(), epoch);
   });
 }
 
 void Dispatcher::pollUntilReady(const ServiceModel& service,
                                 ClusterAdapter& cluster, const std::string& key,
-                                SimTime scaledUpAt) {
+                                SimTime scaledUpAt, int epoch) {
   // "Before setting up the flows, the controller continuously tests if the
   // respective port is open" (§VI).
+  const auto it = pending_.find(key);
+  if (it == pending_.end() || it->second.epoch != epoch) {
+    return;  // timed out or superseded by a retry meanwhile
+  }
   const auto ready = cluster.readyInstances(service);
   if (!ready.empty()) {
     const Endpoint candidate = ready.front();
     cluster.probeInstance(candidate, [this, service, &cluster, key, scaledUpAt,
-                                      candidate](bool open) {
+                                      epoch, candidate](bool open) {
+      const auto pit = pending_.find(key);
+      if (pit == pending_.end() || pit->second.epoch != epoch) return;
       if (open) {
         recordPhase(service, cluster, "wait", sim_.now() - scaledUpAt);
         finishDeploy(key, candidate);
         return;
       }
       sim_.schedule(options_.portPollInterval,
-                    [this, service, &cluster, key, scaledUpAt] {
-                      pollUntilReady(service, cluster, key, scaledUpAt);
+                    [this, service, &cluster, key, scaledUpAt, epoch] {
+                      pollUntilReady(service, cluster, key, scaledUpAt, epoch);
                     });
     });
     return;
   }
-  if (pending_.count(key) == 0) return;  // timed out meanwhile
   sim_.schedule(options_.portPollInterval,
-                [this, service, &cluster, key, scaledUpAt] {
-                  pollUntilReady(service, cluster, key, scaledUpAt);
+                [this, service, &cluster, key, scaledUpAt, epoch] {
+                  pollUntilReady(service, cluster, key, scaledUpAt, epoch);
                 });
 }
 
@@ -249,7 +356,26 @@ void Dispatcher::finishDeploy(const std::string& key,
   if (it == pending_.end()) return;
   auto waiters = std::move(it->second.waiters);
   it->second.timeoutHandle.cancel();
+  it->second.phaseTimer.cancel();
+  const std::string cluster = it->second.cluster;
   pending_.erase(it);
+
+  if (!result.ok()) {
+    // The retry budget is spent: hide the cluster from scheduling decisions
+    // until the cooldown passes.  The cloud is never quarantined -- it is
+    // the degradation target.
+    ClusterAdapter* adapter = adapterByName(cluster);
+    const bool isCloud = adapter != nullptr && adapter->isCloud();
+    if (!isCloud && options_.quarantineCooldown > SimTime::zero()) {
+      scheduler_.quarantine(cluster, sim_.now() + options_.quarantineCooldown);
+      ++quarantines_;
+      if (recorder_ != nullptr) recorder_->addSample("quarantine", 1.0);
+      ES_WARN("dispatcher", "quarantining %s for %.1fs after: %s",
+              cluster.c_str(), options_.quarantineCooldown.toSeconds(),
+              result.error().toString().c_str());
+    }
+  }
+
   for (auto& waiter : waiters) waiter(result);
 }
 

@@ -11,6 +11,12 @@
 //
 // Phase durations (Pull / Create / Scale-Up / Wait) are recorded per
 // service tag -- these are exactly the quantities plotted in figs. 11-15.
+//
+// Failure handling: a failed or watchdog-timed-out phase is retried with
+// capped exponential backoff (RetryPolicy).  When the budget is exhausted
+// the cluster is quarantined from the Global Scheduler for a cooldown and
+// waiting clients are degraded to a ready cloud instance (when one exists)
+// instead of receiving an error.
 #pragma once
 
 #include <functional>
@@ -30,11 +36,42 @@ struct Redirect {
   Endpoint instance;
   std::string cluster;
   bool fromMemory = false;
+  /// True when this redirect is a degraded answer: the chosen edge cluster
+  /// failed its deployment and the client was sent to the cloud instead.
+  /// Degraded redirects are NOT memorized, so the client's next request
+  /// re-tries the edge.
+  bool degraded = false;
+};
+
+/// Capped exponential backoff for failed deployment phases.
+struct RetryPolicy {
+  int maxRetries = 3;
+  SimTime initialBackoff = SimTime::millis(200);
+  double multiplier = 2.0;
+  SimTime maxBackoff = SimTime::seconds(10.0);
+
+  /// Delay before retry number `retryIndex` (0-based):
+  /// min(initialBackoff * multiplier^retryIndex, maxBackoff).
+  SimTime backoff(int retryIndex) const;
 };
 
 struct DispatcherOptions {
   SimTime portPollInterval = SimTime::millis(50);
+  /// Overall budget for one deployment *attempt*; the hard deadline for a
+  /// deployment including retries is deployTimeout * (retry.maxRetries + 1).
   SimTime deployTimeout = SimTime::seconds(120.0);
+  /// Per-phase watchdog: a Pull / Create / Scale-Up(+wait) phase running
+  /// longer than this is failed and retried.  Zero disables the watchdog
+  /// (the overall deadline still applies).
+  SimTime phaseTimeout = SimTime::zero();
+  RetryPolicy retry;
+  /// When a FAST deployment exhausts its retry budget, resolve the waiting
+  /// clients to a ready cloud instance (degraded redirect) instead of
+  /// failing them.
+  bool cloudFallback = true;
+  /// How long a cluster whose deployment exhausted its retry budget is
+  /// hidden from the Global Scheduler.  Zero disables quarantine.
+  SimTime quarantineCooldown = SimTime::seconds(30.0);
   /// Request-time instance choice within the chosen cluster (fig. 6 Local
   /// Scheduler): "first", "instance-round-robin", or "client-hash".
   std::string instancePolicy = "first";
@@ -77,18 +114,35 @@ class Dispatcher {
   std::size_t pendingDeployments() const { return pending_.size(); }
   std::uint64_t deploymentsTriggered() const { return deployments_; }
   std::uint64_t backgroundDeployments() const { return background_; }
+  /// Phase retries performed across all deployments.
+  std::uint64_t retries() const { return retries_; }
+  /// Resolves answered with a degraded cloud redirect.
+  std::uint64_t fallbacks() const { return fallbacks_; }
+  /// Clusters quarantined after an exhausted retry budget.
+  std::uint64_t quarantines() const { return quarantines_; }
 
  private:
   struct PendingDeploy {
     std::vector<ReadyCallback> waiters;
     SimTime startedAt;
-    EventHandle timeoutHandle;
+    std::string cluster;
+    int retriesUsed = 0;
+    /// Bumped on every retry; callbacks from a superseded attempt carry a
+    /// stale epoch and are dropped on arrival.
+    int epoch = 0;
+    EventHandle timeoutHandle;  // overall hard deadline
+    EventHandle phaseTimer;     // per-phase watchdog
   };
 
   void runPhases(const ServiceModel& service, ClusterAdapter& cluster,
-                 const std::string& key);
+                 const std::string& key, int epoch);
   void pollUntilReady(const ServiceModel& service, ClusterAdapter& cluster,
-                      const std::string& key, SimTime scaledUpAt);
+                      const std::string& key, SimTime scaledUpAt, int epoch);
+  void armPhaseTimer(const ServiceModel& service, ClusterAdapter& cluster,
+                     const std::string& key, int epoch);
+  /// Retry after backoff if budget remains, else finish with `error`.
+  void onPhaseFailure(const ServiceModel& service, ClusterAdapter& cluster,
+                      const std::string& key, int epoch, Error error);
   void finishDeploy(const std::string& key, Result<Endpoint> result);
   void recordPhase(const ServiceModel& service, ClusterAdapter& cluster,
                    const char* phase, SimTime duration);
@@ -104,6 +158,9 @@ class Dispatcher {
   BackgroundReadyListener backgroundListener_;
   std::uint64_t deployments_ = 0;
   std::uint64_t background_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t quarantines_ = 0;
 };
 
 }  // namespace edgesim::core

@@ -135,6 +135,30 @@ class RoundRobinScheduler final : public GlobalScheduler {
 
 }  // namespace
 
+GlobalDecision GlobalScheduler::schedule(ScheduleRequest request, SimTime now) {
+  if (!quarantineUntil_.empty()) {
+    auto& clusters = request.clusters;
+    clusters.erase(std::remove_if(clusters.begin(), clusters.end(),
+                                  [&](const ClusterView& view) {
+                                    return !view.isCloud &&
+                                           quarantined(view.name, now);
+                                  }),
+                   clusters.end());
+  }
+  return decide(request);
+}
+
+void GlobalScheduler::quarantine(const std::string& cluster, SimTime until) {
+  SimTime& entry = quarantineUntil_[cluster];
+  if (until > entry) entry = until;
+}
+
+bool GlobalScheduler::quarantined(const std::string& cluster,
+                                  SimTime now) const {
+  const auto it = quarantineUntil_.find(cluster);
+  return it != quarantineUntil_.end() && now < it->second;
+}
+
 std::unique_ptr<GlobalScheduler> makeProximityScheduler() {
   return std::make_unique<ProximityScheduler>();
 }

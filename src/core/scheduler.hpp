@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/addr.hpp"
+#include "sim/time.hpp"
 #include "util/config.hpp"
 #include "util/result.hpp"
 
@@ -64,6 +65,19 @@ class GlobalScheduler {
   virtual ~GlobalScheduler() = default;
   virtual const char* name() const = 0;
   virtual GlobalDecision decide(const ScheduleRequest& request) = 0;
+
+  /// What the Dispatcher calls: drops quarantined (non-cloud) clusters from
+  /// the request, then delegates to the policy's decide().  Quarantine is a
+  /// degradation mechanism, not a policy, so it lives in the base class and
+  /// applies uniformly to every registered scheduler.
+  GlobalDecision schedule(ScheduleRequest request, SimTime now);
+
+  /// Hide `cluster` from decisions until `until` (extends, never shortens).
+  void quarantine(const std::string& cluster, SimTime until);
+  bool quarantined(const std::string& cluster, SimTime now) const;
+
+ private:
+  std::map<std::string, SimTime> quarantineUntil_;
 };
 
 /// Factory registry; the controller config names the scheduler to load.

@@ -133,6 +133,19 @@ void Testbed::warmImageCache(const std::string& key) {
   if (farStore_ != nullptr) catalog_.seedImages(key, *farStore_);
 }
 
+void Testbed::injectFaults(fault::FaultPlan& plan) {
+  for (auto& adapter : adapters_) adapter->setFaultPlan(&plan);
+  if (egsPuller_ != nullptr) egsPuller_->setFaultPlan(&plan, "egs");
+  if (farPuller_ != nullptr) farPuller_->setFaultPlan(&plan, "far-edge");
+  if (dockerEngine_ != nullptr) dockerEngine_->setFaultPlan(&plan);
+  if (farEngine_ != nullptr) farEngine_->setFaultPlan(&plan);
+  if (k8sCluster_ != nullptr) {
+    for (k8s::Kubelet* kubelet : k8sCluster_->kubelets()) {
+      kubelet->setFaultPlan(&plan);
+    }
+  }
+}
+
 void Testbed::request(std::size_t clientIndex, Endpoint address,
                       const std::string& series, HttpMethod method,
                       Bytes payload, Host::HttpCallback cb) {

@@ -89,6 +89,12 @@ class Testbed {
   /// Pre-seed the EGS layer store with a catalogue entry's images.
   void warmImageCache(const std::string& key);
 
+  /// Thread `plan` through every fault-injection site of the testbed:
+  /// cluster adapters (kClusterRpc), image pullers (kRegistryPull, targets
+  /// "egs" / "far-edge"), Docker engines (kContainerCreate/kContainerStart)
+  /// and kubelets (kContainerStart).  `plan` must outlive the testbed.
+  void injectFaults(fault::FaultPlan& plan);
+
   /// Issue a measured HTTP request from client `clientIndex` to `address`;
   /// the result lands in the recorder under `series` and is forwarded to
   /// `cb` if provided.

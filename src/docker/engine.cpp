@@ -19,6 +19,17 @@ void DockerEngine::afterApi(std::function<void()> fn) {
   sim_.schedule(params_.apiLatency, std::move(fn));
 }
 
+std::optional<fault::InjectedFault> DockerEngine::checkFault(
+    fault::FaultSite site) {
+  if (faults_ == nullptr) return std::nullopt;
+  auto injected = faults_->evaluate(site, runtime_.host().name());
+  // Stall-only faults on daemon calls are folded into the failure path's
+  // stall; a non-failing trigger is simply ignored here (the API latency
+  // already models the call's base cost).
+  if (injected.has_value() && !injected->fail) return std::nullopt;
+  return injected;
+}
+
 void DockerEngine::pull(const ImageRef& ref, Callback cb) {
   ES_ASSERT(cb != nullptr);
   afterApi([this, ref, cb = std::move(cb)] {
@@ -37,6 +48,11 @@ void DockerEngine::pull(const ImageRef& ref, Callback cb) {
 void DockerEngine::createContainer(const ContainerSpec& spec,
                                    CreateCallback cb) {
   ES_ASSERT(cb != nullptr);
+  if (auto injected = checkFault(fault::FaultSite::kContainerCreate)) {
+    sim_.schedule(params_.apiLatency + injected->stall,
+                  [cb, error = injected->error] { cb(error); });
+    return;
+  }
   afterApi([this, spec, cb = std::move(cb)] {
     // containerd's create latency applies before the id is returned.
     sim_.schedule(runtime_.params().createLatency, [this, spec, cb] {
@@ -47,6 +63,11 @@ void DockerEngine::createContainer(const ContainerSpec& spec,
 
 void DockerEngine::startContainer(ContainerId id, Callback cb) {
   ES_ASSERT(cb != nullptr);
+  if (auto injected = checkFault(fault::FaultSite::kContainerStart)) {
+    sim_.schedule(params_.apiLatency + injected->stall,
+                  [cb, error = injected->error] { cb(error); });
+    return;
+  }
   afterApi([this, id, cb = std::move(cb)]() mutable {
     const Status status = runtime_.start(id, cb);
     if (!status.ok()) {

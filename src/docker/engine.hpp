@@ -15,6 +15,7 @@
 #include "container/puller.hpp"
 #include "container/registry.hpp"
 #include "container/runtime.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace edgesim::docker {
 
@@ -65,13 +66,20 @@ class DockerEngine {
   container::ContainerdRuntime& runtime() { return runtime_; }
   const EngineParams& params() const { return params_; }
 
+  /// Consult `plan` on create (kContainerCreate) and start (kContainerStart)
+  /// calls; the target is the engine's node name.  Pass nullptr to detach.
+  void setFaultPlan(fault::FaultPlan* plan) { faults_ = plan; }
+
  private:
   void afterApi(std::function<void()> fn);
+  /// Non-null when the daemon call must fail with an injected fault.
+  std::optional<fault::InjectedFault> checkFault(fault::FaultSite site);
 
   Simulation& sim_;
   container::ContainerdRuntime& runtime_;
   container::ImagePuller& puller_;
   const container::Registry* registry_;
+  fault::FaultPlan* faults_ = nullptr;
   EngineParams params_;
 };
 

@@ -1,0 +1,87 @@
+#include "fault/fault_plan.hpp"
+
+namespace edgesim::fault {
+
+const char* faultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kRegistryPull: return "registry-pull";
+    case FaultSite::kContainerCreate: return "container-create";
+    case FaultSite::kContainerStart: return "container-start";
+    case FaultSite::kClusterRpc: return "cluster-rpc";
+    case FaultSite::kLinkDown: return "link-down";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+std::size_t FaultPlan::add(FaultSpec spec) {
+  ES_ASSERT(spec.probability >= 0.0 && spec.probability <= 1.0);
+  SpecState state;
+  state.spec = std::move(spec);
+  // Per-spec stream derived from (plan seed, spec index): adding a spec
+  // never perturbs the draws of the ones before it.
+  state.rng =
+      Rng(seed_ ^ ((specs_.size() + 1) * 0x9e3779b97f4a7c15ULL));
+  specs_.push_back(std::move(state));
+  return specs_.size() - 1;
+}
+
+bool FaultPlan::matches(const std::string& specTarget,
+                        const std::string& target) {
+  if (specTarget.empty()) return true;
+  if (specTarget == target) return true;
+  // Prefix refinement: "docker-egs" matches "docker-egs/pull".
+  return target.size() > specTarget.size() + 1 &&
+         target.compare(0, specTarget.size(), specTarget) == 0 &&
+         target[specTarget.size()] == '/';
+}
+
+std::optional<InjectedFault> FaultPlan::evaluate(FaultSite site,
+                                                 const std::string& target) {
+  ++occurrences_[static_cast<std::size_t>(site)];
+  for (std::size_t index = 0; index < specs_.size(); ++index) {
+    SpecState& state = specs_[index];
+    const FaultSpec& spec = state.spec;
+    if (spec.site != site || spec.site == FaultSite::kLinkDown) continue;
+    if (!matches(spec.target, target)) continue;
+    ++state.seen;
+    // Always draw, so trigger decisions of later occurrences never depend
+    // on whether earlier ones were skipped.
+    const double draw = state.rng.uniform01();
+    if (state.seen <= spec.skipFirst) continue;
+    if (spec.maxTriggers >= 0 && state.triggered >= spec.maxTriggers) continue;
+    if (draw >= spec.probability) continue;
+
+    ++state.triggered;
+    InjectedFault injected;
+    injected.stall = spec.stall;
+    injected.fail = spec.code != Errc::kOk;
+    if (injected.fail) {
+      injected.error = makeError(
+          spec.code, spec.message + " (" + std::string(faultSiteName(site)) +
+                         (target.empty() ? "" : " @ " + target) + ")");
+    }
+    injected.specIndex = index;
+    events_.push_back(FaultEvent{site, target, index, injected.fail});
+    return injected;
+  }
+  return std::nullopt;
+}
+
+std::vector<const FaultSpec*> FaultPlan::linkFaults(
+    const std::string& target) const {
+  std::vector<const FaultSpec*> out;
+  for (const auto& state : specs_) {
+    if (state.spec.site != FaultSite::kLinkDown) continue;
+    if (!matches(state.spec.target, target)) continue;
+    out.push_back(&state.spec);
+  }
+  return out;
+}
+
+std::uint64_t FaultPlan::occurrences(FaultSite site) const {
+  return occurrences_[static_cast<std::size_t>(site)];
+}
+
+}  // namespace edgesim::fault

@@ -1,0 +1,133 @@
+// Deterministic fault injection (chaos testing for the deployment path).
+//
+// A FaultPlan scripts failures by *site* (where in the stack the fault
+// fires) and *occurrence* (which of the matching operations it hits).  Every
+// spec owns an independent RNG stream forked from the plan seed, so the same
+// seed and the same sequence of evaluate() calls always produce the same
+// failure schedule -- a fault schedule is as reproducible as the simulation
+// itself and can be bisected with it.
+//
+// Components hold an optional FaultPlan* and consult it at their injection
+// point:
+//   kRegistryPull     container::ImagePuller (target: node name)
+//   kContainerCreate  docker::DockerEngine::createContainer (target: node)
+//   kContainerStart   docker::DockerEngine::startContainer and
+//                     k8s::Kubelet pod launch (target: node name)
+//   kClusterRpc       core::ClusterAdapter phase RPCs
+//                     (target: "<cluster>/<phase>", e.g. "docker-egs/pull")
+//   kLinkDown         Network::scheduleLinkFaults (target: link label);
+//                     time-scripted via FaultSpec::at/duration instead of
+//                     occurrence counting.
+//
+// Target matching: an empty spec target matches everything; otherwise the
+// spec matches an exact target or any "<target>/<suffix>" refinement, so
+// "docker-egs" hits every phase of that cluster while "docker-egs/pull"
+// hits only its Pull RPC.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace edgesim::fault {
+
+enum class FaultSite {
+  kRegistryPull = 0,
+  kContainerCreate,
+  kContainerStart,
+  kClusterRpc,
+  kLinkDown,
+};
+
+inline constexpr std::size_t kFaultSiteCount = 5;
+
+const char* faultSiteName(FaultSite site);
+
+struct FaultSpec {
+  FaultSite site = FaultSite::kClusterRpc;
+  /// "" matches every target; otherwise exact or prefix ("a" matches "a/b").
+  std::string target;
+  /// Per-occurrence trigger probability (1.0 = always).
+  double probability = 1.0;
+  /// Let the first N matching occurrences pass unharmed.
+  int skipFirst = 0;
+  /// Trigger budget: -1 = persistent, 1 = one-shot, N = first N hits.
+  int maxTriggers = -1;
+  /// Extra latency before the outcome: models a stalled download / RPC.
+  SimTime stall = SimTime::zero();
+  /// Error delivered on trigger; kOk makes the fault stall-only (the
+  /// operation is delayed by `stall` but still succeeds).
+  Errc code = Errc::kUnavailable;
+  std::string message = "injected fault";
+  /// kLinkDown only: the link goes down at `at` for `duration`.
+  SimTime at = SimTime::zero();
+  SimTime duration = SimTime::zero();
+};
+
+/// What an injection point must do for one triggered occurrence.
+struct InjectedFault {
+  SimTime stall;       // delay to apply before completing the operation
+  bool fail = false;   // false: stall-only, proceed normally afterwards
+  Error error;         // valid when fail
+  std::size_t specIndex = 0;
+};
+
+/// Trace entry for tests and post-mortem inspection.
+struct FaultEvent {
+  FaultSite site = FaultSite::kClusterRpc;
+  std::string target;
+  std::size_t specIndex = 0;
+  bool failed = false;  // false = stall-only trigger
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 1);
+
+  /// Append a spec; returns its index (stable, reported in events).
+  std::size_t add(FaultSpec spec);
+
+  /// Consult the plan for one occurrence at `site` / `target`.  Counts the
+  /// occurrence, draws from the matching specs' RNG streams, and returns
+  /// the injected fault of the first spec that triggers (specs are tried
+  /// in insertion order), or nullopt to proceed normally.
+  std::optional<InjectedFault> evaluate(FaultSite site,
+                                        const std::string& target);
+
+  /// kLinkDown specs matching `target` (for Network::scheduleLinkFaults).
+  std::vector<const FaultSpec*> linkFaults(const std::string& target) const;
+
+  std::uint64_t seed() const { return seed_; }
+  std::size_t specCount() const { return specs_.size(); }
+  const FaultSpec& spec(std::size_t index) const {
+    return specs_.at(index).spec;
+  }
+
+  /// Matching evaluate() calls seen per site (triggered or not).
+  std::uint64_t occurrences(FaultSite site) const;
+  /// Triggered injections (failures + stalls), in order.
+  const std::vector<FaultEvent>& events() const { return events_; }
+  std::uint64_t triggerCount() const { return events_.size(); }
+
+ private:
+  struct SpecState {
+    FaultSpec spec;
+    Rng rng;
+    int seen = 0;       // matching occurrences so far
+    int triggered = 0;  // times this spec fired
+  };
+
+  static bool matches(const std::string& specTarget, const std::string& target);
+
+  std::uint64_t seed_;
+  std::vector<SpecState> specs_;
+  std::uint64_t occurrences_[kFaultSiteCount] = {};
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace edgesim::fault

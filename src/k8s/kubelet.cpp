@@ -106,6 +106,23 @@ void Kubelet::launchContainers(const Pod& pod) {
   if (it == workers_.end()) return;
   const std::string podName = pod.meta.name;
 
+  // Scripted crash-on-start: the kubelet's pod worker dies before the
+  // containers come up, the pod goes Failed, and the ReplicaSet controller
+  // replaces it -- the same recovery path a real kubelet crash exercises.
+  if (faults_ != nullptr) {
+    if (auto injected =
+            faults_->evaluate(fault::FaultSite::kContainerStart, node_.name);
+        injected.has_value() && injected->fail) {
+      ++injectedCrashes_;
+      ES_WARN("kubelet", "%s: injected crash launching pod %s: %s",
+              node_.name.c_str(), podName.c_str(),
+              injected->error.toString().c_str());
+      sim_.schedule(injected->stall,
+                    [this, podName] { markFailed(podName); });
+      return;
+    }
+  }
+
   auto remaining = std::make_shared<std::size_t>(pod.spec.containers.size());
   for (const auto& spec : pod.spec.containers) {
     // containerd create latency, then start.

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "k8s/api_server.hpp"
 #include "k8s/node.hpp"
 
@@ -26,6 +27,12 @@ class Kubelet {
   const std::string& nodeName() const { return node_.name; }
   std::uint64_t startedPods() const { return startedPods_; }
   std::uint64_t restartedContainers() const { return restarts_; }
+
+  /// Consult `plan` (site kContainerStart, target = node name) when a pod's
+  /// containers launch: a triggered fault crashes the kubelet's pod worker
+  /// (the pod is marked Failed and its ReplicaSet replaces it).
+  void setFaultPlan(fault::FaultPlan* plan) { faults_ = plan; }
+  std::uint64_t injectedCrashes() const { return injectedCrashes_; }
 
   /// Containers may crash after start; this caps restart attempts before
   /// the pod is marked Failed (and replaced by its ReplicaSet).
@@ -56,10 +63,12 @@ class Kubelet {
   ApiServer& api_;
   const ControlPlaneParams& params_;
   NodeHandle node_;
+  fault::FaultPlan* faults_ = nullptr;
   std::map<std::string, PodWorker> workers_;  // key: pod name
   PeriodicTimer resync_;
   std::uint64_t startedPods_ = 0;
   std::uint64_t restarts_ = 0;
+  std::uint64_t injectedCrashes_ = 0;
 };
 
 }  // namespace edgesim::k8s

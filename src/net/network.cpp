@@ -57,6 +57,28 @@ bool Network::linkUp(const NetNode& node, PortId port) const {
   return half != nullptr && half->up;
 }
 
+void Network::scheduleLinkFaults(const fault::FaultPlan& plan,
+                                 const std::string& label, const NetNode& node,
+                                 PortId port) {
+  ES_ASSERT_MSG(findHalf(node, port) != nullptr,
+                "scheduleLinkFaults on unwired port");
+  for (const fault::FaultSpec* spec : plan.linkFaults(label)) {
+    const NetNode* nodePtr = &node;
+    sim_.scheduleAt(spec->at, [this, nodePtr, port] {
+      ES_INFO("net", "injected link-down at %s port %u", nodePtr->name().c_str(),
+              port);
+      setLinkUp(*nodePtr, port, false);
+    });
+    if (spec->duration > SimTime::zero()) {
+      sim_.scheduleAt(spec->at + spec->duration, [this, nodePtr, port] {
+        ES_INFO("net", "injected link restored at %s port %u",
+                nodePtr->name().c_str(), port);
+        setLinkUp(*nodePtr, port, true);
+      });
+    }
+  }
+}
+
 void Network::transmit(const NetNode& node, PortId port,
                        const Packet& packet) {
   HalfLink* half = findHalf(node, port);

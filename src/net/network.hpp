@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "net/node.hpp"
 #include "sim/simulation.hpp"
 #include "util/units.hpp"
@@ -50,6 +52,13 @@ class Network {
   /// silently dropped -- TCP's retransmission/timeout machinery reacts.
   void setLinkUp(const NetNode& node, PortId port, bool up);
   bool linkUp(const NetNode& node, PortId port) const;
+
+  /// Schedule every kLinkDown spec of `plan` matching `label` against the
+  /// link at (`node`, `port`): down at spec.at, back up at spec.at +
+  /// spec.duration (a zero duration leaves the link down for good).
+  void scheduleLinkFaults(const fault::FaultPlan& plan,
+                          const std::string& label, const NetNode& node,
+                          PortId port);
 
   std::uint64_t deliveredPackets() const { return delivered_; }
   std::uint64_t droppedPackets() const { return dropped_; }

@@ -297,7 +297,15 @@ TEST_F(DispatcherFixture, CloudFallbackWhenFastEmpty) {
 }
 
 TEST_F(DispatcherFixture, PullFailurePropagates) {
-  makeDispatcher(makeProximityScheduler());
+  // With cloud fallback disabled the pull failure must reach the caller
+  // once the retry budget is spent.
+  DispatcherOptions options;
+  options.cloudFallback = false;
+  scheduler_ = makeProximityScheduler();
+  dispatcher_ = std::make_unique<Dispatcher>(
+      sim_, memory_, *scheduler_,
+      std::vector<ClusterAdapter*>{&near_, &far_, &cloud_}, &recorder_,
+      options);
   near_.failPull = true;
   far_.failPull = true;
   std::optional<Result<Redirect>> got;
@@ -307,11 +315,15 @@ TEST_F(DispatcherFixture, PullFailurePropagates) {
   ASSERT_TRUE(got.has_value());
   ASSERT_FALSE(got->ok());
   EXPECT_EQ(got->error().code, Errc::kUnavailable);
+  EXPECT_EQ(dispatcher_->retries(),
+            static_cast<std::uint64_t>(options.retry.maxRetries));
 }
 
 TEST_F(DispatcherFixture, DeploymentTimeoutFiresWhenNeverReady) {
   DispatcherOptions options;
   options.deployTimeout = 5_s;
+  options.retry.maxRetries = 0;  // hard deadline == deployTimeout
+  options.cloudFallback = false;
   scheduler_ = makeProximityScheduler();
   dispatcher_ = std::make_unique<Dispatcher>(
       sim_, memory_, *scheduler_,

@@ -1,0 +1,183 @@
+// FaultPlan unit tests: deterministic scheduling (same seed => same
+// injected-fault schedule), per-site / per-target spec matching, one-shot
+// vs persistent faults, skipFirst warm-up, stall-only faults, and the
+// kLinkDown spec selection used by Network::scheduleLinkFaults.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "sim/time.hpp"
+
+namespace edgesim::fault {
+namespace {
+
+using namespace timeliterals;
+
+FaultSpec rpcFault(std::string target, double probability = 1.0) {
+  FaultSpec spec;
+  spec.site = FaultSite::kClusterRpc;
+  spec.target = std::move(target);
+  spec.probability = probability;
+  return spec;
+}
+
+TEST(FaultPlan, SameSeedProducesSameSchedule) {
+  const auto drive = [](std::uint64_t seed) {
+    FaultPlan plan(seed);
+    plan.add(rpcFault("docker-egs", 0.5));
+    std::vector<bool> triggered;
+    for (int i = 0; i < 64; ++i) {
+      triggered.push_back(
+          plan.evaluate(FaultSite::kClusterRpc, "docker-egs/pull").has_value());
+    }
+    return triggered;
+  };
+  const auto a = drive(42);
+  const auto b = drive(42);
+  EXPECT_EQ(a, b);
+  // Sanity: p=0.5 over 64 occurrences triggers at least once either way.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+}
+
+TEST(FaultPlan, DifferentSeedsProduceDifferentSchedules) {
+  const auto drive = [](std::uint64_t seed) {
+    FaultPlan plan(seed);
+    plan.add(rpcFault("", 0.5));
+    std::vector<bool> triggered;
+    for (int i = 0; i < 64; ++i) {
+      triggered.push_back(
+          plan.evaluate(FaultSite::kClusterRpc, "x").has_value());
+    }
+    return triggered;
+  };
+  EXPECT_NE(drive(1), drive(2));
+}
+
+TEST(FaultPlan, ExactAndPrefixTargetMatching) {
+  FaultPlan plan(7);
+  plan.add(rpcFault("docker-egs"));
+
+  EXPECT_TRUE(plan.evaluate(FaultSite::kClusterRpc, "docker-egs").has_value());
+  // Prefix refinement only across a '/' boundary.
+  EXPECT_TRUE(
+      plan.evaluate(FaultSite::kClusterRpc, "docker-egs/pull").has_value());
+  EXPECT_FALSE(
+      plan.evaluate(FaultSite::kClusterRpc, "docker-egs2").has_value());
+  EXPECT_FALSE(plan.evaluate(FaultSite::kClusterRpc, "k8s-egs").has_value());
+  // Wrong site never matches, whatever the target.
+  EXPECT_FALSE(
+      plan.evaluate(FaultSite::kRegistryPull, "docker-egs").has_value());
+}
+
+TEST(FaultPlan, EmptyTargetMatchesEverything) {
+  FaultPlan plan(7);
+  plan.add(rpcFault(""));
+  EXPECT_TRUE(plan.evaluate(FaultSite::kClusterRpc, "a").has_value());
+  EXPECT_TRUE(plan.evaluate(FaultSite::kClusterRpc, "b/c").has_value());
+  EXPECT_TRUE(plan.evaluate(FaultSite::kClusterRpc, "").has_value());
+}
+
+TEST(FaultPlan, OneShotTriggersExactlyOnce) {
+  FaultPlan plan(7);
+  FaultSpec spec = rpcFault("");
+  spec.maxTriggers = 1;
+  plan.add(spec);
+  EXPECT_TRUE(plan.evaluate(FaultSite::kClusterRpc, "x").has_value());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(plan.evaluate(FaultSite::kClusterRpc, "x").has_value());
+  }
+  EXPECT_EQ(plan.triggerCount(), 1u);
+}
+
+TEST(FaultPlan, PersistentFaultKeepsTriggering) {
+  FaultPlan plan(7);
+  plan.add(rpcFault(""));  // maxTriggers = -1
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(plan.evaluate(FaultSite::kClusterRpc, "x").has_value());
+  }
+  EXPECT_EQ(plan.triggerCount(), 10u);
+}
+
+TEST(FaultPlan, SkipFirstLetsEarlyOccurrencesPass) {
+  FaultPlan plan(7);
+  FaultSpec spec = rpcFault("");
+  spec.skipFirst = 3;
+  plan.add(spec);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(plan.evaluate(FaultSite::kClusterRpc, "x").has_value());
+  }
+  EXPECT_TRUE(plan.evaluate(FaultSite::kClusterRpc, "x").has_value());
+}
+
+TEST(FaultPlan, StallOnlyFaultDoesNotFail) {
+  FaultPlan plan(7);
+  FaultSpec spec = rpcFault("");
+  spec.code = Errc::kOk;  // stall without failing
+  spec.stall = 500_ms;
+  plan.add(spec);
+  const auto injected = plan.evaluate(FaultSite::kClusterRpc, "x");
+  ASSERT_TRUE(injected.has_value());
+  EXPECT_FALSE(injected->fail);
+  EXPECT_EQ(injected->stall, 500_ms);
+}
+
+TEST(FaultPlan, FailingFaultCarriesCodeAndAnnotatedMessage) {
+  FaultPlan plan(7);
+  FaultSpec spec = rpcFault("docker-egs");
+  spec.code = Errc::kInternal;
+  spec.message = "boom";
+  spec.stall = 50_ms;
+  plan.add(spec);
+  const auto injected = plan.evaluate(FaultSite::kClusterRpc, "docker-egs");
+  ASSERT_TRUE(injected.has_value());
+  EXPECT_TRUE(injected->fail);
+  EXPECT_EQ(injected->error.code, Errc::kInternal);
+  EXPECT_NE(injected->error.message.find("boom"), std::string::npos);
+  EXPECT_NE(injected->error.message.find("docker-egs"), std::string::npos);
+  EXPECT_EQ(injected->stall, 50_ms);
+}
+
+TEST(FaultPlan, OccurrenceCountersAndEventLog) {
+  FaultPlan plan(7);
+  plan.add(rpcFault("docker-egs"));
+  (void)plan.evaluate(FaultSite::kClusterRpc, "docker-egs/pull");
+  (void)plan.evaluate(FaultSite::kClusterRpc, "k8s-egs/pull");  // no match
+  (void)plan.evaluate(FaultSite::kRegistryPull, "egs");
+
+  EXPECT_EQ(plan.occurrences(FaultSite::kClusterRpc), 2u);
+  EXPECT_EQ(plan.occurrences(FaultSite::kRegistryPull), 1u);
+  EXPECT_EQ(plan.occurrences(FaultSite::kContainerCreate), 0u);
+  ASSERT_EQ(plan.events().size(), 1u);
+  EXPECT_EQ(plan.events()[0].site, FaultSite::kClusterRpc);
+  EXPECT_EQ(plan.events()[0].target, "docker-egs/pull");
+  EXPECT_TRUE(plan.events()[0].failed);
+}
+
+TEST(FaultPlan, LinkFaultsSelectedByLabelAndExcludedFromEvaluate) {
+  FaultPlan plan(7);
+  FaultSpec down;
+  down.site = FaultSite::kLinkDown;
+  down.target = "egs-uplink";
+  down.at = 10_s;
+  down.duration = 2_s;
+  plan.add(down);
+  plan.add(rpcFault("egs-uplink"));
+
+  // kLinkDown specs are time-scripted, never occurrence-evaluated: the
+  // evaluate() call only sees the kClusterRpc spec.
+  const auto injected = plan.evaluate(FaultSite::kClusterRpc, "egs-uplink");
+  ASSERT_TRUE(injected.has_value());
+  EXPECT_EQ(injected->specIndex, 1u);
+
+  const auto faults = plan.linkFaults("egs-uplink");
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0]->at, 10_s);
+  EXPECT_EQ(faults[0]->duration, 2_s);
+  EXPECT_TRUE(plan.linkFaults("other-link").empty());
+}
+
+}  // namespace
+}  // namespace edgesim::fault

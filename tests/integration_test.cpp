@@ -381,6 +381,11 @@ TEST(Integration, ConcurrentFirstRequestsCoalesceDeployment) {
 TEST(Integration, RegistryDownFailsRequestEventually) {
   TestbedOptions options;
   options.clusterMode = ClusterMode::kDockerOnly;
+  // Disable every degradation path (cloud fallback, quarantine-then-cloud)
+  // so the registry outage must surface as a failed request; the
+  // degradation paths have their own tests.
+  options.controller.cloudFallback = false;
+  options.controller.quarantineCooldown = SimTime::zero();
   Testbed bed(options);
   ASSERT_TRUE(bed.registerCatalogService("nginx", kNginxAddr).ok());
   bed.registry().setAvailable(false);  // no cache, no registry

@@ -3,13 +3,17 @@
 //   * randomised concurrent workloads through the full testbed always
 //     terminate with every request answered exactly once,
 //   * end-to-end determinism across seeds,
-//   * FlowMemory model-based check against a reference map.
+//   * FlowMemory model-based check against a reference map,
+//   * under any seeded fault plan, every resolve terminates in bounded time
+//     with an instance or the cloud endpoint -- never a hang or a dangling
+//     pending deployment.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <string>
 
 #include "core/testbed.hpp"
+#include "fault/fault_plan.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "yamlite/parse.hpp"
@@ -234,6 +238,106 @@ TEST(FlowMemoryModel, MatchesReferenceMapUnderRandomOps) {
     EXPECT_EQ(memory.size(), reference.size());
   }
 }
+
+// ------------------------------------------------- fault invariant ----
+//
+// Inject a randomly generated (but seed-deterministic) fault plan into the
+// full testbed, then drive resolves from many clients.  Whatever the plan
+// does, every resolve must terminate -- with an edge instance or the cloud
+// endpoint -- within deployTimeout * (retries + 1), and the dispatcher must
+// not keep a dangling pending-deployment entry.
+
+class FaultInvariant : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultInvariant, EveryResolveTerminatesInBoundedTime) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  TestbedOptions options;
+  options.seed = seed;
+  options.clusterMode =
+      (seed % 2 == 0) ? ClusterMode::kDockerOnly : ClusterMode::kBoth;
+  options.farEdge = (seed % 3 == 0);
+  options.controller.deployRetries = 2;
+  options.controller.retryBackoff = SimTime::millis(100);
+  options.controller.phaseTimeout = SimTime::seconds(20.0);
+  options.controller.deployTimeout = SimTime::seconds(40.0);
+  Testbed bed(options);
+
+  fault::FaultPlan plan(seed * 977 + 3);
+  Rng rng(seed * 131 + 17);
+  const std::vector<std::string> rpcTargets{
+      "docker-egs", "k8s-egs", "docker-far", "docker-egs/pull",
+      "k8s-egs/scaleup"};
+  const std::vector<fault::FaultSite> sites{
+      fault::FaultSite::kRegistryPull, fault::FaultSite::kContainerCreate,
+      fault::FaultSite::kContainerStart, fault::FaultSite::kClusterRpc};
+  const auto specCount = rng.uniformInt(2, 6);
+  for (std::uint64_t i = 0; i < specCount; ++i) {
+    fault::FaultSpec spec;
+    spec.site = sites[rng.uniformInt(0, sites.size() - 1)];
+    if (spec.site == fault::FaultSite::kClusterRpc) {
+      spec.target = rpcTargets[rng.uniformInt(0, rpcTargets.size() - 1)];
+    } else if (rng.chance(0.5)) {
+      spec.target = rng.chance(0.5) ? "egs" : "far-edge";
+    }
+    spec.probability = rng.uniform(0.2, 1.0);
+    spec.maxTriggers =
+        rng.chance(0.3) ? static_cast<int>(rng.uniformInt(1, 3)) : -1;
+    spec.skipFirst = static_cast<int>(rng.uniformInt(0, 2));
+    spec.stall =
+        SimTime::millis(static_cast<std::int64_t>(rng.uniformInt(0, 500)));
+    plan.add(spec);
+  }
+  bed.injectFaults(plan);
+
+  const Endpoint addr(Ipv4(203, 0, 113, 1), 80);
+  ASSERT_TRUE(bed.registerCatalogService("nginx", addr).ok());
+  const core::ServiceModel* model = bed.controller().serviceAt(addr);
+  ASSERT_NE(model, nullptr);
+
+  // Hard per-resolve bound: deployTimeout * (retries + 1) plus slack for
+  // the zero-latency completion hops.
+  const double boundSeconds = 40.0 * 3 + 1.0;
+  constexpr int kRequests = 12;
+  struct Outcome {
+    bool done = false;
+    bool ok = false;
+    SimTime issuedAt;
+    SimTime doneAt;
+  };
+  std::vector<Outcome> outcomes(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    bed.sim().scheduleAt(SimTime::seconds(i * 2.0), [&bed, model, i,
+                                                     &outcomes] {
+      outcomes[i].issuedAt = bed.sim().now();
+      bed.controller().dispatcher().resolve(
+          *model, Ipv4(10, 0, 2, static_cast<std::uint8_t>(i + 1)),
+          [&bed, i, &outcomes](Result<core::Redirect> r) {
+            outcomes[i].done = true;
+            outcomes[i].ok = r.ok();
+            outcomes[i].doneAt = bed.sim().now();
+            if (r.ok()) {
+              EXPECT_NE(r.value().instance.port, 0);
+            }
+          });
+    });
+  }
+  bed.sim().runUntil(SimTime::seconds(2.0 * kRequests + boundSeconds + 30.0));
+
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(outcomes[i].done) << "resolve " << i << " hung (seed " << seed
+                                  << ", " << plan.triggerCount()
+                                  << " faults triggered)";
+    // The testbed always has a cloud instance, so degradation must turn
+    // every failure into a redirect.
+    EXPECT_TRUE(outcomes[i].ok) << "resolve " << i << " failed";
+    EXPECT_LE((outcomes[i].doneAt - outcomes[i].issuedAt).toSeconds(),
+              boundSeconds)
+        << "resolve " << i << " exceeded the retry-extended deadline";
+  }
+  EXPECT_EQ(bed.controller().dispatcher().pendingDeployments(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultInvariant, ::testing::Range(1, 7));
 
 }  // namespace
 }  // namespace edgesim
