@@ -70,5 +70,14 @@ int main() {
   std::printf("\nshape: the combined strategy answers the first request as "
               "fast as Docker-only while a Kubernetes-managed replica is "
               "ready a few seconds later -- both benefits at once.\n");
+
+  metrics::BenchReport report("combined_strategy");
+  report.addScalar("docker-only/first-response", dockerOnly.firstRequest);
+  report.addScalar("k8s-only/first-response", k8sOnly.firstRequest);
+  report.addScalar("combined/first-response", combined.firstRequest);
+  if (combined.k8sManagedAt >= 0) {
+    report.addScalar("combined/k8s-managed-at", combined.k8sManagedAt);
+  }
+  writeBenchReport(report);
   return 0;
 }

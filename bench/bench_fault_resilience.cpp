@@ -113,6 +113,24 @@ int main() {
   std::printf("%s\n", table.render().c_str());
   std::printf("CSV:\n%s", table.csv().c_str());
 
+  metrics::BenchReport report("fault_resilience");
+  report.setMeta("seed", "7");
+  const auto addRun = [&report](const std::string& prefix,
+                                const RunResult& r) {
+    report.addScalar(prefix + "/median", r.median);
+    report.addScalar(prefix + "/p95", r.p95);
+    report.addScalar(prefix + "/completed", r.completed);
+    report.addScalar(prefix + "/failed", r.failed);
+    report.addScalar(prefix + "/retries", static_cast<double>(r.retries));
+    report.addScalar(prefix + "/fallbacks",
+                     static_cast<double>(r.fallbacks));
+    report.addScalar(prefix + "/quarantines",
+                     static_cast<double>(r.quarantines));
+  };
+  addRun("pull-fault", faulty);
+  addRun("healthy", healthy);
+  writeBenchReport(report);
+
   const bool pass = faulty.issued > 0 && faulty.completed == faulty.issued &&
                     faulty.failed == 0 && faulty.retries > 0 &&
                     faulty.fallbacks > 0 && faulty.quarantines > 0;

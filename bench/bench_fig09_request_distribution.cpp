@@ -3,6 +3,7 @@
 // paper's selection rule (port 80, >= 20 requests per destination).
 #include <cstdio>
 
+#include "bench_output.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -43,5 +44,12 @@ int main() {
   }
   std::printf("%s", table.render().c_str());
   std::printf("CSV:\n%s", table.csv().c_str());
+
+  metrics::BenchReport report("fig09_request_distribution");
+  report.setMeta("seed", strprintf("%llu", (unsigned long long)params.seed));
+  report.addSeries("requests-per-service", perService);
+  report.addScalar("total-requests", static_cast<double>(total));
+  report.addScalar("services", static_cast<double>(services.size()));
+  edgesim::bench::writeBenchReport(report);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_output.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "workload/bigflows.hpp"
@@ -18,9 +19,11 @@ int main() {
 
   Histogram deployments(0.0, params.duration.toSeconds(), 60);  // 5 s bins
   std::map<long, int> perSecond;
+  Samples deployTimes;
   for (const auto& service : services) {
     const double t = service.firstRequestAt().toSeconds();
     deployments.add(t);
+    deployTimes.add(t);
     ++perSecond[static_cast<long>(t)];
   }
   int peakPerSecond = 0;
@@ -41,5 +44,12 @@ int main() {
   }
   std::printf("deployments in the first minute: %d of %zu\n", firstMinute,
               services.size());
+
+  metrics::BenchReport report("fig10_deployment_distribution");
+  report.setMeta("seed", strprintf("%llu", (unsigned long long)params.seed));
+  report.addSeries("deployment-times", deployTimes);
+  report.addScalar("peak-per-second", peakPerSecond);
+  report.addScalar("first-minute-deployments", firstMinute);
+  edgesim::bench::writeBenchReport(report);
   return 0;
 }

@@ -42,15 +42,21 @@ int main() {
     results[i] = runDeploymentExperiment(config);
   });
 
+  metrics::BenchReport report("fig11_scaleup");
+  report.setMeta("seed", "1");
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     ES_ASSERT(results[i].failures == 0);
     ES_ASSERT(results[i].totals.count() == 42);
     const double median = results[i].totals.median();
-    if (jobs[i].mode == ClusterMode::kDockerOnly) {
+    const bool docker = jobs[i].mode == ClusterMode::kDockerOnly;
+    if (docker) {
       rows[jobs[i].key].docker = median;
     } else {
       rows[jobs[i].key].k8s = median;
     }
+    addDeploymentSeries(
+        report, jobs[i].key + "/" + (docker ? "docker-egs" : "k8s-egs"),
+        results[i]);
   }
 
   std::printf("Figure 11: total time (median) to scale up 42 instances\n");
@@ -64,5 +70,6 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("CSV:\n%s", table.csv().c_str());
+  writeBenchReport(report);
   return 0;
 }

@@ -41,17 +41,24 @@ int main() {
     results[i] = runDeploymentExperiment(config);
   });
 
+  metrics::BenchReport report("fig12_create_scaleup");
+  report.setMeta("seed", "1");
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     ES_ASSERT(results[i].failures == 0);
     const double median = results[i].totals.median();
     Row& row = rows[jobs[i].key];
+    std::string prefix = jobs[i].key + "/";
     if (jobs[i].preCreate) {
       row.dockerScaleOnly = median;
+      prefix += "docker-egs-scale-only";
     } else if (jobs[i].mode == ClusterMode::kDockerOnly) {
       row.docker = median;
+      prefix += "docker-egs";
     } else {
       row.k8s = median;
+      prefix += "k8s-egs";
     }
+    addDeploymentSeries(report, prefix, results[i]);
   }
 
   std::printf("Figure 12: total time (median) to create + scale up 42 "
@@ -65,5 +72,6 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("CSV:\n%s", table.csv().c_str());
+  writeBenchReport(report);
   return 0;
 }

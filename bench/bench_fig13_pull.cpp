@@ -8,6 +8,7 @@
 // when nginx is already cached only fetches the Python layer.
 #include <cstdio>
 
+#include "bench_output.hpp"
 #include "core/service_catalog.hpp"
 #include "container/puller.hpp"
 #include "sim/simulation.hpp"
@@ -51,11 +52,14 @@ int main() {
 
   std::printf("Figure 13: total time to pull the service images onto the "
               "EGS\n\n");
+  edgesim::metrics::BenchReport report("fig13_pull");
   Table table({"Service", "Size / Layers", "Public registry [s]",
                "Private registry [s]", "Saving [s]"});
   for (const auto& entry : catalog.entries()) {
     const double pub = coldPullSeconds(catalog, entry.key, publicReg);
     const double priv = coldPullSeconds(catalog, entry.key, privateReg);
+    report.addScalar(entry.key + "/public", pub);
+    report.addScalar(entry.key + "/private", priv);
     table.addRow({entry.displayName,
                   formatBytes(catalog.totalImageSize(entry.key)) + " / " +
                       strprintf("%zu", catalog.totalLayerCount(entry.key)),
@@ -84,6 +88,8 @@ int main() {
     std::printf("Layer sharing: Nginx+Py pull with nginx cached: %.3f s "
                 "(vs %.3f s cold) -- only the Python layer is fetched\n",
                 done, cold);
+    report.addScalar("nginx-py/shared-layers", done);
   }
+  edgesim::bench::writeBenchReport(report);
   return 0;
 }

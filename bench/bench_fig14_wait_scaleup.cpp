@@ -39,16 +39,22 @@ int main() {
     results[i] = runDeploymentExperiment(config);
   });
 
+  metrics::BenchReport report("fig14_wait_scaleup");
+  report.setMeta("seed", "1");
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     Row& row = rows[jobs[i].key];
     const double wait =
         results[i].waits.empty() ? 0.0 : results[i].waits.median();
-    if (jobs[i].mode == ClusterMode::kDockerOnly) {
+    const bool docker = jobs[i].mode == ClusterMode::kDockerOnly;
+    if (docker) {
       row.dockerWait = wait;
       row.dockerTotal = results[i].totals.median();
     } else {
       row.k8sWait = wait;
     }
+    addDeploymentSeries(
+        report, jobs[i].key + "/" + (docker ? "docker-egs" : "k8s-egs"),
+        results[i]);
   }
 
   std::printf("Figure 14: wait time (median) until ready after scale-up\n");
@@ -63,5 +69,6 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("CSV:\n%s", table.csv().c_str());
+  writeBenchReport(report);
   return 0;
 }

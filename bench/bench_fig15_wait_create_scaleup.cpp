@@ -34,14 +34,20 @@ int main() {
     results[i] = runDeploymentExperiment(config);
   });
 
+  metrics::BenchReport report("fig15_wait_create_scaleup");
+  report.setMeta("seed", "1");
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const double wait =
         results[i].waits.empty() ? 0.0 : results[i].waits.median();
-    if (jobs[i].mode == ClusterMode::kDockerOnly) {
+    const bool docker = jobs[i].mode == ClusterMode::kDockerOnly;
+    if (docker) {
       rows[jobs[i].key].docker = wait;
     } else {
       rows[jobs[i].key].k8s = wait;
     }
+    addDeploymentSeries(
+        report, jobs[i].key + "/" + (docker ? "docker-egs" : "k8s-egs"),
+        results[i]);
   }
 
   std::printf("Figure 15: wait time (median) until ready after create + "
@@ -53,5 +59,6 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("CSV:\n%s", table.csv().c_str());
+  writeBenchReport(report);
   return 0;
 }

@@ -15,8 +15,8 @@ using namespace edgesim::bench;
 
 namespace {
 
-double warmMedian(const std::string& key, ClusterMode mode,
-                  std::size_t requests) {
+Samples warmSamples(const std::string& key, ClusterMode mode,
+                    std::size_t requests) {
   TestbedOptions options;
   options.clusterMode = mode;
   Testbed bed(options);
@@ -41,7 +41,7 @@ double warmMedian(const std::string& key, ClusterMode mode,
   bed.sim().runUntil(SimTime::seconds(60.0 + 0.4 * static_cast<double>(requests) + 60.0));
   const auto* warm = bed.recorder().series("warm");
   ES_ASSERT(warm != nullptr && warm->count() == requests);
-  return warm->median();
+  return *warm;
 }
 
 }  // namespace
@@ -62,16 +62,22 @@ int main() {
     jobs.push_back({key, ClusterMode::kDockerOnly});
     jobs.push_back({key, ClusterMode::kK8sOnly});
   }
-  std::vector<double> medians(jobs.size());
+  std::vector<Samples> samples(jobs.size());
   ThreadPool::parallelFor(jobs.size(), 0, [&](std::size_t i) {
-    medians[i] = warmMedian(jobs[i].key, jobs[i].mode, 100);
+    samples[i] = warmSamples(jobs[i].key, jobs[i].mode, 100);
   });
+  metrics::BenchReport report("fig16_warm_requests");
+  report.setMeta("requests", "100");
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (jobs[i].mode == ClusterMode::kDockerOnly) {
-      rows[jobs[i].key].docker = medians[i];
+    const bool docker = jobs[i].mode == ClusterMode::kDockerOnly;
+    if (docker) {
+      rows[jobs[i].key].docker = samples[i].median();
     } else {
-      rows[jobs[i].key].k8s = medians[i];
+      rows[jobs[i].key].k8s = samples[i].median();
     }
+    report.addSeries(
+        jobs[i].key + "/" + (docker ? "docker-egs" : "k8s-egs") + "/warm",
+        samples[i]);
   }
 
   std::printf("Figure 16: total time (median) for requests to already-"
@@ -83,5 +89,6 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("CSV:\n%s", table.csv().c_str());
+  writeBenchReport(report);
   return 0;
 }

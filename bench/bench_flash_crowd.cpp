@@ -153,6 +153,19 @@ int main() {
                 strprintf("%.3f", without.crowd.p95),
                 strprintf("%.3f", without.late.p95),
                 strprintf("%d", without.maxReplicas)});
+  metrics::BenchReport report("flash_crowd");
+  report.setMeta("seed", "11");
+  const auto addCrowd = [&report](const std::string& prefix,
+                                  const CrowdResult& r) {
+    report.addScalar(prefix + "/calm-p95", r.calm.p95);
+    report.addScalar(prefix + "/crowd-early-p95", r.crowd.p95);
+    report.addScalar(prefix + "/crowd-late-p95", r.late.p95);
+    report.addScalar(prefix + "/max-replicas", r.maxReplicas);
+  };
+  addCrowd("hpa", with);
+  addCrowd("no-autoscaler", without);
+  writeBenchReport(report);
+
   std::printf("%s\n", table.render().c_str());
   std::printf("CSV:\n%s", table.csv().c_str());
   std::printf("\nshape: both configurations suffer when the crowd hits; "

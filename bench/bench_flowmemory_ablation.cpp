@@ -78,6 +78,21 @@ int main() {
                   strprintf("%llu", (unsigned long long)r.deployments),
                   strprintf("%llu", (unsigned long long)r.scaleDowns)});
   }
+  metrics::BenchReport report("flowmemory_ablation");
+  for (std::size_t i = 0; i < timeoutsSeconds.size(); ++i) {
+    const std::string prefix =
+        strprintf("timeout-%.0fs", timeoutsSeconds[i]);
+    report.addScalar(prefix + "/median", results[i].medianLatency);
+    report.addScalar(prefix + "/p95", results[i].p95Latency);
+    report.addScalar(prefix + "/packet-ins",
+                     static_cast<double>(results[i].packetIns));
+    report.addScalar(prefix + "/deployments",
+                     static_cast<double>(results[i].deployments));
+    report.addScalar(prefix + "/scale-downs",
+                     static_cast<double>(results[i].scaleDowns));
+  }
+  writeBenchReport(report);
+
   std::printf("%s\n", table.render().c_str());
   std::printf("CSV:\n%s", table.csv().c_str());
   std::printf("\nshape: timeouts shorter than the 20 s idle gap scale the "

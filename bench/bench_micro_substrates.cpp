@@ -3,6 +3,7 @@
 // parsing, RNG draws, and FlowMemory operations.
 #include <benchmark/benchmark.h>
 
+#include "bench_output.hpp"
 #include "core/flow_memory.hpp"
 #include "openflow/flow_table.hpp"
 #include "sim/simulation.hpp"
@@ -120,6 +121,33 @@ void BM_FlowMemoryLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowMemoryLookup);
 
+/// Console output as usual, plus one BENCH_micro_substrates.json series per
+/// benchmark (adjusted real time, in seconds).
+class ReportingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      // Default time unit is nanoseconds; none of the benches override it.
+      report_.addScalar(run.benchmark_name(),
+                        run.GetAdjustedRealTime() * 1e-9);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const edgesim::metrics::BenchReport& report() const { return report_; }
+
+ private:
+  edgesim::metrics::BenchReport report_{"micro_substrates"};
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ReportingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  edgesim::bench::writeBenchReport(reporter.report());
+  return 0;
+}

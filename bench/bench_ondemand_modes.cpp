@@ -79,9 +79,18 @@ int main() {
 
   Table table({"Mode", "first request [s]", "steady state [s]",
                "background deployments"});
+  metrics::BenchReport report("ondemand_modes");
+  const auto addMode = [&report](const std::string& prefix,
+                                 const ModeResult& r) {
+    report.addScalar(prefix + "/first-request", r.firstRequest);
+    report.addScalar(prefix + "/steady-state", r.steadyState);
+    report.addScalar(prefix + "/background-deployments",
+                     static_cast<double>(r.backgroundDeployments));
+  };
 
   // WITH waiting: proximity scheduler, nothing running anywhere.
   const auto waiting = runMode("proximity", /*farInstanceRunning=*/false);
+  addMode("with-waiting", waiting);
   table.addRow({"with waiting (cold everywhere)",
                 strprintf("%.3f", waiting.firstRequest),
                 strprintf("%.4f", waiting.steadyState),
@@ -89,6 +98,7 @@ int main() {
 
   // WITHOUT waiting (fig. 3): latency-first, far instance already runs.
   const auto without = runMode("latency-first", /*farInstanceRunning=*/true);
+  addMode("without-waiting", without);
   table.addRow({"without waiting (far instance running)",
                 strprintf("%.3f", without.firstRequest),
                 strprintf("%.4f", without.steadyState),
@@ -96,6 +106,7 @@ int main() {
 
   // Cloud fallback: never waits; first request crosses the WAN.
   const auto cloud = runMode("cloud-fallback", /*farInstanceRunning=*/false);
+  addMode("cloud-fallback", cloud);
   table.addRow({"cloud fallback (forward to cloud)",
                 strprintf("%.3f", cloud.firstRequest),
                 strprintf("%.4f", cloud.steadyState),
@@ -108,5 +119,6 @@ int main() {
       "answers in ~10 ms via the far edge while the near edge deploys in "
       "the background; cloud fallback answers in ~0.1 s over the WAN; all "
       "modes converge to ~ms steady state on the near edge.\n");
+  writeBenchReport(report);
   return 0;
 }

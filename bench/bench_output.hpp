@@ -1,0 +1,35 @@
+// Helpers for the machine-readable bench output (BENCH_<name>.json).
+//
+// Every bench binary writes one schema-versioned metrics::BenchReport next
+// to where it runs (or into $EDGESIM_BENCH_OUT); CI uploads the files as
+// artifacts and gates them against results/baselines/ with tools/bench_diff.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "metrics/bench_report.hpp"
+
+namespace edgesim::bench {
+
+/// BENCH_<name>.json in the current directory, or in $EDGESIM_BENCH_OUT.
+inline std::string benchOutputPath(const std::string& benchName) {
+  const char* dir = std::getenv("EDGESIM_BENCH_OUT");
+  std::string path = dir != nullptr ? std::string(dir) + "/" : std::string();
+  return path + "BENCH_" + benchName + ".json";
+}
+
+/// Serialize `report`; prints the output path (or the error).
+inline void writeBenchReport(const metrics::BenchReport& report) {
+  const std::string path = benchOutputPath(report.name());
+  const auto status = report.writeFile(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAILED to write bench report: %s\n",
+                 status.error().toString().c_str());
+    return;
+  }
+  std::printf("bench report: %s\n", path.c_str());
+}
+
+}  // namespace edgesim::bench

@@ -90,6 +90,18 @@ int main() {
                   strprintf("%.4f", results[i].max),
                   strprintf("%llu", (unsigned long long)results[i].deployments)});
   }
+  metrics::BenchReport report("proactive_prediction");
+  report.setMeta("seed", "5");
+  for (std::size_t i = 0; i < hitRates.size(); ++i) {
+    const std::string prefix = strprintf("p%02.0f", hitRates[i] * 100);
+    report.addScalar(prefix + "/median", results[i].median);
+    report.addScalar(prefix + "/p95", results[i].p95);
+    report.addScalar(prefix + "/max", results[i].max);
+    report.addScalar(prefix + "/deployments",
+                     static_cast<double>(results[i].deployments));
+  }
+  writeBenchReport(report);
+
   std::printf("%s\n", table.render().c_str());
   std::printf("CSV:\n%s", table.csv().c_str());
   std::printf("\nshape: even an imperfect predictor moves the median first "

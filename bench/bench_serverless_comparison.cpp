@@ -86,12 +86,25 @@ int main() {
               "first-request time [s]\n\n");
   Table table({"Service", "cache state", "container (Docker) [s]",
                "serverless (Wasm) [s]", "speedup"});
+  metrics::BenchReport report("serverless_comparison");
+  const auto stateKey = [](CacheState state) {
+    switch (state) {
+      case CacheState::kCold: return "cold";
+      case CacheState::kArtifactCached: return "cached";
+      case CacheState::kInstanceScaledToZero: return "scaled-to-zero";
+    }
+    return "?";
+  };
   for (const auto& key : tableOneKeys()) {
     for (const CacheState state :
          {CacheState::kCold, CacheState::kArtifactCached,
           CacheState::kInstanceScaledToZero}) {
       const double container = containerFirstRequest(key, state);
       const double faas = serverlessFirstRequest(key, state);
+      report.addScalar(key + "/" + stateKey(state) + "/container", container);
+      if (faas >= 0) {
+        report.addScalar(key + "/" + stateKey(state) + "/serverless", faas);
+      }
       table.addRow({key, cacheLabel(state), strprintf("%.3f", container),
                     faas < 0 ? "(does not fit a function)"
                              : strprintf("%.3f", faas),
@@ -100,5 +113,6 @@ int main() {
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("CSV:\n%s", table.csv().c_str());
+  writeBenchReport(report);
   return 0;
 }

@@ -3,6 +3,7 @@
 // ServiceCatalog (the modelled counterparts of the paper's images).
 #include <cstdio>
 
+#include "bench_output.hpp"
 #include "core/service_catalog.hpp"
 #include "util/table.hpp"
 #include "util/strings.hpp"
@@ -44,5 +45,18 @@ int main() {
     }
   }
   std::printf("%s", profiles.render().c_str());
+
+  // Catalogue shape as scalars: a drifting image model shows up as a
+  // "regression" in bench_diff, which is exactly the alert we want.
+  metrics::BenchReport report("table1_services");
+  for (const auto& entry : catalog.entries()) {
+    report.addScalar(entry.key + "/image-bytes",
+                     static_cast<double>(
+                         catalog.totalImageSize(entry.key).value));
+    report.addScalar(entry.key + "/layers",
+                     static_cast<double>(catalog.totalLayerCount(entry.key)));
+    report.addScalar(entry.key + "/containers", entry.containerCount);
+  }
+  bench::writeBenchReport(report);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <functional>
 #include <string>
 
+#include "bench_output.hpp"
 #include "core/testbed.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -27,6 +28,9 @@ struct DeploymentExperimentResult {
   Samples creates;  // create-phase durations (when the phase ran)
   Samples pulls;    // pull-phase durations (when the phase ran)
   std::size_t failures = 0;
+  /// Trace-derived per-request splits ("trace/uplink", "trace/resolve",
+  /// "trace/pull", ... -- see trace::TraceRecorder::phaseSamples).
+  std::map<std::string, Samples> traceSplits;
 };
 
 struct DeploymentExperimentConfig {
@@ -138,6 +142,25 @@ inline const std::vector<std::string>& tableOneKeys() {
   static const std::vector<std::string> keys{"asm", "nginx", "resnet",
                                              "nginx-py"};
   return keys;
+}
+
+// ---- machine-readable bench output (BENCH_<name>.json) ---------------------
+
+/// All the measured series of one deployment experiment under `prefix`
+/// (totals, phase samples from the Recorder, trace-derived splits and the
+/// failure count).
+inline void addDeploymentSeries(metrics::BenchReport& report,
+                                const std::string& prefix,
+                                const DeploymentExperimentResult& result) {
+  report.addSeries(prefix + "/total", result.totals);
+  if (!result.waits.empty()) report.addSeries(prefix + "/wait", result.waits);
+  if (!result.creates.empty()) {
+    report.addSeries(prefix + "/create", result.creates);
+  }
+  if (!result.pulls.empty()) report.addSeries(prefix + "/pull", result.pulls);
+  report.addSeriesMap(result.traceSplits, prefix);
+  report.addScalar(prefix + "/failures",
+                   static_cast<double>(result.failures));
 }
 
 }  // namespace edgesim::bench

@@ -58,11 +58,13 @@ ControllerOptions ControllerOptions::fromConfig(const Config& config) {
 EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
                                std::vector<ClusterAdapter*> adapters,
                                const AppProfileRegistry& profiles,
-                               metrics::Recorder* recorder)
+                               metrics::Recorder* recorder,
+                               trace::TraceRecorder* trace)
     : sim_(sim),
       options_(options),
       profiles_(profiles),
       recorder_(recorder),
+      trace_(trace),
       memory_(options.memoryIdleTimeout),
       adapters_(std::move(adapters)) {
   auto scheduler =
@@ -80,7 +82,8 @@ EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
   dispatcherOptions.cloudFallback = options_.cloudFallback;
   dispatcherOptions.quarantineCooldown = options_.quarantineCooldown;
   dispatcher_ = std::make_unique<Dispatcher>(
-      sim_, memory_, *scheduler_, adapters_, recorder_, dispatcherOptions);
+      sim_, memory_, *scheduler_, adapters_, recorder_, dispatcherOptions,
+      trace_);
 
   // §IV-A2: once a BEST (background) deployment is running, future
   // requests must go there.  Forget memorized flows that point elsewhere;
@@ -214,18 +217,51 @@ void EdgeController::handleRegisteredService(OpenFlowSwitch& sw,
   if (pending.resolving) {
     // Duplicate packet-in (e.g. a retransmitted SYN) while deployment is in
     // progress: buffered, will be released with the first one.
+    if (trace_ != nullptr) {
+      trace_->instant(pending.rid, "packet-in-duplicate", "controller",
+                      sim_.now(), {{"buffer", strprintf("%u", event.bufferId)}});
+    }
     return;
   }
   pending.resolving = true;
 
+  // Allocate the per-request trace ID here, at packet-in: everything the
+  // request triggers downstream (FlowMemory lookup, scheduler decision,
+  // deployment phases, flow install) is stamped with it, and the client-side
+  // timecurl measurement joins via the (client, service) flow binding.
+  if (trace_ != nullptr) {
+    pending.rid = trace_->newRequest();
+    trace_->bindFlow(client, service.address, pending.rid);
+    trace_->instant(pending.rid, "packet-in", "controller", sim_.now(),
+                    {{"client", client.toString()},
+                     {"service", service.address.toString()},
+                     {"packet", event.packet.summary()}});
+    pending.resolveSpan = trace_->beginSpan(
+        pending.rid, "resolve", "controller", sim_.now(),
+        {{"service", service.uniqueName}});
+  }
+  const trace::RequestId rid = pending.rid;
+
   dispatcher_->resolve(
       service, client,
       [this, key, &sw, &service](Result<Redirect> result) {
+        trace::SpanId resolveSpan = 0;
+        trace::RequestId rrid = 0;
+        if (const auto it = pendingRequests_.find(key);
+            it != pendingRequests_.end()) {
+          resolveSpan = it->second.resolveSpan;
+          rrid = it->second.rid;
+        }
         if (!result.ok()) {
           ++failed_;
           ES_WARN("controller", "resolve failed for %s: %s",
                   service.uniqueName.c_str(),
                   result.error().toString().c_str());
+          if (trace_ != nullptr) {
+            trace_->endSpan(resolveSpan, sim_.now(),
+                            {{"ok", "false"},
+                             {"error", result.error().toString()}});
+          }
           dropBuffered(key);
           return;
         }
@@ -237,9 +273,22 @@ void EdgeController::handleRegisteredService(OpenFlowSwitch& sw,
                   service.uniqueName.c_str(),
                   redirect.instance.toString().c_str());
         }
+        if (trace_ != nullptr) {
+          trace_->endSpan(resolveSpan, sim_.now(),
+                          {{"ok", "true"},
+                           {"instance", redirect.instance.toString()},
+                           {"cluster", redirect.cluster},
+                           {"from_memory",
+                            redirect.fromMemory ? "true" : "false"},
+                           {"degraded", redirect.degraded ? "true" : "false"}});
+          trace_->instant(rrid, "flow-install", "controller", sim_.now(),
+                          {{"instance", redirect.instance.toString()},
+                           {"cluster", redirect.cluster}});
+        }
         installRedirectFlows(sw, key.client, service, redirect.instance);
         releaseBuffered(sw, key, service, redirect.instance);
-      });
+      },
+      rid);
 }
 
 void EdgeController::installRedirectFlows(OpenFlowSwitch& sw, Ipv4 client,

@@ -90,7 +90,8 @@ class EdgeController : public openflow::ControllerApp {
   EdgeController(Simulation& sim, ControllerOptions options,
                  std::vector<ClusterAdapter*> adapters,
                  const AppProfileRegistry& profiles,
-                 metrics::Recorder* recorder = nullptr);
+                 metrics::Recorder* recorder = nullptr,
+                 trace::TraceRecorder* trace = nullptr);
   ~EdgeController() override;
 
   // ---- setup ------------------------------------------------------------
@@ -140,6 +141,10 @@ class EdgeController : public openflow::ControllerApp {
     openflow::OpenFlowSwitch* sw = nullptr;
     std::vector<std::pair<openflow::BufferId, Packet>> buffered;
     bool resolving = false;
+    /// Trace identity: request ID allocated at the first packet-in and the
+    /// open "resolve" span it is measured under.
+    trace::RequestId rid = 0;
+    trace::SpanId resolveSpan = 0;
   };
   struct PendingKey {
     Ipv4 client;
@@ -170,6 +175,7 @@ class EdgeController : public openflow::ControllerApp {
   ControllerOptions options_;
   const AppProfileRegistry& profiles_;
   metrics::Recorder* recorder_;
+  trace::TraceRecorder* trace_;
   FlowMemory memory_;
   std::unique_ptr<GlobalScheduler> scheduler_;
   std::unique_ptr<Dispatcher> dispatcher_;

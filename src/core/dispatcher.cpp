@@ -19,12 +19,14 @@ SimTime RetryPolicy::backoff(int retryIndex) const {
 Dispatcher::Dispatcher(Simulation& sim, FlowMemory& memory,
                        GlobalScheduler& scheduler,
                        std::vector<ClusterAdapter*> adapters,
-                       metrics::Recorder* recorder, DispatcherOptions options)
+                       metrics::Recorder* recorder, DispatcherOptions options,
+                       trace::TraceRecorder* trace)
     : sim_(sim),
       memory_(memory),
       scheduler_(scheduler),
       adapters_(std::move(adapters)),
       recorder_(recorder),
+      trace_(trace),
       options_(options),
       localScheduler_(makeLocalScheduler(options.instancePolicy)) {
   ES_ASSERT(!adapters_.empty());
@@ -53,8 +55,17 @@ void Dispatcher::recordPhase(const ServiceModel& service,
       duration.toSeconds());
 }
 
+void Dispatcher::tracePhase(const std::string& key, const char* phase,
+                            SimTime start, bool ok) {
+  if (trace_ == nullptr) return;
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  trace_->completeSpan(it->second.rid, phase, "deploy", start, sim_.now(),
+                       {{"ok", ok ? "true" : "false"}}, it->second.span);
+}
+
 void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
-                         ResolveCallback cb) {
+                         ResolveCallback cb, trace::RequestId rid) {
   ES_ASSERT(cb != nullptr);
 
   // 1. Memorized flow? Redirect to the same instance without rescheduling.
@@ -67,6 +78,11 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
       for (const auto& instance : ready) {
         if (instance == memorized->instance) {
           memory_.touch(client, service.address, sim_.now());
+          if (trace_ != nullptr) {
+            trace_->instant(rid, "flow-memory-hit", "controller", sim_.now(),
+                            {{"instance", memorized->instance.toString()},
+                             {"cluster", memorized->cluster}});
+          }
           Redirect redirect{memorized->instance, memorized->cluster, true};
           sim_.schedule(SimTime::zero(),
                         [cb, redirect] { cb(redirect); });
@@ -75,6 +91,9 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
       }
     }
     memory_.forgetInstance(memorized->instance);  // stale entry
+  }
+  if (trace_ != nullptr) {
+    trace_->instant(rid, "flow-memory-miss", "controller", sim_.now());
   }
 
   // 2. Gather system state for the scheduler.
@@ -87,6 +106,12 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
 
   // 3. FAST / BEST decision (quarantined clusters are filtered out).
   const GlobalDecision decision = scheduler_.schedule(request, sim_.now());
+  if (trace_ != nullptr) {
+    trace_->completeSpan(
+        rid, "schedule", "scheduler", sim_.now(), sim_.now(),
+        {{"fast", decision.fast.value_or("<none>")},
+         {"best", decision.best.value_or("<none>")}});
+  }
 
   // 4. Background deployment for BEST ("without waiting", fig. 3).
   if (decision.deploysWithoutWaiting()) {
@@ -94,6 +119,10 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
       ++background_;
       ES_DEBUG("dispatcher", "background deployment of %s on %s",
                service.uniqueName.c_str(), best->name().c_str());
+      if (trace_ != nullptr) {
+        trace_->instant(rid, "background-deploy", "scheduler", sim_.now(),
+                        {{"cluster", best->name()}});
+      }
       const Endpoint serviceAddress = service.address;
       const std::string clusterName = best->name();
       ensureReady(service, *best,
@@ -107,7 +136,8 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
                       backgroundListener_(serviceAddress, clusterName,
                                           result.value());
                     }
-                  });
+                  },
+                  rid);
     }
   }
 
@@ -132,6 +162,12 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
     // Local Scheduler choice within the cluster (fig. 6).
     const Redirect redirect{localScheduler_->pick(ready, client),
                             fast->name(), false};
+    if (trace_ != nullptr) {
+      trace_->instant(rid, "local-schedule", "scheduler", sim_.now(),
+                      {{"instance", redirect.instance.toString()},
+                       {"cluster", redirect.cluster},
+                       {"policy", options_.instancePolicy}});
+    }
     memory_.upsert(client, service.address, redirect.instance, fast->name(),
                    sim_.now());
     sim_.schedule(SimTime::zero(), [cb, redirect] { cb(redirect); });
@@ -141,7 +177,8 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
   // Deploy on demand and wait for readiness (fig. 5).
   const std::string clusterName = fast->name();
   ensureReady(service, *fast,
-              [this, service, client, clusterName, cb](Result<Endpoint> result) {
+              [this, service, client, clusterName, cb,
+               rid](Result<Endpoint> result) {
                 if (!result.ok()) {
                   // Graceful degradation: the edge deployment died even after
                   // retries -- answer from the cloud rather than failing the
@@ -153,6 +190,12 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
                     const auto cloudReady = cloud->readyInstances(service);
                     if (!cloudReady.empty()) {
                       ++fallbacks_;
+                      if (trace_ != nullptr) {
+                        trace_->instant(
+                            rid, "cloud-fallback", "deploy", sim_.now(),
+                            {{"failed_cluster", clusterName},
+                             {"error", result.error().toString()}});
+                      }
                       if (recorder_ != nullptr) {
                         recorder_->addSample("fallback", 1.0);
                         recorder_->addSample(
@@ -178,11 +221,13 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
                 memory_.upsert(client, service.address, result.value(),
                                clusterName, sim_.now());
                 cb(Redirect{result.value(), clusterName, false});
-              });
+              },
+              rid);
 }
 
 void Dispatcher::ensureReady(const ServiceModel& service,
-                             ClusterAdapter& cluster, ReadyCallback cb) {
+                             ClusterAdapter& cluster, ReadyCallback cb,
+                             trace::RequestId rid) {
   ES_ASSERT(cb != nullptr);
 
   const auto ready = cluster.readyInstances(service);
@@ -194,6 +239,15 @@ void Dispatcher::ensureReady(const ServiceModel& service,
 
   const std::string key = service.uniqueName + "@" + cluster.name();
   if (const auto it = pending_.find(key); it != pending_.end()) {
+    if (trace_ != nullptr) {
+      // Coalesced onto the in-flight deployment: the phases are traced
+      // under the initiating request's ID; this one just marks the join.
+      trace_->instant(rid, "join-deployment", "deploy", sim_.now(),
+                      {{"key", key},
+                       {"initiator",
+                        strprintf("%llu", static_cast<unsigned long long>(
+                                              it->second.rid))}});
+    }
     it->second.waiters.push_back(std::move(cb));
     return;
   }
@@ -202,6 +256,12 @@ void Dispatcher::ensureReady(const ServiceModel& service,
   deploy.waiters.push_back(std::move(cb));
   deploy.startedAt = sim_.now();
   deploy.cluster = cluster.name();
+  deploy.rid = rid;
+  if (trace_ != nullptr) {
+    deploy.span = trace_->beginSpan(rid, "deploy", "deploy", sim_.now(),
+                                    {{"cluster", cluster.name()},
+                                     {"service", service.uniqueName}});
+  }
   const SimTime hardDeadline =
       options_.deployTimeout *
       static_cast<std::int64_t>(options_.retry.maxRetries + 1);
@@ -244,6 +304,14 @@ void Dispatcher::onPhaseFailure(const ServiceModel& service,
   const SimTime delay = options_.retry.backoff(deploy.retriesUsed);
   ++deploy.retriesUsed;
   ++retries_;
+  if (trace_ != nullptr) {
+    trace_->instant(deploy.rid, "retry", "deploy", sim_.now(),
+                    {{"attempt", strprintf("%d/%d", deploy.retriesUsed,
+                                           options_.retry.maxRetries)},
+                     {"cluster", cluster.name()},
+                     {"backoff_ms", strprintf("%.1f", delay.toMillis())},
+                     {"error", error.toString()}});
+  }
   if (recorder_ != nullptr) {
     recorder_->addSample("retry", 1.0);
     recorder_->addSample(strprintf("%s/%s/retry", service.tag.c_str(),
@@ -276,6 +344,7 @@ void Dispatcher::runPhases(const ServiceModel& service,
       const auto pit = pending_.find(key);
       if (pit == pending_.end() || pit->second.epoch != epoch) return;
       recordPhase(service, cluster, "pull", sim_.now() - phaseStart);
+      tracePhase(key, "pull", phaseStart, status.ok());
       if (!status.ok()) {
         onPhaseFailure(service, cluster, key, epoch, status.error());
         return;
@@ -292,6 +361,7 @@ void Dispatcher::runPhases(const ServiceModel& service,
       const auto pit = pending_.find(key);
       if (pit == pending_.end() || pit->second.epoch != epoch) return;
       recordPhase(service, cluster, "create", sim_.now() - phaseStart);
+      tracePhase(key, "create", phaseStart, status.ok());
       if (!status.ok()) {
         onPhaseFailure(service, cluster, key, epoch, status.error());
         return;
@@ -308,6 +378,7 @@ void Dispatcher::runPhases(const ServiceModel& service,
     const auto pit = pending_.find(key);
     if (pit == pending_.end() || pit->second.epoch != epoch) return;
     recordPhase(service, cluster, "scaleup-cmd", sim_.now() - phaseStart);
+    tracePhase(key, "scaleup", phaseStart, status.ok());
     if (!status.ok()) {
       onPhaseFailure(service, cluster, key, epoch, status.error());
       return;
@@ -334,6 +405,7 @@ void Dispatcher::pollUntilReady(const ServiceModel& service,
       if (pit == pending_.end() || pit->second.epoch != epoch) return;
       if (open) {
         recordPhase(service, cluster, "wait", sim_.now() - scaledUpAt);
+        tracePhase(key, "wait", scaledUpAt, /*ok=*/true);
         finishDeploy(key, candidate);
         return;
       }
@@ -358,6 +430,12 @@ void Dispatcher::finishDeploy(const std::string& key,
   it->second.timeoutHandle.cancel();
   it->second.phaseTimer.cancel();
   const std::string cluster = it->second.cluster;
+  const trace::RequestId deployRid = it->second.rid;
+  if (trace_ != nullptr) {
+    trace_->endSpan(it->second.span, sim_.now(),
+                    {{"ok", result.ok() ? "true" : "false"},
+                     {"retries", strprintf("%d", it->second.retriesUsed)}});
+  }
   pending_.erase(it);
 
   if (!result.ok()) {
@@ -369,6 +447,14 @@ void Dispatcher::finishDeploy(const std::string& key,
     if (!isCloud && options_.quarantineCooldown > SimTime::zero()) {
       scheduler_.quarantine(cluster, sim_.now() + options_.quarantineCooldown);
       ++quarantines_;
+      if (trace_ != nullptr) {
+        trace_->instant(deployRid, "quarantine", "deploy", sim_.now(),
+                        {{"cluster", cluster},
+                         {"cooldown_s",
+                          strprintf("%.1f",
+                                    options_.quarantineCooldown.toSeconds())},
+                         {"error", result.error().toString()}});
+      }
       if (recorder_ != nullptr) recorder_->addSample("quarantine", 1.0);
       ES_WARN("dispatcher", "quarantining %s for %.1fs after: %s",
               cluster.c_str(), options_.quarantineCooldown.toSeconds(),

@@ -29,6 +29,7 @@
 #include "core/flow_memory.hpp"
 #include "core/scheduler.hpp"
 #include "metrics/recorder.hpp"
+#include "trace/trace_recorder.hpp"
 
 namespace edgesim::core {
 
@@ -85,15 +86,21 @@ class Dispatcher {
   Dispatcher(Simulation& sim, FlowMemory& memory, GlobalScheduler& scheduler,
              std::vector<ClusterAdapter*> adapters,
              metrics::Recorder* recorder = nullptr,
-             DispatcherOptions options = {});
+             DispatcherOptions options = {},
+             trace::TraceRecorder* trace = nullptr);
 
-  /// Resolve a client request to a service instance (fig. 7).
-  void resolve(const ServiceModel& service, Ipv4 client, ResolveCallback cb);
+  /// Resolve a client request to a service instance (fig. 7).  `rid` is the
+  /// trace request ID allocated by the controller at packet-in (0 = not
+  /// traced); every span/instant this resolve produces carries it.
+  void resolve(const ServiceModel& service, Ipv4 client, ResolveCallback cb,
+               trace::RequestId rid = 0);
 
   /// Ensure the service is deployed and ready on `cluster`; callbacks for
   /// the same (service, cluster) pair are coalesced onto one deployment.
+  /// The deployment's trace spans carry the `rid` of the request that
+  /// initiated it; joining requests record a "join-deployment" instant.
   void ensureReady(const ServiceModel& service, ClusterAdapter& cluster,
-                   ReadyCallback cb);
+                   ReadyCallback cb, trace::RequestId rid = 0);
 
   ClusterAdapter* adapterByName(const std::string& name) const;
   ClusterAdapter* cloudAdapter() const;
@@ -126,6 +133,10 @@ class Dispatcher {
     std::vector<ReadyCallback> waiters;
     SimTime startedAt;
     std::string cluster;
+    /// Trace identity of the deployment: `rid` of the initiating request
+    /// and the enclosing "deploy" span the phase spans nest under.
+    trace::RequestId rid = 0;
+    trace::SpanId span = 0;
     int retriesUsed = 0;
     /// Bumped on every retry; callbacks from a superseded attempt carry a
     /// stale epoch and are dropped on arrival.
@@ -146,12 +157,16 @@ class Dispatcher {
   void finishDeploy(const std::string& key, Result<Endpoint> result);
   void recordPhase(const ServiceModel& service, ClusterAdapter& cluster,
                    const char* phase, SimTime duration);
+  /// Emit a completed phase span nested under `key`'s deploy span.
+  void tracePhase(const std::string& key, const char* phase, SimTime start,
+                  bool ok);
 
   Simulation& sim_;
   FlowMemory& memory_;
   GlobalScheduler& scheduler_;
   std::vector<ClusterAdapter*> adapters_;
   metrics::Recorder* recorder_;
+  trace::TraceRecorder* trace_;
   DispatcherOptions options_;
   std::unique_ptr<LocalScheduler> localScheduler_;
   std::map<std::string, PendingDeploy> pending_;

@@ -6,6 +6,7 @@ namespace edgesim::core {
 
 Testbed::Testbed(TestbedOptions options)
     : options_(options), sim_(options.seed) {
+  trace_.setEnabled(options_.tracing);
   net_ = std::make_unique<Network>(sim_);
 
   // ---- hosts ---------------------------------------------------------------
@@ -116,7 +117,8 @@ Testbed::Testbed(TestbedOptions options)
   std::vector<ClusterAdapter*> adapterPtrs;
   for (const auto& adapter : adapters_) adapterPtrs.push_back(adapter.get());
   controller_ = std::make_unique<EdgeController>(
-      sim_, options_.controller, adapterPtrs, catalog_.profiles(), &recorder_);
+      sim_, options_.controller, adapterPtrs, catalog_.profiles(), &recorder_,
+      &trace_);
   controller_->attachSwitch(*switch_, std::move(topo));
 }
 
@@ -153,8 +155,10 @@ void Testbed::request(std::size_t clientIndex, Endpoint address,
   HttpRequest req;
   req.method = method;
   req.payload = payload;
+  const Ipv4 clientIp = client.ip();
   client.httpRequest(address, req,
-                     [this, series, cb = std::move(cb)](Result<HttpExchange> r) {
+                     [this, series, clientIp, address,
+                      cb = std::move(cb)](Result<HttpExchange> r) {
                        metrics::RequestRecord record;
                        record.series = series;
                        record.success = r.ok();
@@ -163,6 +167,20 @@ void Testbed::request(std::size_t clientIndex, Endpoint address,
                          record.total = r.value().timings.timeTotal();
                          record.synRetransmits =
                              r.value().timings.synRetransmits;
+                         // Join the client-side measurement with the
+                         // controller-side trace: the root "request" span
+                         // covers exactly timecurl's time_total.
+                         trace_.clientRequestDone(
+                             clientIp, address, r.value().timings.start,
+                             r.value().timings.responseDone, /*success=*/true,
+                             series);
+                       } else {
+                         trace_.instant(0, "request-failed", "client",
+                                        sim_.now(),
+                                        {{"series", series},
+                                         {"client", clientIp.toString()},
+                                         {"error",
+                                          r.error().toString()}});
                        }
                        recorder_.add(record);
                        if (cb) cb(std::move(r));

@@ -20,6 +20,7 @@
 #include "core/serverless_adapter.hpp"
 #include "core/service_catalog.hpp"
 #include "metrics/recorder.hpp"
+#include "trace/trace_recorder.hpp"
 
 namespace edgesim::core {
 
@@ -36,6 +37,9 @@ struct TestbedOptions {
   /// Add a Wasm-style serverless runtime on the EGS next to the container
   /// clusters (§VIII future work); implied by kServerlessOnly.
   bool serverlessEdge = false;
+  /// Per-request tracing (src/trace).  Cheap (plain vector appends in the
+  /// single-threaded sim); disable only for huge batch sweeps.
+  bool tracing = true;
   /// Client <-> switch link (RPi, 1 Gbps).
   SimTime clientLatency = SimTime::micros(300);
   BitRate clientBandwidth = BitRate{1000u * 1000 * 1000};
@@ -65,6 +69,7 @@ class Testbed {
   EdgeController& controller() { return *controller_; }
   ServiceCatalog& catalog() { return catalog_; }
   metrics::Recorder& recorder() { return recorder_; }
+  trace::TraceRecorder& trace() { return trace_; }
   openflow::OpenFlowSwitch& ovs() { return *switch_; }
   Host& client(std::size_t index) { return *clients_.at(index); }
   std::size_t clientCount() const { return clients_.size(); }
@@ -113,6 +118,7 @@ class Testbed {
   std::unique_ptr<Network> net_;
   ServiceCatalog catalog_;
   metrics::Recorder recorder_;
+  trace::TraceRecorder trace_;
 
   std::vector<std::unique_ptr<Host>> clients_;
   std::unique_ptr<Host> egs_;

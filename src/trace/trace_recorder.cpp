@@ -1,0 +1,285 @@
+#include "trace/trace_recorder.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace edgesim::trace {
+
+double RequestBreakdown::segmentSum() const {
+  double sum = 0.0;
+  for (const auto& [name, seconds] : segments) sum += seconds;
+  return sum;
+}
+
+RequestId TraceRecorder::newRequest() {
+  if (!enabled_) return 0;
+  return ++nextRequest_;
+}
+
+SpanId TraceRecorder::beginSpan(RequestId request, const std::string& name,
+                                const std::string& category, SimTime now,
+                                TraceArgs args, SpanId parent) {
+  if (!enabled_) return 0;
+  TraceSpan span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.request = request;
+  span.name = name;
+  span.category = category;
+  span.start = now;
+  span.end = now;
+  span.args = std::move(args);
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void TraceRecorder::endSpan(SpanId span, SimTime now, TraceArgs extraArgs) {
+  if (!enabled_ || span == 0 || span > spans_.size()) return;
+  TraceSpan& s = spans_[span - 1];
+  s.end = now;
+  s.open = false;
+  for (auto& arg : extraArgs) s.args.push_back(std::move(arg));
+}
+
+SpanId TraceRecorder::completeSpan(RequestId request, const std::string& name,
+                                   const std::string& category, SimTime start,
+                                   SimTime end, TraceArgs args, SpanId parent) {
+  if (!enabled_) return 0;
+  const SpanId id = beginSpan(request, name, category, start, std::move(args),
+                              parent);
+  endSpan(id, end);
+  return id;
+}
+
+void TraceRecorder::instant(RequestId request, const std::string& name,
+                            const std::string& category, SimTime at,
+                            TraceArgs args) {
+  if (!enabled_) return;
+  instants_.push_back({request, name, category, at, std::move(args)});
+}
+
+void TraceRecorder::bindFlow(Ipv4 client, Endpoint service, RequestId request) {
+  if (!enabled_) return;
+  flowBindings_[{client, service}] = request;
+}
+
+RequestId TraceRecorder::clientRequestDone(Ipv4 client, Endpoint service,
+                                           SimTime start, SimTime end,
+                                           bool success,
+                                           const std::string& series) {
+  if (!enabled_) return 0;
+  RequestId request = 0;
+  const auto it = flowBindings_.find({client, service});
+  if (it != flowBindings_.end()) {
+    request = it->second;
+    flowBindings_.erase(it);  // one client exchange per packet-in binding
+  } else {
+    // No controller interaction: the request rode already-installed switch
+    // flows (warm path) -- it still gets its own timeline row.
+    request = newRequest();
+    instant(request, "warm-path", "client", start,
+            {{"client", client.toString()}, {"service", service.toString()}});
+  }
+  completeSpan(request, "request", "client", start, end,
+               {{"series", series},
+                {"client", client.toString()},
+                {"service", service.toString()},
+                {"success", success ? "true" : "false"}});
+  return request;
+}
+
+const TraceSpan* TraceRecorder::spanById(SpanId id) const {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+// ---- export -----------------------------------------------------------------
+
+namespace {
+
+JsonValue argsObject(const TraceArgs& args) {
+  JsonValue obj = JsonValue::object();
+  for (const auto& [key, value] : args) obj.set(key, value);
+  return obj;
+}
+
+}  // namespace
+
+JsonValue TraceRecorder::chromeTrace() const {
+  // Close still-open spans at the maximum observed timestamp so the file
+  // stays loadable even for aborted runs.
+  SimTime maxTime = SimTime::zero();
+  for (const auto& span : spans_) {
+    maxTime = std::max(maxTime, std::max(span.start, span.end));
+  }
+  for (const auto& i : instants_) maxTime = std::max(maxTime, i.at);
+
+  JsonValue events = JsonValue::array();
+
+  JsonValue processName = JsonValue::object();
+  processName.set("ph", "M");
+  processName.set("pid", 1);
+  processName.set("name", "process_name");
+  JsonValue processArgs = JsonValue::object();
+  processArgs.set("name", "edgesim");
+  processName.set("args", std::move(processArgs));
+  events.push(std::move(processName));
+
+  std::vector<RequestId> requests;
+  for (const auto& span : spans_) requests.push_back(span.request);
+  for (const auto& i : instants_) requests.push_back(i.request);
+  std::sort(requests.begin(), requests.end());
+  requests.erase(std::unique(requests.begin(), requests.end()),
+                 requests.end());
+  for (const RequestId request : requests) {
+    JsonValue threadName = JsonValue::object();
+    threadName.set("ph", "M");
+    threadName.set("pid", 1);
+    threadName.set("tid", request);
+    threadName.set("name", "thread_name");
+    JsonValue nameArgs = JsonValue::object();
+    nameArgs.set("name", request == 0 ? std::string("unattributed")
+                                      : strprintf("request %llu",
+                                                  static_cast<unsigned long long>(
+                                                      request)));
+    threadName.set("args", std::move(nameArgs));
+    events.push(std::move(threadName));
+  }
+
+  for (const auto& span : spans_) {
+    const SimTime end = span.open ? maxTime : span.end;
+    JsonValue event = JsonValue::object();
+    event.set("name", span.name);
+    event.set("cat", span.category);
+    event.set("ph", "X");
+    event.set("ts", span.start.toMicros());
+    event.set("dur", (end - span.start).toMicros());
+    event.set("pid", 1);
+    event.set("tid", span.request);
+    TraceArgs args = span.args;
+    args.emplace_back("span_id", strprintf("%llu", static_cast<unsigned long long>(
+                                                       span.id)));
+    if (span.parent != 0) {
+      args.emplace_back("parent_span",
+                        strprintf("%llu",
+                                  static_cast<unsigned long long>(span.parent)));
+    }
+    event.set("args", argsObject(args));
+    events.push(std::move(event));
+  }
+
+  for (const auto& i : instants_) {
+    JsonValue event = JsonValue::object();
+    event.set("name", i.name);
+    event.set("cat", i.category);
+    event.set("ph", "i");
+    event.set("s", "t");  // thread-scoped instant
+    event.set("ts", i.at.toMicros());
+    event.set("pid", 1);
+    event.set("tid", i.request);
+    event.set("args", argsObject(i.args));
+    events.push(std::move(event));
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+std::string TraceRecorder::chromeTraceJson(int indent) const {
+  return chromeTrace().dump(indent);
+}
+
+std::vector<RequestBreakdown> TraceRecorder::breakdowns() const {
+  // Leaf spans (no children) are the phases; container spans ("deploy")
+  // would double-count their nested Pull/Create/Scale-Up children.
+  std::vector<bool> hasChild(spans_.size() + 1, false);
+  for (const auto& span : spans_) {
+    if (span.parent != 0 && span.parent <= spans_.size()) {
+      hasChild[span.parent] = true;
+    }
+  }
+
+  std::vector<RequestBreakdown> result;
+  for (const auto& root : spans_) {
+    if (root.name != "request" || root.category != "client" || root.open) {
+      continue;
+    }
+    RequestBreakdown breakdown;
+    breakdown.request = root.request;
+    breakdown.totalSeconds = root.duration().toSeconds();
+
+    const TraceSpan* resolve = nullptr;
+    for (const auto& span : spans_) {
+      if (span.request == root.request && span.name == "resolve" &&
+          !span.open) {
+        resolve = &span;
+        break;
+      }
+    }
+    if (resolve != nullptr) {
+      // The three segments partition time_total exactly: all stamps come
+      // from the one deterministic sim clock.
+      breakdown.segments.emplace_back(
+          "uplink", (resolve->start - root.start).toSeconds());
+      breakdown.segments.emplace_back("resolve",
+                                      resolve->duration().toSeconds());
+      breakdown.segments.emplace_back("downlink",
+                                      (root.end - resolve->end).toSeconds());
+    } else {
+      breakdown.segments.emplace_back("warm", breakdown.totalSeconds);
+    }
+
+    for (const auto& span : spans_) {
+      if (span.request != root.request || span.id == root.id || span.open) {
+        continue;
+      }
+      if (resolve != nullptr && span.id == resolve->id) continue;
+      if (hasChild[span.id]) continue;
+      breakdown.phases.emplace_back(span.name, span.duration().toSeconds());
+    }
+    result.push_back(std::move(breakdown));
+  }
+  return result;
+}
+
+Table TraceRecorder::breakdownTable() const {
+  Table table({"request", "total [s]", "uplink", "resolve", "downlink",
+               "phases (name=seconds)"});
+  for (const auto& breakdown : breakdowns()) {
+    double uplink = 0.0, resolve = 0.0, downlink = 0.0;
+    for (const auto& [name, seconds] : breakdown.segments) {
+      if (name == "uplink") uplink = seconds;
+      else if (name == "resolve") resolve = seconds;
+      else if (name == "downlink" || name == "warm") downlink = seconds;
+    }
+    std::vector<std::string> phases;
+    for (const auto& [name, seconds] : breakdown.phases) {
+      phases.push_back(strprintf("%s=%.6f", name.c_str(), seconds));
+    }
+    table.addRow({strprintf("%llu",
+                            static_cast<unsigned long long>(breakdown.request)),
+                  strprintf("%.6f", breakdown.totalSeconds),
+                  strprintf("%.6f", uplink), strprintf("%.6f", resolve),
+                  strprintf("%.6f", downlink), join(phases, " ")});
+  }
+  return table;
+}
+
+std::map<std::string, Samples> TraceRecorder::phaseSamples() const {
+  std::map<std::string, Samples> samples;
+  for (const auto& breakdown : breakdowns()) {
+    samples["trace/total"].add(breakdown.totalSeconds);
+    for (const auto& [name, seconds] : breakdown.segments) {
+      samples["trace/" + name].add(seconds);
+    }
+    for (const auto& [name, seconds] : breakdown.phases) {
+      samples["trace/" + name].add(seconds);
+    }
+  }
+  return samples;
+}
+
+}  // namespace edgesim::trace

@@ -1,0 +1,149 @@
+// Per-request tracing for the deployment pipeline (observability layer).
+//
+// The paper's evaluation decomposes `time_total` into deployment phases
+// (Pull -> Create -> Scale-Up, figs. 11-16); `metrics::Recorder` aggregates
+// those into per-series medians but cannot say where ONE request spent its
+// time.  TraceRecorder fills that gap: typed span/instant events carry a
+// request ID that is allocated at `packet_in`, threaded through the
+// FlowMemory lookup, the Global/Local Scheduler decision, every deployment
+// phase (including retry/fallback/quarantine transitions) and the final
+// flow installation, and joined with the client-side timecurl measurement
+// when the response lands.
+//
+// "Lock-free in sim": the simulation is single-threaded by design (see
+// sim/simulation.hpp), so recording is a plain vector append -- no mutex,
+// no atomics, no allocation beyond vector growth.  Parallel experiments run
+// one Simulation (and one TraceRecorder) per thread.
+//
+// Exports:
+//   * Chrome trace_event JSON ("X"/"i"/"M" events, chrome://tracing and
+//     Perfetto loadable; one timeline row per request ID);
+//   * a per-request phase-breakdown table whose segments partition
+//     `time_total` exactly (uplink / resolve / downlink around the
+//     controller-side spans);
+//   * per-phase Samples maps feeding the BENCH_<name>.json reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "sim/time.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace edgesim::trace {
+
+/// Monotonic per-recorder request identifier; 0 = unattributed.
+using RequestId = std::uint64_t;
+/// Span identifier (1-based index into the recorder's span list); 0 = none.
+using SpanId = std::uint64_t;
+
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+struct TraceSpan {
+  SpanId id = 0;
+  SpanId parent = 0;        // enclosing span, 0 = top level
+  RequestId request = 0;
+  std::string name;         // "request", "resolve", "pull", "scaleup", ...
+  std::string category;     // "client", "controller", "scheduler", "deploy"
+  SimTime start;
+  SimTime end;
+  bool open = true;         // endSpan not yet seen
+  TraceArgs args;
+
+  SimTime duration() const { return end - start; }
+};
+
+struct TraceInstant {
+  RequestId request = 0;
+  std::string name;         // "packet-in", "flow-memory-hit", "retry", ...
+  std::string category;
+  SimTime at;
+  TraceArgs args;
+};
+
+/// One request's phase decomposition.  `segments` partition `total` exactly
+/// (same sim clock, no sampling): uplink (client send -> packet-in),
+/// resolve (packet-in -> redirect decided), downlink (redirect -> response
+/// received).  `phases` are the deployment spans nested inside resolve.
+struct RequestBreakdown {
+  RequestId request = 0;
+  double totalSeconds = 0.0;                    // == root "request" span
+  std::vector<std::pair<std::string, double>> segments;
+  std::vector<std::pair<std::string, double>> phases;
+
+  double segmentSum() const;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  /// Disabled recorders turn every call into a no-op (and allocate nothing).
+  void setEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // ---- recording ----------------------------------------------------------
+  RequestId newRequest();
+
+  SpanId beginSpan(RequestId request, const std::string& name,
+                   const std::string& category, SimTime now,
+                   TraceArgs args = {}, SpanId parent = 0);
+  void endSpan(SpanId span, SimTime now, TraceArgs extraArgs = {});
+  /// Record a span whose start/end are both known (async completions).
+  SpanId completeSpan(RequestId request, const std::string& name,
+                      const std::string& category, SimTime start, SimTime end,
+                      TraceArgs args = {}, SpanId parent = 0);
+  void instant(RequestId request, const std::string& name,
+               const std::string& category, SimTime at, TraceArgs args = {});
+
+  // ---- request-ID propagation to the client side --------------------------
+  /// The controller binds the (client, service) flow key to the request ID
+  /// it allocated at packet-in; the client-side measurement consumes the
+  /// binding when the HTTP exchange completes, attaching the root span to
+  /// the same request.  One binding per key; consumed on use, so a warm
+  /// request (no packet-in) gets a fresh ID with a "warm-path" marker.
+  void bindFlow(Ipv4 client, Endpoint service, RequestId request);
+  /// Finish a client request: emits the root "request" span covering
+  /// exactly timecurl's time_total.  Returns the request ID used.
+  RequestId clientRequestDone(Ipv4 client, Endpoint service, SimTime start,
+                              SimTime end, bool success,
+                              const std::string& series);
+
+  // ---- access -------------------------------------------------------------
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<TraceInstant>& instants() const { return instants_; }
+  std::size_t spanCount() const { return spans_.size(); }
+  const TraceSpan* spanById(SpanId id) const;
+
+  // ---- export -------------------------------------------------------------
+  /// Chrome trace_event document: {"traceEvents": [...], ...}.  `pid` is
+  /// constant, `tid` is the request ID so every request gets its own
+  /// timeline row; open spans are closed at the maximum observed time.
+  JsonValue chromeTrace() const;
+  std::string chromeTraceJson(int indent = 0) const;
+
+  /// Per-request breakdowns (requests with a root span only), in request
+  /// order.
+  std::vector<RequestBreakdown> breakdowns() const;
+  /// One row per request: total, per-segment and per-phase seconds.
+  Table breakdownTable() const;
+  /// Aggregate phase/segment durations across requests, keyed
+  /// "trace/<name>" -- merged into BENCH_<name>.json as the trace-derived
+  /// phase splits.
+  std::map<std::string, Samples> phaseSamples() const;
+
+ private:
+  bool enabled_ = true;
+  RequestId nextRequest_ = 0;
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceInstant> instants_;
+  std::map<std::pair<Ipv4, Endpoint>, RequestId> flowBindings_;
+};
+
+}  // namespace edgesim::trace

@@ -1,0 +1,363 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace edgesim {
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+void JsonValue::push(JsonValue value) {
+  ES_ASSERT_MSG(type_ == Type::kArray, "push on non-array JsonValue");
+  items_.push_back(std::move(value));
+}
+
+void JsonValue::set(const std::string& key, JsonValue value) {
+  ES_ASSERT_MSG(type_ == Type::kObject, "set on non-object JsonValue");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::numberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->isNumber() ? v->asNumber() : fallback;
+}
+
+std::string JsonValue::stringOr(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->isString() ? v->asString() : fallback;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void appendNumber(std::string& out, double n) {
+  if (!std::isfinite(n)) {  // JSON has no Inf/NaN; null is the usual stand-in
+    out += "null";
+    return;
+  }
+  if (n == std::floor(n) && std::fabs(n) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(n));
+    out += buf;
+    return;
+  }
+  // Shortest representation that round-trips a double.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, n);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    if (parsed == n) break;
+  }
+  out += buf;
+}
+
+}  // namespace
+
+void JsonValue::dumpTo(std::string& out, int indent, int depth) const {
+  std::string pad;
+  std::string closePad;
+  if (indent > 0) {
+    pad.assign(1, '\n');
+    pad.append(static_cast<std::size_t>(indent) *
+                   (static_cast<std::size_t>(depth) + 1),
+               ' ');
+    closePad.assign(1, '\n');
+    closePad.append(static_cast<std::size_t>(indent) *
+                        static_cast<std::size_t>(depth),
+                    ' ');
+  }
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: appendNumber(out, number_); break;
+    case Type::kString:
+      out += '"';
+      out += jsonEscape(string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += pad;
+        items_[i].dumpTo(out, indent, depth + 1);
+      }
+      out += closePad;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += pad;
+        out += '"';
+        out += jsonEscape(members_[i].first);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        members_[i].second.dumpTo(out, indent, depth + 1);
+      }
+      out += closePad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+// ---- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> parseDocument() {
+    auto value = parseValue();
+    if (!value.ok()) return value;
+    skipWhitespace();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Error fail(const std::string& message) const {
+    return Error{Errc::kInvalidArgument,
+                 "json: " + message + " at offset " + std::to_string(pos_)};
+  }
+
+  void skipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeLiteral(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> parseValue() {
+    skipWhitespace();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': {
+        auto s = parseString();
+        if (!s.ok()) return s.error();
+        return JsonValue(std::move(s).value());
+      }
+      case 't':
+        if (consumeLiteral("true")) return JsonValue(true);
+        return fail("invalid literal");
+      case 'f':
+        if (consumeLiteral("false")) return JsonValue(false);
+        return fail("invalid literal");
+      case 'n':
+        if (consumeLiteral("null")) return JsonValue();
+        return fail("invalid literal");
+      default: return parseNumber();
+    }
+  }
+
+  Result<JsonValue> parseObject() {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::object();
+    skipWhitespace();
+    if (consume('}')) return obj;
+    while (true) {
+      skipWhitespace();
+      auto key = parseString();
+      if (!key.ok()) return key.error();
+      skipWhitespace();
+      if (!consume(':')) return fail("expected ':' in object");
+      auto value = parseValue();
+      if (!value.ok()) return value;
+      obj.set(key.value(), std::move(value).value());
+      skipWhitespace();
+      if (consume(',')) continue;
+      if (consume('}')) return obj;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> parseArray() {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::array();
+    skipWhitespace();
+    if (consume(']')) return arr;
+    while (true) {
+      auto value = parseValue();
+      if (!value.ok()) return value;
+      arr.push(std::move(value).value());
+      skipWhitespace();
+      if (consume(',')) continue;
+      if (consume(']')) return arr;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> parseString() {
+    if (!consume('"')) return fail("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return fail("invalid \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unhandled; the
+          // writer never emits them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Result<JsonValue> parseNumber() {
+    const std::size_t start = pos_;
+    consume('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("invalid value");
+    double n = 0.0;
+    const std::string token = text_.substr(start, pos_ - start);
+    if (std::sscanf(token.c_str(), "%lf", &n) != 1) {
+      return fail("invalid number '" + token + "'");
+    }
+    return JsonValue(n);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::parse(const std::string& text) {
+  return Parser(text).parseDocument();
+}
+
+}  // namespace edgesim

@@ -1,0 +1,91 @@
+// Minimal JSON value model, parser and writer (RFC 8259 subset).
+//
+// Used for the machine-readable observability outputs: Chrome trace_event
+// files (src/trace) and the schema-versioned BENCH_<name>.json reports
+// (src/metrics/bench_report).  Objects keep insertion order so serialized
+// reports stay stable and diffable across runs.  No external dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace edgesim {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  JsonValue(double n) : type_(Type::kNumber), number_(n) {}
+  JsonValue(int n) : type_(Type::kNumber), number_(n) {}
+  JsonValue(std::int64_t n)
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(std::uint64_t n)
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static JsonValue array();
+  static JsonValue object();
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::kNull; }
+  bool isBool() const { return type_ == Type::kBool; }
+  bool isNumber() const { return type_ == Type::kNumber; }
+  bool isString() const { return type_ == Type::kString; }
+  bool isArray() const { return type_ == Type::kArray; }
+  bool isObject() const { return type_ == Type::kObject; }
+
+  bool asBool() const { return bool_; }
+  double asNumber() const { return number_; }
+  const std::string& asString() const { return string_; }
+
+  // ---- array ---------------------------------------------------------------
+  void push(JsonValue value);
+  std::size_t size() const { return items_.size(); }
+  const JsonValue& at(std::size_t i) const { return items_.at(i); }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  // ---- object (insertion-ordered) -----------------------------------------
+  void set(const std::string& key, JsonValue value);
+  /// nullptr when the key is absent (or this is not an object).
+  const JsonValue* find(const std::string& key) const;
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Typed lookups with defaults, for tolerant readers (bench_diff).
+  double numberOr(const std::string& key, double fallback) const;
+  std::string stringOr(const std::string& key,
+                       const std::string& fallback) const;
+
+  /// Compact serialization; `indent` > 0 pretty-prints with that many spaces
+  /// per level.  Numbers use shortest round-trip formatting.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document (trailing non-whitespace is an error).
+  static Result<JsonValue> parse(const std::string& text);
+
+ private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escape `s` as the *contents* of a JSON string literal (no quotes added).
+std::string jsonEscape(const std::string& s);
+
+}  // namespace edgesim

@@ -9,6 +9,7 @@
 #include <set>
 
 #include "util/config.hpp"
+#include "util/json.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -412,6 +413,72 @@ TEST(Result, ValueAndError) {
   EXPECT_EQ(err.error().code, Errc::kNotFound);
   EXPECT_EQ(err.error().toString(), "not-found: missing");
   EXPECT_EQ(err.valueOr(-1), -1);
+}
+
+
+// --------------------------------------------------------------- Json ----
+
+TEST(Json, RoundTripsValuesThroughDumpAndParse) {
+  JsonValue obj = JsonValue::object();
+  obj.set("name", "edge \"svc\"\n");
+  obj.set("count", 42);
+  obj.set("ratio", 0.25);
+  obj.set("precise", 0.1);  // not exactly representable; must round-trip
+  obj.set("on", true);
+  obj.set("off", false);
+  obj.set("nothing", JsonValue());
+  JsonValue arr = JsonValue::array();
+  arr.push(1);
+  arr.push(2.5);
+  arr.push("three");
+  obj.set("items", std::move(arr));
+
+  for (const int indent : {0, 2}) {
+    const auto parsed = JsonValue::parse(obj.dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.error().toString();
+    const JsonValue& v = parsed.value();
+    EXPECT_EQ(v.stringOr("name", ""), "edge \"svc\"\n");
+    EXPECT_EQ(v.numberOr("count", -1), 42);
+    EXPECT_EQ(v.numberOr("ratio", -1), 0.25);
+    EXPECT_EQ(v.numberOr("precise", -1), 0.1);
+    EXPECT_TRUE(v.find("on")->asBool());
+    EXPECT_FALSE(v.find("off")->asBool());
+    EXPECT_TRUE(v.find("nothing")->isNull());
+    const JsonValue* items = v.find("items");
+    ASSERT_NE(items, nullptr);
+    ASSERT_EQ(items->size(), 3u);
+    EXPECT_EQ(items->at(0).asNumber(), 1);
+    EXPECT_EQ(items->at(2).asString(), "three");
+  }
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  obj.set("alpha", 9);  // overwrite keeps the original position
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(Json, ParseRejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "1 2",
+        "\"unterminated", "{\"a\":1}extra"}) {
+    EXPECT_FALSE(JsonValue::parse(bad).ok()) << bad;
+  }
+}
+
+TEST(Json, ParseHandlesEscapesAndNesting) {
+  const auto parsed = JsonValue::parse(
+      "  {\"a\" : [ {\"b\": \"x\\u0041\\n\"} , -1.5e2 ] }  ");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().toString();
+  const JsonValue* a = parsed.value().find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 2u);
+  EXPECT_EQ(a->at(0).stringOr("b", ""), "xA\n");
+  EXPECT_EQ(a->at(1).asNumber(), -150.0);
 }
 
 TEST(Status, OkAndError) {

@@ -1,0 +1,95 @@
+// bench_diff -- compare two BENCH_<name>.json reports and fail on
+// regression.  The CI Release job runs this against results/baselines/.
+//
+//   $ bench_diff baseline.json candidate.json [--tolerance 0.10]
+//
+// Exit status: 0 when the candidate is within tolerance of the baseline,
+// 1 when any series regressed (median beyond tolerance, p95 beyond twice
+// the tolerance, sample-count mismatch, or a baseline series is missing),
+// 2 on usage or I/O errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "metrics/bench_report.hpp"
+
+using edgesim::metrics::BenchReport;
+using edgesim::metrics::CompareOptions;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <candidate.json> "
+               "[--tolerance <fraction>]\n"
+               "       (e.g. --tolerance 0.10 allows a 10%% slowdown)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baselinePath;
+  std::string candidatePath;
+  CompareOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      options.tolerance = std::atof(argv[++i]);
+      if (options.tolerance <= 0.0) {
+        std::fprintf(stderr, "bench_diff: invalid tolerance '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (baselinePath.empty()) {
+      baselinePath = argv[i];
+    } else if (candidatePath.empty()) {
+      candidatePath = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baselinePath.empty() || candidatePath.empty()) return usage(argv[0]);
+
+  const auto baseline = BenchReport::fromFile(baselinePath);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "bench_diff: cannot read baseline %s: %s\n",
+                 baselinePath.c_str(),
+                 baseline.error().toString().c_str());
+    return 2;
+  }
+  const auto candidate = BenchReport::fromFile(candidatePath);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "bench_diff: cannot read candidate %s: %s\n",
+                 candidatePath.c_str(),
+                 candidate.error().toString().c_str());
+    return 2;
+  }
+
+  const auto result =
+      compareReports(baseline.value(), candidate.value(), options);
+
+  std::printf("bench_diff: %s vs %s (tolerance %.0f%%): "
+              "%zu series compared\n",
+              baselinePath.c_str(), candidatePath.c_str(),
+              options.tolerance * 100.0, result.seriesCompared);
+  for (const auto& name : result.improvedSeries) {
+    std::printf("  improved:  %s\n", name.c_str());
+  }
+  for (const auto& name : result.missingSeries) {
+    std::printf("  MISSING:   %s (in baseline, absent in candidate)\n",
+                name.c_str());
+  }
+  for (const auto& regression : result.regressions) {
+    std::printf("  REGRESSED: %s\n", regression.toString().c_str());
+  }
+
+  if (!result.ok()) {
+    std::printf("FAIL: %zu regression(s), %zu missing series\n",
+                result.regressions.size(), result.missingSeries.size());
+    return 1;
+  }
+  std::printf("OK: no regressions beyond tolerance\n");
+  return 0;
+}
