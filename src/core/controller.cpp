@@ -1,5 +1,8 @@
 #include "core/controller.hpp"
 
+#include <set>
+#include <utility>
+
 #include "util/log.hpp"
 
 namespace edgesim::core {
@@ -52,6 +55,10 @@ ControllerOptions ControllerOptions::fromConfig(const Config& config) {
   options.quarantineCooldown = SimTime::millis(
       config.getIntOr("quarantine_cooldown_ms",
                       options.quarantineCooldown.toNanos() / 1000000));
+  options.flowShards = static_cast<std::size_t>(
+      config.getIntOr("flow_shards", static_cast<long long>(options.flowShards)));
+  options.workers = static_cast<std::size_t>(
+      config.getIntOr("workers", static_cast<long long>(options.workers)));
   return options;
 }
 
@@ -65,7 +72,8 @@ EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
       profiles_(profiles),
       recorder_(recorder),
       trace_(trace),
-      memory_(options.memoryIdleTimeout),
+      memory_(options.memoryIdleTimeout,
+              options.flowShards == 0 ? 1 : options.flowShards),
       adapters_(std::move(adapters)) {
   auto scheduler =
       SchedulerRegistry::instance().create(options_.scheduler, Config());
@@ -102,9 +110,108 @@ EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
     expireMemory();
     return true;
   }, options_.memoryScanPeriod);
+
+  if (options_.workers > 0) {
+    pool_ = std::make_unique<LaneExecutor>(options_.workers);
+  }
 }
 
-EdgeController::~EdgeController() = default;
+EdgeController::~EdgeController() {
+  // Join the workers before any member they touch is destroyed.
+  pool_.reset();
+}
+
+void EdgeController::submitRequest(Ipv4 client, Endpoint serviceAddress,
+                                   Dispatcher::ResolveCallback cb) {
+  ES_ASSERT(cb != nullptr);
+  if (pool_ == nullptr) {
+    handleSubmit(client, serviceAddress, std::move(cb));
+    return;
+  }
+  // Lane = FlowMemory shard of (client, service): requests for the same
+  // flow are handled in submission order; independent flows in parallel.
+  const std::uint64_t lane = memory_.shardIndex(client, serviceAddress);
+  pool_->post(lane, [this, client, serviceAddress, cb = std::move(cb)] {
+    handleSubmit(client, serviceAddress, std::move(cb));
+  });
+}
+
+void EdgeController::handleSubmit(Ipv4 client, Endpoint serviceAddress,
+                                  Dispatcher::ResolveCallback cb) {
+  packetIns_.fetch_add(1, std::memory_order_relaxed);
+  if (const auto memorized = memory_.lookup(client, serviceAddress)) {
+    // Warm path: answered entirely on this worker.  The memorized instance
+    // is trusted -- scale-down and migration invalidate FlowMemory before
+    // the instance goes away (forgetInstance / forgetServiceExcept).
+    const SimTime now = sim_.approxNow();
+    memory_.touch(client, serviceAddress, now);
+    warmHits_.fetch_add(1, std::memory_order_relaxed);
+    resolved_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_ != nullptr) {
+      const trace::RequestId rid = trace_->newRequest();
+      trace_->instant(rid, "warm-hit", "controller", now,
+                      {{"client", client.toString()},
+                       {"instance", memorized->instance.toString()},
+                       {"cluster", memorized->cluster}});
+    }
+    cb(Redirect{memorized->instance, memorized->cluster, true});
+    return;
+  }
+  // Cold miss: deployment state lives on the simulation thread; marshal
+  // through the one thread-safe seam.  The Dispatcher's per-(service,
+  // cluster) pending table then coalesces concurrent cold requests into a
+  // single deployment.
+  sim_.postExternal([this, client, serviceAddress, cb = std::move(cb)]() mutable {
+    resolveCold(client, serviceAddress, std::move(cb));
+  });
+}
+
+void EdgeController::resolveCold(Ipv4 client, Endpoint serviceAddress,
+                                 Dispatcher::ResolveCallback cb) {
+  const ServiceModel* service = serviceAt(serviceAddress);
+  if (service == nullptr) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    cb(makeError(Errc::kNotFound,
+                 "no service registered at " + serviceAddress.toString()));
+    return;
+  }
+  trace::RequestId rid = 0;
+  trace::SpanId span = 0;
+  if (trace_ != nullptr) {
+    rid = trace_->newRequest();
+    trace_->instant(rid, "submit-cold", "controller", sim_.now(),
+                    {{"client", client.toString()},
+                     {"service", serviceAddress.toString()}});
+    span = trace_->beginSpan(rid, "resolve", "controller", sim_.now(),
+                             {{"service", service->uniqueName}});
+  }
+  dispatcher_->resolve(
+      *service, client,
+      [this, span, cb = std::move(cb)](Result<Redirect> result) {
+        if (!result.ok()) {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          if (trace_ != nullptr) {
+            trace_->endSpan(span, sim_.now(),
+                            {{"ok", "false"},
+                             {"error", result.error().toString()}});
+          }
+          cb(std::move(result));
+          return;
+        }
+        resolved_.fetch_add(1, std::memory_order_relaxed);
+        if (result.value().degraded) {
+          degraded_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (trace_ != nullptr) {
+          trace_->endSpan(span, sim_.now(),
+                          {{"ok", "true"},
+                           {"instance", result.value().instance.toString()},
+                           {"cluster", result.value().cluster}});
+        }
+        cb(std::move(result));
+      },
+      rid);
+}
 
 Result<const ServiceModel*> EdgeController::registerService(
     const std::string& yaml, Endpoint serviceAddress, const std::string& tag) {
@@ -388,7 +495,12 @@ void EdgeController::expireMemory() {
 void EdgeController::finishExpiry() {
   const auto expired = memory_.expire(sim_.now());
   if (!options_.scaleDownIdleServices) return;
+  // One scale-down per (service, cluster) per sweep: when many flows of the
+  // same instance expire in a single scan they ALL see flowsFor() == 0, and
+  // without the dedupe the instance was scaled down once per flow.
+  std::set<std::pair<Endpoint, std::string>> handled;
   for (const auto& flow : expired) {
+    if (!handled.insert({flow.service, flow.cluster}).second) continue;
     if (memory_.flowsFor(flow.service, flow.cluster) != 0) continue;
     ClusterAdapter* adapter = dispatcher_->adapterByName(flow.cluster);
     if (adapter == nullptr || adapter->isCloud()) continue;

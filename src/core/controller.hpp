@@ -16,8 +16,16 @@
 //
 //   flow-removed (idle) -> FlowMemory bookkeeping; when the last memorized
 //   flow of a service instance expires, the instance is scaled down.
+//   Concurrent front-end (submitRequest, options.workers > 0): packet-in
+//   handling runs on a LaneExecutor pool, laned by the FlowMemory shard of
+//   (client, service) so same-flow requests stay ordered.  Warm requests
+//   (memorized flow) complete entirely on the worker -- shared-lock lookup,
+//   CAS touch, no simulation-thread involvement.  Cold requests marshal to
+//   the simulation thread (Simulation::postExternal), where the Dispatcher's
+//   per-(service, cluster) pending table serializes all deployment state.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
@@ -28,6 +36,7 @@
 #include "core/dispatcher.hpp"
 #include "core/service_catalog.hpp"
 #include "openflow/switch.hpp"
+#include "util/lane_executor.hpp"
 
 namespace edgesim::core {
 
@@ -69,6 +78,13 @@ struct ControllerOptions {
   /// Request-time instance choice within a cluster ("first",
   /// "instance-round-robin", "client-hash").
   std::string instancePolicy = "first";
+  /// FlowMemory shard count (striped locks).  1 = the deterministic
+  /// single-threaded layout; concurrent deployments use workers * 4+.
+  std::size_t flowShards = 1;
+  /// Hot-path worker pool size for the concurrent front-end
+  /// (submitRequest).  0 = no pool: packet-in handling stays inline on the
+  /// simulation thread and runs bit-identically to the pre-shard seed.
+  std::size_t workers = 0;
 
   static ControllerOptions fromConfig(const Config& config);
 };
@@ -112,6 +128,21 @@ class EdgeController : public openflow::ControllerApp {
   void onFlowRemoved(openflow::OpenFlowSwitch& sw,
                      const openflow::FlowRemoved& event) override;
 
+  // ---- concurrent front-end ----------------------------------------------
+  /// Resolve a request from ANY thread (requires options.workers > 0; with
+  /// no pool the call must come from the simulation thread and handles the
+  /// request inline).  The callback runs on a pool worker for warm
+  /// (FlowMemory) hits and on the simulation thread for cold misses -- the
+  /// simulation thread must be pumping (Simulation::pump) for cold requests
+  /// to make progress.  The warm path trusts FlowMemory invalidation
+  /// (forgetInstance / forgetServiceExcept at scale-down and migration)
+  /// instead of re-querying the cluster adapter, which is not thread-safe.
+  void submitRequest(Ipv4 client, Endpoint serviceAddress,
+                     Dispatcher::ResolveCallback cb);
+
+  /// The lane pool, or nullptr when options.workers == 0.
+  LaneExecutor* workerPool() { return pool_.get(); }
+
   // ---- introspection ------------------------------------------------------
   const ServiceModel* serviceAt(Endpoint address) const;
 
@@ -125,16 +156,34 @@ class EdgeController : public openflow::ControllerApp {
   FlowMemory& flowMemory() { return memory_; }
   Dispatcher& dispatcher() { return *dispatcher_; }
   GlobalScheduler& scheduler() { return *scheduler_; }
-  std::uint64_t packetInCount() const { return packetIns_; }
-  std::uint64_t requestsResolved() const { return resolved_; }
-  std::uint64_t requestsFailed() const { return failed_; }
+  std::uint64_t packetInCount() const {
+    return packetIns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t requestsResolved() const {
+    return resolved_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t requestsFailed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
   /// Resolves answered with a degraded (cloud-fallback) redirect; these
   /// count toward requestsResolved() as well.
-  std::uint64_t requestsDegraded() const { return degraded_; }
-  std::uint64_t scaleDowns() const { return scaleDowns_; }
-  std::uint64_t removals() const { return removals_; }
+  std::uint64_t requestsDegraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t scaleDowns() const {
+    return scaleDowns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t removals() const {
+    return removals_.load(std::memory_order_relaxed);
+  }
   /// BEST deployments that became ready and triggered flow migration.
-  std::uint64_t migrations() const { return migrations_; }
+  std::uint64_t migrations() const {
+    return migrations_.load(std::memory_order_relaxed);
+  }
+  /// submitRequest() calls answered straight from FlowMemory on a worker.
+  std::uint64_t warmHits() const {
+    return warmHits_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct PendingRequest {
@@ -165,6 +214,10 @@ class EdgeController : public openflow::ControllerApp {
   void releaseBuffered(openflow::OpenFlowSwitch& sw, const PendingKey& key,
                        const ServiceModel& service, Endpoint instance);
   void dropBuffered(const PendingKey& key);
+  void handleSubmit(Ipv4 client, Endpoint serviceAddress,
+                    Dispatcher::ResolveCallback cb);
+  void resolveCold(Ipv4 client, Endpoint serviceAddress,
+                   Dispatcher::ResolveCallback cb);
   void expireMemory();
   void finishExpiry();
   openflow::ActionList redirectActions(openflow::OpenFlowSwitch& sw,
@@ -187,14 +240,20 @@ class EdgeController : public openflow::ControllerApp {
   /// (service address, cluster) -> when the service was scaled down; used
   /// to drive the Remove/Delete phases after prolonged idle.
   std::map<std::pair<Endpoint, std::string>, SimTime> scaledDownAt_;
-  std::uint64_t packetIns_ = 0;
-  std::uint64_t resolved_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t degraded_ = 0;
-  std::uint64_t scaleDowns_ = 0;
-  std::uint64_t removals_ = 0;
-  std::uint64_t migrations_ = 0;
-  std::uint64_t cookieCounter_ = 1;
+  /// Request lane pool (options.workers > 0); destroyed first so no worker
+  /// can touch controller state during teardown.
+  std::unique_ptr<LaneExecutor> pool_;
+  // Counters are atomics: the warm path increments them from pool workers
+  // while the simulation thread serves cold requests and expiry.
+  std::atomic<std::uint64_t> packetIns_{0};
+  std::atomic<std::uint64_t> resolved_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> scaleDowns_{0};
+  std::atomic<std::uint64_t> removals_{0};
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<std::uint64_t> warmHits_{0};
+  std::atomic<std::uint64_t> cookieCounter_{1};
 };
 
 }  // namespace edgesim::core

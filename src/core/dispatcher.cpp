@@ -22,6 +22,7 @@ Dispatcher::Dispatcher(Simulation& sim, FlowMemory& memory,
                        metrics::Recorder* recorder, DispatcherOptions options,
                        trace::TraceRecorder* trace)
     : sim_(sim),
+      controlThread_(std::this_thread::get_id()),
       memory_(memory),
       scheduler_(scheduler),
       adapters_(std::move(adapters)),
@@ -67,9 +68,12 @@ void Dispatcher::tracePhase(const std::string& key, const char* phase,
 void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
                          ResolveCallback cb, trace::RequestId rid) {
   ES_ASSERT(cb != nullptr);
+  ES_ASSERT_MSG(std::this_thread::get_id() == controlThread_,
+                "Dispatcher::resolve off the control (simulation) thread; "
+                "worker threads must marshal via Simulation::postExternal");
 
   // 1. Memorized flow? Redirect to the same instance without rescheduling.
-  if (const MemorizedFlow* memorized = memory_.lookup(client, service.address)) {
+  if (const auto memorized = memory_.lookup(client, service.address)) {
     // Verify the instance is still alive; a scaled-down instance must not
     // receive traffic.
     ClusterAdapter* adapter = adapterByName(memorized->cluster);

@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cluster_adapter.hpp"
@@ -162,6 +163,12 @@ class Dispatcher {
                   bool ok);
 
   Simulation& sim_;
+  /// The control lane: all deployment state (pending_, adapters, the
+  /// schedulers) is single-threaded by construction.  resolve() asserts it
+  /// runs on the thread that built the Dispatcher -- the simulation
+  /// thread; the controller's worker pool must marshal cold requests
+  /// through Simulation::postExternal, never call in directly.
+  const std::thread::id controlThread_;
   FlowMemory& memory_;
   GlobalScheduler& scheduler_;
   std::vector<ClusterAdapter*> adapters_;

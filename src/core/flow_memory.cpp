@@ -1,62 +1,108 @@
 #include "core/flow_memory.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 namespace edgesim::core {
 
-void FlowMemory::upsert(Ipv4 client, Endpoint service, Endpoint instance,
-                        const std::string& cluster, SimTime now) {
-  MemorizedFlow flow;
-  flow.client = Endpoint(client, 0);
-  flow.service = service;
-  flow.instance = instance;
-  flow.cluster = cluster;
-  flow.lastSeen = now;
-  flows_[Key{client, service}] = std::move(flow);
-}
-
-void FlowMemory::touch(Ipv4 client, Endpoint service, SimTime now) {
-  const auto it = flows_.find(Key{client, service});
-  if (it != flows_.end()) {
-    it->second.lastSeen = std::max(it->second.lastSeen, now);
+FlowMemory::FlowMemory(SimTime idleTimeout, std::size_t shards)
+    : idleTimeout_(idleTimeout) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
   }
 }
 
-const MemorizedFlow* FlowMemory::lookup(Ipv4 client, Endpoint service) const {
-  const auto it = flows_.find(Key{client, service});
-  return it == flows_.end() ? nullptr : &it->second;
+void FlowMemory::upsert(Ipv4 client, Endpoint service, Endpoint instance,
+                        const std::string& cluster, SimTime now) {
+  const Key key{client, service};
+  Shard& shard = shardFor(key);
+  std::unique_lock lock(shard.mutex);
+  auto [it, inserted] = shard.flows.try_emplace(key);
+  StoredFlow& stored = it->second;
+  stored.client = Endpoint(client, 0);
+  stored.service = service;
+  stored.instance = instance;
+  stored.cluster = cluster;
+  stored.lastSeenNanos.store(now.toNanos(), std::memory_order_relaxed);
+  if (inserted) size_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FlowMemory::touch(Ipv4 client, Endpoint service, SimTime now) {
+  const Key key{client, service};
+  Shard& shard = shardFor(key);
+  std::shared_lock lock(shard.mutex);
+  const auto it = shard.flows.find(key);
+  if (it == shard.flows.end()) return;
+  // CAS-max: concurrent touches of one flow keep the latest timestamp
+  // without ever upgrading to the exclusive lock.
+  auto& lastSeen = it->second.lastSeenNanos;
+  std::int64_t seen = lastSeen.load(std::memory_order_relaxed);
+  const std::int64_t candidate = now.toNanos();
+  while (seen < candidate &&
+         !lastSeen.compare_exchange_weak(seen, candidate,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+std::optional<MemorizedFlow> FlowMemory::lookup(Ipv4 client,
+                                                Endpoint service) const {
+  const Key key{client, service};
+  const Shard& shard = shardFor(key);
+  std::shared_lock lock(shard.mutex);
+  const auto it = shard.flows.find(key);
+  if (it == shard.flows.end()) return std::nullopt;
+  return it->second.snapshot();
 }
 
 std::vector<MemorizedFlow> FlowMemory::expire(SimTime now) {
   std::vector<MemorizedFlow> expired;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (now - it->second.lastSeen >= idleTimeout_) {
-      expired.push_back(it->second);
-      it = flows_.erase(it);
-    } else {
-      ++it;
+  for (auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    std::unique_lock lock(shard.mutex);
+    for (auto it = shard.flows.begin(); it != shard.flows.end();) {
+      const SimTime lastSeen = SimTime::nanos(
+          it->second.lastSeenNanos.load(std::memory_order_relaxed));
+      if (now - lastSeen >= idleTimeout_) {
+        expired.push_back(it->second.snapshot());
+        it = shard.flows.erase(it);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
     }
   }
   return expired;
 }
 
 void FlowMemory::forgetInstance(Endpoint instance) {
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.instance == instance) {
-      it = flows_.erase(it);
-    } else {
-      ++it;
+  for (auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    std::unique_lock lock(shard.mutex);
+    for (auto it = shard.flows.begin(); it != shard.flows.end();) {
+      if (it->second.instance == instance) {
+        it = shard.flows.erase(it);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 void FlowMemory::forgetServiceExcept(Endpoint service,
                                      const std::string& keepCluster) {
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (it->second.service == service && it->second.cluster != keepCluster) {
-      it = flows_.erase(it);
-    } else {
-      ++it;
+  for (auto& shardPtr : shards_) {
+    Shard& shard = *shardPtr;
+    std::unique_lock lock(shard.mutex);
+    for (auto it = shard.flows.begin(); it != shard.flows.end();) {
+      if (it->second.service == service && it->second.cluster != keepCluster) {
+        it = shard.flows.erase(it);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
     }
   }
 }
@@ -64,8 +110,12 @@ void FlowMemory::forgetServiceExcept(Endpoint service,
 std::size_t FlowMemory::flowsFor(Endpoint service,
                                  const std::string& cluster) const {
   std::size_t count = 0;
-  for (const auto& [key, flow] : flows_) {
-    if (flow.service == service && flow.cluster == cluster) ++count;
+  for (const auto& shardPtr : shards_) {
+    const Shard& shard = *shardPtr;
+    std::shared_lock lock(shard.mutex);
+    for (const auto& [key, flow] : shard.flows) {
+      if (flow.service == service && flow.cluster == cluster) ++count;
+    }
   }
   return count;
 }

@@ -5,10 +5,29 @@
 // instance without rescheduling.  Memorized flows carry their own, longer
 // idle timeout; expiry both forgets stale clients and is the trigger for
 // scaling down idle edge service instances.
+//
+// Concurrency model: the table is partitioned into `shards` independent
+// sub-maps keyed by hash(client, service), each behind its own
+// std::shared_mutex (striped locks).  The warm path -- lookup() + touch()
+// on every remembered packet-in -- takes only the shard's SHARED lock;
+// touch() refreshes last-seen with a CAS-max on an atomic, so concurrent
+// readers never serialize against each other and never take a write lock.
+// Mutations (upsert, expire, forget*) take the shard's exclusive lock.
+//
+// Determinism: with shards == 1 (the default) every operation hits one
+// unordered_map through the exact op sequence of the pre-shard layout, so
+// expire()'s iteration order -- and therefore scale-down order and traces
+// -- is bit-identical to the single-threaded seed.  Sharded configurations
+// iterate shards in index order, which is deterministic for a fixed shard
+// count but groups flows differently; the determinism suite pins both.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,19 +54,22 @@ class FlowMemory {
     bool operator==(const Key&) const = default;
   };
 
-  explicit FlowMemory(SimTime idleTimeout) : idleTimeout_(idleTimeout) {}
+  explicit FlowMemory(SimTime idleTimeout, std::size_t shards = 1);
 
-  /// Record or refresh a flow.
+  /// Record or refresh a flow.  Takes the shard's exclusive lock.
   void upsert(Ipv4 client, Endpoint service, Endpoint instance,
               const std::string& cluster, SimTime now);
 
   /// Refresh the last-seen time (e.g. on switch flow-removed with recent
-  /// traffic, or on packet-in from a remembered client).
+  /// traffic, or on packet-in from a remembered client).  Warm path:
+  /// shared lock + CAS-max, never blocks other readers.
   void touch(Ipv4 client, Endpoint service, SimTime now);
 
-  const MemorizedFlow* lookup(Ipv4 client, Endpoint service) const;
+  /// Snapshot of the memorized flow, or nullopt.  Warm path: shared lock.
+  std::optional<MemorizedFlow> lookup(Ipv4 client, Endpoint service) const;
 
-  /// Drop flows idle for >= idleTimeout; returns the expired flows.
+  /// Drop flows idle for >= idleTimeout; returns the expired flows in
+  /// shard order.  Exclusive lock per shard, taken one shard at a time.
   std::vector<MemorizedFlow> expire(SimTime now);
 
   /// Forget all flows pointing at `instance` (e.g. instance scaled down).
@@ -62,8 +84,15 @@ class FlowMemory {
   /// policy keys off this reaching zero.
   std::size_t flowsFor(Endpoint service, const std::string& cluster) const;
 
-  std::size_t size() const { return flows_.size(); }
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
   SimTime idleTimeout() const { return idleTimeout_; }
+
+  std::size_t shardCount() const { return shards_.size(); }
+  /// Stable shard index for (client, service) -- the controller uses this
+  /// as the LaneExecutor lane key so same-flow requests stay ordered.
+  std::size_t shardIndex(Ipv4 client, Endpoint service) const {
+    return KeyHash{}(Key{client, service}) % shards_.size();
+  }
 
  private:
   struct KeyHash {
@@ -74,8 +103,39 @@ class FlowMemory {
     }
   };
 
+  /// Map value: immutable routing fields plus the touch()-refreshed
+  /// last-seen nanos.  The atomic lets the warm path refresh under a
+  /// SHARED lock; all fields besides lastSeenNanos are only written under
+  /// the shard's exclusive lock.
+  struct StoredFlow {
+    Endpoint client;
+    Endpoint service;
+    Endpoint instance;
+    std::string cluster;
+    std::atomic<std::int64_t> lastSeenNanos;
+
+    MemorizedFlow snapshot() const {
+      return MemorizedFlow{
+          client, service, instance, cluster,
+          SimTime::nanos(lastSeenNanos.load(std::memory_order_relaxed))};
+    }
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<Key, StoredFlow, KeyHash> flows;
+  };
+
+  Shard& shardFor(const Key& key) {
+    return *shards_[KeyHash{}(key) % shards_.size()];
+  }
+  const Shard& shardFor(const Key& key) const {
+    return *shards_[KeyHash{}(key) % shards_.size()];
+  }
+
   SimTime idleTimeout_;
-  std::unordered_map<Key, MemorizedFlow, KeyHash> flows_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> size_{0};
 };
 
 }  // namespace edgesim::core

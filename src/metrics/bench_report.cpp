@@ -1,5 +1,6 @@
 #include "metrics/bench_report.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "util/strings.hpp"
@@ -204,6 +205,16 @@ CompareResult compareReports(const BenchReport& baseline,
       continue;
     }
     ++result.seriesCompared;
+
+    // NaN/inf poisons every comparison below into "no regression" (NaN
+    // compares false against everything), so a broken bench would sail
+    // through the gate.  Flag non-finite summary stats outright.
+    if (!std::isfinite(base.median) || !std::isfinite(base.p95) ||
+        !std::isfinite(cand->median) || !std::isfinite(cand->p95)) {
+      result.regressions.push_back(
+          {name, "non-finite", base.median, cand->median});
+      continue;
+    }
 
     const auto regressed = [&options](double b, double c,
                                       double tolerance) {

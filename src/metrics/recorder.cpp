@@ -5,31 +5,46 @@
 namespace edgesim::metrics {
 
 void Recorder::add(RequestRecord record) {
+  std::lock_guard lock(mutex_);
   if (record.success) {
     samples_[record.series].add(record.total.toSeconds());
   } else {
-    ++failures_;
+    failures_.fetch_add(1, std::memory_order_relaxed);
   }
   records_.push_back(std::move(record));
 }
 
 void Recorder::addSample(const std::string& series, double value) {
+  std::lock_guard lock(mutex_);
   samples_[series].add(value);
 }
 
 const Samples* Recorder::series(const std::string& name) const {
+  std::lock_guard lock(mutex_);
   const auto it = samples_.find(name);
   return it == samples_.end() ? nullptr : &it->second;
 }
 
+Samples& Recorder::mutableSeries(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return samples_[name];
+}
+
 std::vector<std::string> Recorder::seriesNames() const {
+  std::lock_guard lock(mutex_);
   std::vector<std::string> names;
   names.reserve(samples_.size());
   for (const auto& [name, s] : samples_) names.push_back(name);
   return names;
 }
 
+std::size_t Recorder::totalRecords() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
 Table Recorder::summaryTable(const std::string& valueHeader) const {
+  std::lock_guard lock(mutex_);
   Table table({"series", "n", "median " + valueHeader, "mean", "p95", "min",
                "max"});
   for (const auto& [name, s] : samples_) {

@@ -6,9 +6,20 @@
 // HTTP request".  `HttpTimings::timeTotal()` in net/host.hpp implements
 // exactly that; this module aggregates those samples per experiment series
 // and renders medians (the statistic used in Figs. 11-16).
+//
+// Thread model: add() / addSample() are safe to call from any thread (the
+// controller's worker pool records warm-path latencies concurrently) --
+// they serialize on one internal mutex, which is uncontended in
+// single-threaded runs and cheap next to the modeled RTTs in threaded
+// ones.  Accessors that hand out references into the recorder
+// (records(), series(), mutableSeries()) are for QUIESCENT use: call them
+// only after the recording threads have been joined, as every test and
+// bench driver does.
 #pragma once
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,23 +44,31 @@ class Recorder {
   void addSample(const std::string& series, double value);
 
   /// All samples of a series as doubles (seconds for durations).
+  /// The pointer stays valid for the recorder's lifetime (map nodes are
+  /// stable); read it only while no thread is recording to that series.
   const Samples* series(const std::string& name) const;
-  Samples& mutableSeries(const std::string& name) { return samples_[name]; }
+  /// Quiescent use only: the returned reference is mutated outside the
+  /// recorder's lock (bench drivers merging trace-derived samples).
+  Samples& mutableSeries(const std::string& name);
 
   std::vector<std::string> seriesNames() const;
-  std::size_t totalRecords() const { return records_.size(); }
+  std::size_t totalRecords() const;
+  /// Quiescent use only (see header comment).
   const std::vector<RequestRecord>& records() const { return records_; }
 
-  std::size_t failureCount() const { return failures_; }
+  std::size_t failureCount() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
 
   /// Render one row per series: count, median, mean, p95, min, max
   /// (durations in seconds).
   Table summaryTable(const std::string& valueHeader = "seconds") const;
 
  private:
+  mutable std::mutex mutex_;
   std::vector<RequestRecord> records_;
   std::map<std::string, Samples> samples_;  // ordered for stable output
-  std::size_t failures_ = 0;
+  std::atomic<std::size_t> failures_{0};
 };
 
 }  // namespace edgesim::metrics

@@ -25,7 +25,7 @@ EventHandle Simulation::scheduleAt(SimTime when, std::function<void()> fn) {
 }
 
 void Simulation::dispatch(Event event) {
-  now_ = event.when;
+  setNow(event.when);
   if (*event.alive) {
     *event.alive = false;
     ++processed_;
@@ -57,7 +57,42 @@ void Simulation::runUntil(SimTime until) {
     if (queue_.top().when > until) break;
     step();
   }
-  if (now_ < until) now_ = until;
+  if (now_ < until) setNow(until);
+}
+
+void Simulation::postExternal(std::function<void()> fn) {
+  ES_ASSERT(fn != nullptr);
+  {
+    std::lock_guard lock(inboxMutex_);
+    inbox_.push_back(std::move(fn));
+    inboxNonEmpty_.store(true, std::memory_order_release);
+  }
+  inboxCv_.notify_one();
+}
+
+std::size_t Simulation::drainExternal() {
+  if (!inboxNonEmpty_.load(std::memory_order_acquire)) return 0;
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard lock(inboxMutex_);
+    batch.swap(inbox_);
+    inboxNonEmpty_.store(false, std::memory_order_release);
+  }
+  // Admission at now(): posting order defines execution order, exactly as
+  // if each closure had been scheduled with delay zero on arrival.
+  for (auto& fn : batch) scheduleAt(now_, std::move(fn));
+  return batch.size();
+}
+
+std::size_t Simulation::pump(SimTime slice) {
+  const std::size_t admitted = drainExternal();
+  runUntil(now_ + slice);
+  return admitted;
+}
+
+bool Simulation::waitForExternal(std::chrono::microseconds timeout) {
+  std::unique_lock lock(inboxMutex_);
+  return inboxCv_.wait_for(lock, timeout, [this] { return !inbox_.empty(); });
 }
 
 std::string Simulation::timePrefix() const {

@@ -6,11 +6,23 @@
 // so component registration order -- not heap internals -- defines the
 // semantics.  Parallelism belongs one level up: run many Simulations on a
 // ThreadPool, one per experiment repetition.
+//
+// Concurrent deployments (the controller's worker-pool hot path) interact
+// with the engine through ONE narrow, thread-safe seam: postExternal()
+// enqueues a closure from any thread into a mutex-guarded inbox; the
+// simulation thread alone moves inbox entries into the event queue
+// (drainExternal / serviceLoop) and executes them.  All other members stay
+// single-threaded, so deterministic runs pay nothing beyond one relaxed
+// atomic load per drain check.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <string>
 #include <vector>
@@ -50,12 +62,36 @@ class Simulation {
   Simulation& operator=(const Simulation&) = delete;
 
   SimTime now() const { return now_; }
+  /// Thread-safe approximation of now() for worker threads (stamping
+  /// trace/metrics events while the sim thread advances time).  Exact
+  /// whenever the simulation thread is quiescent.
+  SimTime approxNow() const {
+    return SimTime::nanos(nowNanos_.load(std::memory_order_relaxed));
+  }
   Rng& rng() { return rng_; }
 
   /// Schedule `fn` to run `delay` after now (delay >= 0).
   EventHandle schedule(SimTime delay, std::function<void()> fn);
   /// Schedule `fn` at an absolute time (>= now).
   EventHandle scheduleAt(SimTime when, std::function<void()> fn);
+
+  // ---- cross-thread injection (concurrent controller front-end) -----------
+  /// Enqueue `fn` from ANY thread; it runs on the simulation thread at the
+  /// current sim time once the inbox is drained.  The only thread-safe
+  /// entry point of the engine.
+  void postExternal(std::function<void()> fn);
+  /// Move externally posted closures into the event queue (at now()).
+  /// Simulation thread only.  Returns the number of closures admitted.
+  std::size_t drainExternal();
+  /// Concurrent-phase pump: admit external posts, then advance the clock by
+  /// at most `slice`, running everything that becomes due.  The caller
+  /// loops on this until its own completion condition holds (an unbounded
+  /// run would never return: periodic timers re-arm forever).  Returns the
+  /// number of inbox closures admitted.  Simulation thread only.
+  std::size_t pump(SimTime slice);
+  /// Block up to `timeout` for a postExternal() to arrive; false on
+  /// timeout.  Lets pump loops idle without spinning the clock forward.
+  bool waitForExternal(std::chrono::microseconds timeout);
 
   /// Run until the event queue drains or `stop()` is called.
   void run();
@@ -100,13 +136,25 @@ class Simulation {
 
   void dispatch(Event event);
 
+  void setNow(SimTime when) {
+    now_ = when;
+    nowNanos_.store(when.toNanos(), std::memory_order_relaxed);
+  }
+
   SimTime now_ = SimTime::zero();
+  std::atomic<std::int64_t> nowNanos_{0};  // mirror of now_ for approxNow()
   std::uint64_t nextSeq_ = 0;
   std::uint64_t processed_ = 0;
   std::size_t queueSize_ = 0;
   bool stopped_ = false;
   Rng rng_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+
+  // External inbox: the one mutex-guarded seam (see header comment).
+  std::mutex inboxMutex_;
+  std::condition_variable inboxCv_;
+  std::vector<std::function<void()>> inbox_;
+  std::atomic<bool> inboxNonEmpty_{false};
 };
 
 /// Periodic callback helper; fires every `period` until cancelled or the

@@ -1,10 +1,39 @@
 #include "trace/trace_recorder.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/strings.hpp"
 
 namespace edgesim::trace {
+
+namespace {
+
+// SpanId layout: high bits select the per-thread buffer, low 40 bits hold
+// the 1-based local index.  Buffer 0 therefore produces the dense 1-based
+// IDs of the pre-threading recorder.
+constexpr std::uint64_t kLocalBits = 40;
+constexpr std::uint64_t kLocalMask = (std::uint64_t{1} << kLocalBits) - 1;
+
+constexpr SpanId encodeSpanId(std::size_t buffer, std::size_t localIndex) {
+  return (static_cast<SpanId>(buffer) << kLocalBits) |
+         (static_cast<SpanId>(localIndex) + 1);
+}
+
+/// Each thread remembers which buffer it owns in each live recorder:
+/// (buffer index, buffer pointer).  Keyed by a globally unique recorder ID
+/// (never reused), so a recorder dying and another being allocated at the
+/// same address cannot alias.  The pointer is type-erased because Buffer
+/// is a private nested type.
+thread_local std::unordered_map<std::uint64_t, std::pair<std::size_t, void*>>
+    tlsBuffers;
+
+std::uint64_t nextRecorderId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 double RequestBreakdown::segmentSum() const {
   double sum = 0.0;
@@ -12,17 +41,49 @@ double RequestBreakdown::segmentSum() const {
   return sum;
 }
 
+TraceRecorder::TraceRecorder() : id_(nextRecorderId()) {
+  // The constructing thread (the simulation thread in every testbed) owns
+  // buffer 0: its spans keep the seed's dense IDs and recording order.
+  buffers_.push_back(std::make_unique<Buffer>());
+  tlsBuffers[id_] = {0, buffers_.back().get()};
+}
+
+std::pair<std::size_t, TraceRecorder::Buffer*> TraceRecorder::myBuffer() {
+  auto it = tlsBuffers.find(id_);
+  if (it == tlsBuffers.end()) {
+    std::lock_guard lock(buffersMutex_);
+    const std::size_t index = buffers_.size();
+    buffers_.push_back(std::make_unique<Buffer>());
+    it = tlsBuffers
+             .emplace(id_, std::make_pair(
+                               index, static_cast<void*>(buffers_.back().get())))
+             .first;
+  }
+  return {it->second.first, static_cast<Buffer*>(it->second.second)};
+}
+
+std::vector<TraceRecorder::Buffer*> TraceRecorder::bufferList() const {
+  std::lock_guard lock(buffersMutex_);
+  std::vector<Buffer*> list;
+  list.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) list.push_back(buffer.get());
+  return list;
+}
+
 RequestId TraceRecorder::newRequest() {
-  if (!enabled_) return 0;
-  return ++nextRequest_;
+  if (!enabled()) return 0;
+  return nextRequest_.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 SpanId TraceRecorder::beginSpan(RequestId request, const std::string& name,
                                 const std::string& category, SimTime now,
                                 TraceArgs args, SpanId parent) {
-  if (!enabled_) return 0;
+  if (!enabled()) return 0;
+  const auto [bufferIndex, bufferPtr] = myBuffer();
+  Buffer& buffer = *bufferPtr;
+  std::lock_guard lock(buffer.mutex);
   TraceSpan span;
-  span.id = spans_.size() + 1;
+  span.id = encodeSpanId(bufferIndex, buffer.spans.size());
   span.parent = parent;
   span.request = request;
   span.name = name;
@@ -30,13 +91,25 @@ SpanId TraceRecorder::beginSpan(RequestId request, const std::string& name,
   span.start = now;
   span.end = now;
   span.args = std::move(args);
-  spans_.push_back(std::move(span));
-  return spans_.back().id;
+  buffer.spans.push_back(std::move(span));
+  spanCount_.fetch_add(1, std::memory_order_relaxed);
+  return buffer.spans.back().id;
 }
 
 void TraceRecorder::endSpan(SpanId span, SimTime now, TraceArgs extraArgs) {
-  if (!enabled_ || span == 0 || span > spans_.size()) return;
-  TraceSpan& s = spans_[span - 1];
+  if (!enabled() || span == 0) return;
+  const std::size_t bufferIndex = span >> kLocalBits;
+  const std::uint64_t local = span & kLocalMask;
+  if (local == 0) return;
+  Buffer* buffer = nullptr;
+  {
+    std::lock_guard lock(buffersMutex_);
+    if (bufferIndex >= buffers_.size()) return;
+    buffer = buffers_[bufferIndex].get();
+  }
+  std::lock_guard lock(buffer->mutex);
+  if (local > buffer->spans.size()) return;
+  TraceSpan& s = buffer->spans[local - 1];
   s.end = now;
   s.open = false;
   for (auto& arg : extraArgs) s.args.push_back(std::move(arg));
@@ -45,7 +118,7 @@ void TraceRecorder::endSpan(SpanId span, SimTime now, TraceArgs extraArgs) {
 SpanId TraceRecorder::completeSpan(RequestId request, const std::string& name,
                                    const std::string& category, SimTime start,
                                    SimTime end, TraceArgs args, SpanId parent) {
-  if (!enabled_) return 0;
+  if (!enabled()) return 0;
   const SpanId id = beginSpan(request, name, category, start, std::move(args),
                               parent);
   endSpan(id, end);
@@ -55,12 +128,15 @@ SpanId TraceRecorder::completeSpan(RequestId request, const std::string& name,
 void TraceRecorder::instant(RequestId request, const std::string& name,
                             const std::string& category, SimTime at,
                             TraceArgs args) {
-  if (!enabled_) return;
-  instants_.push_back({request, name, category, at, std::move(args)});
+  if (!enabled()) return;
+  Buffer& buffer = *myBuffer().second;
+  std::lock_guard lock(buffer.mutex);
+  buffer.instants.push_back({request, name, category, at, std::move(args)});
 }
 
 void TraceRecorder::bindFlow(Ipv4 client, Endpoint service, RequestId request) {
-  if (!enabled_) return;
+  if (!enabled()) return;
+  std::lock_guard lock(bindingsMutex_);
   flowBindings_[{client, service}] = request;
 }
 
@@ -68,13 +144,19 @@ RequestId TraceRecorder::clientRequestDone(Ipv4 client, Endpoint service,
                                            SimTime start, SimTime end,
                                            bool success,
                                            const std::string& series) {
-  if (!enabled_) return 0;
+  if (!enabled()) return 0;
   RequestId request = 0;
-  const auto it = flowBindings_.find({client, service});
-  if (it != flowBindings_.end()) {
-    request = it->second;
-    flowBindings_.erase(it);  // one client exchange per packet-in binding
-  } else {
+  bool bound = false;
+  {
+    std::lock_guard lock(bindingsMutex_);
+    const auto it = flowBindings_.find({client, service});
+    if (it != flowBindings_.end()) {
+      request = it->second;
+      bound = true;
+      flowBindings_.erase(it);  // one client exchange per packet-in binding
+    }
+  }
+  if (!bound) {
     // No controller interaction: the request rode already-installed switch
     // flows (warm path) -- it still gets its own timeline row.
     request = newRequest();
@@ -90,8 +172,61 @@ RequestId TraceRecorder::clientRequestDone(Ipv4 client, Endpoint service,
 }
 
 const TraceSpan* TraceRecorder::spanById(SpanId id) const {
-  if (id == 0 || id > spans_.size()) return nullptr;
-  return &spans_[id - 1];
+  if (id == 0) return nullptr;
+  const std::size_t bufferIndex = id >> kLocalBits;
+  const std::uint64_t local = id & kLocalMask;
+  if (local == 0) return nullptr;
+  Buffer* buffer = nullptr;
+  {
+    std::lock_guard lock(buffersMutex_);
+    if (bufferIndex >= buffers_.size()) return nullptr;
+    buffer = buffers_[bufferIndex].get();
+  }
+  std::lock_guard lock(buffer->mutex);
+  if (local > buffer->spans.size()) return nullptr;
+  return &buffer->spans[local - 1];  // deque storage: pointer stays valid
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  std::vector<TraceSpan> merged;
+  std::size_t populated = 0;
+  for (Buffer* buffer : bufferList()) {
+    std::lock_guard lock(buffer->mutex);
+    if (!buffer->spans.empty()) ++populated;
+    merged.insert(merged.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  if (populated <= 1) return merged;  // recording order == seed order
+  // Multi-threaded recording: canonical content sort so the export does
+  // not depend on thread interleaving.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     if (a.start != b.start) return a.start < b.start;
+                     if (a.request != b.request) return a.request < b.request;
+                     if (a.category != b.category) return a.category < b.category;
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.id < b.id;
+                   });
+  return merged;
+}
+
+std::vector<TraceInstant> TraceRecorder::instants() const {
+  std::vector<TraceInstant> merged;
+  std::size_t populated = 0;
+  for (Buffer* buffer : bufferList()) {
+    std::lock_guard lock(buffer->mutex);
+    if (!buffer->instants.empty()) ++populated;
+    merged.insert(merged.end(), buffer->instants.begin(),
+                  buffer->instants.end());
+  }
+  if (populated <= 1) return merged;
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceInstant& a, const TraceInstant& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.request != b.request) return a.request < b.request;
+                     if (a.category != b.category) return a.category < b.category;
+                     return a.name < b.name;
+                   });
+  return merged;
 }
 
 // ---- export -----------------------------------------------------------------
@@ -107,13 +242,16 @@ JsonValue argsObject(const TraceArgs& args) {
 }  // namespace
 
 JsonValue TraceRecorder::chromeTrace() const {
+  const std::vector<TraceSpan> allSpans = spans();
+  const std::vector<TraceInstant> allInstants = instants();
+
   // Close still-open spans at the maximum observed timestamp so the file
   // stays loadable even for aborted runs.
   SimTime maxTime = SimTime::zero();
-  for (const auto& span : spans_) {
+  for (const auto& span : allSpans) {
     maxTime = std::max(maxTime, std::max(span.start, span.end));
   }
-  for (const auto& i : instants_) maxTime = std::max(maxTime, i.at);
+  for (const auto& i : allInstants) maxTime = std::max(maxTime, i.at);
 
   JsonValue events = JsonValue::array();
 
@@ -127,8 +265,8 @@ JsonValue TraceRecorder::chromeTrace() const {
   events.push(std::move(processName));
 
   std::vector<RequestId> requests;
-  for (const auto& span : spans_) requests.push_back(span.request);
-  for (const auto& i : instants_) requests.push_back(i.request);
+  for (const auto& span : allSpans) requests.push_back(span.request);
+  for (const auto& i : allInstants) requests.push_back(i.request);
   std::sort(requests.begin(), requests.end());
   requests.erase(std::unique(requests.begin(), requests.end()),
                  requests.end());
@@ -147,7 +285,7 @@ JsonValue TraceRecorder::chromeTrace() const {
     events.push(std::move(threadName));
   }
 
-  for (const auto& span : spans_) {
+  for (const auto& span : allSpans) {
     const SimTime end = span.open ? maxTime : span.end;
     JsonValue event = JsonValue::object();
     event.set("name", span.name);
@@ -169,7 +307,7 @@ JsonValue TraceRecorder::chromeTrace() const {
     events.push(std::move(event));
   }
 
-  for (const auto& i : instants_) {
+  for (const auto& i : allInstants) {
     JsonValue event = JsonValue::object();
     event.set("name", i.name);
     event.set("cat", i.category);
@@ -193,17 +331,22 @@ std::string TraceRecorder::chromeTraceJson(int indent) const {
 }
 
 std::vector<RequestBreakdown> TraceRecorder::breakdowns() const {
+  const std::vector<TraceSpan> allSpans = spans();
+
   // Leaf spans (no children) are the phases; container spans ("deploy")
   // would double-count their nested Pull/Create/Scale-Up children.
-  std::vector<bool> hasChild(spans_.size() + 1, false);
-  for (const auto& span : spans_) {
-    if (span.parent != 0 && span.parent <= spans_.size()) {
-      hasChild[span.parent] = true;
-    }
+  // Span IDs are sparse (buffer-encoded), so track parents in a set.
+  std::vector<SpanId> parents;
+  for (const auto& span : allSpans) {
+    if (span.parent != 0) parents.push_back(span.parent);
   }
+  std::sort(parents.begin(), parents.end());
+  const auto hasChild = [&parents](SpanId id) {
+    return std::binary_search(parents.begin(), parents.end(), id);
+  };
 
   std::vector<RequestBreakdown> result;
-  for (const auto& root : spans_) {
+  for (const auto& root : allSpans) {
     if (root.name != "request" || root.category != "client" || root.open) {
       continue;
     }
@@ -212,7 +355,7 @@ std::vector<RequestBreakdown> TraceRecorder::breakdowns() const {
     breakdown.totalSeconds = root.duration().toSeconds();
 
     const TraceSpan* resolve = nullptr;
-    for (const auto& span : spans_) {
+    for (const auto& span : allSpans) {
       if (span.request == root.request && span.name == "resolve" &&
           !span.open) {
         resolve = &span;
@@ -232,12 +375,12 @@ std::vector<RequestBreakdown> TraceRecorder::breakdowns() const {
       breakdown.segments.emplace_back("warm", breakdown.totalSeconds);
     }
 
-    for (const auto& span : spans_) {
+    for (const auto& span : allSpans) {
       if (span.request != root.request || span.id == root.id || span.open) {
         continue;
       }
       if (resolve != nullptr && span.id == resolve->id) continue;
-      if (hasChild[span.id]) continue;
+      if (hasChild(span.id)) continue;
       breakdown.phases.emplace_back(span.name, span.duration().toSeconds());
     }
     result.push_back(std::move(breakdown));

@@ -10,10 +10,20 @@
 // flow installation, and joined with the client-side timecurl measurement
 // when the response lands.
 //
-// "Lock-free in sim": the simulation is single-threaded by design (see
-// sim/simulation.hpp), so recording is a plain vector append -- no mutex,
-// no atomics, no allocation beyond vector growth.  Parallel experiments run
-// one Simulation (and one TraceRecorder) per thread.
+// Thread model: recording goes to PER-THREAD buffers.  The first thread to
+// record (the recorder's creator, i.e. the simulation thread) owns buffer
+// 0; controller workers lazily acquire their own buffer on first use.
+// Request IDs come from one atomic counter, so IDs allocated on the warm
+// path (worker threads) never collide with cold-path IDs.  Buffers are
+// merged only at export:
+//   * one populated buffer (every single-threaded run) -> events export in
+//     recording order with the same span IDs as the pre-threading layout,
+//     so deterministic runs stay BIT-IDENTICAL to the seed;
+//   * several populated buffers -> a canonical content sort (start time,
+//     request, category, name, id) makes the export independent of thread
+//     interleaving, though not of the run's thread/buffer assignment.
+// Span IDs encode (buffer, local index) so endSpan() finds its span without
+// any global table; buffer 0 reproduces the seed's 1-based dense IDs.
 //
 // Exports:
 //   * Chrome trace_event JSON ("X"/"i"/"M" events, chrome://tracing and
@@ -24,8 +34,12 @@
 //   * per-phase Samples maps feeding the BENCH_<name>.json reports.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,7 +54,8 @@ namespace edgesim::trace {
 
 /// Monotonic per-recorder request identifier; 0 = unattributed.
 using RequestId = std::uint64_t;
-/// Span identifier (1-based index into the recorder's span list); 0 = none.
+/// Span identifier; 0 = none.  Encodes (buffer << 40) | (local index + 1);
+/// buffer 0 (single-threaded recording) yields dense 1-based IDs.
 using SpanId = std::uint64_t;
 
 using TraceArgs = std::vector<std::pair<std::string, std::string>>;
@@ -82,13 +97,18 @@ struct RequestBreakdown {
 
 class TraceRecorder {
  public:
-  TraceRecorder() = default;
+  TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
 
   /// Disabled recorders turn every call into a no-op (and allocate nothing).
-  void setEnabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  void setEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  // ---- recording ----------------------------------------------------------
+  // ---- recording (all thread-safe) ----------------------------------------
   RequestId newRequest();
 
   SpanId beginSpan(RequestId request, const std::string& name,
@@ -115,10 +135,16 @@ class TraceRecorder {
                               SimTime end, bool success,
                               const std::string& series);
 
-  // ---- access -------------------------------------------------------------
-  const std::vector<TraceSpan>& spans() const { return spans_; }
-  const std::vector<TraceInstant>& instants() const { return instants_; }
-  std::size_t spanCount() const { return spans_.size(); }
+  // ---- access --------------------------------------------------------------
+  /// Merged snapshot of all buffers (see header comment for ordering).
+  std::vector<TraceSpan> spans() const;
+  std::vector<TraceInstant> instants() const;
+  std::size_t spanCount() const {
+    return spanCount_.load(std::memory_order_relaxed);
+  }
+  /// Decode `id` into its per-thread buffer; pointer stays valid for the
+  /// recorder's lifetime (deque storage), but don't hold it across a
+  /// concurrent endSpan() of the same span.
   const TraceSpan* spanById(SpanId id) const;
 
   // ---- export -------------------------------------------------------------
@@ -139,10 +165,31 @@ class TraceRecorder {
   std::map<std::string, Samples> phaseSamples() const;
 
  private:
-  bool enabled_ = true;
-  RequestId nextRequest_ = 0;
-  std::vector<TraceSpan> spans_;
-  std::vector<TraceInstant> instants_;
+  /// One thread's recording area.  Only the owning thread appends;
+  /// endSpan() and export may come from other threads, so every access
+  /// goes through the buffer mutex (uncontended in the common case).
+  struct Buffer {
+    mutable std::mutex mutex;
+    std::deque<TraceSpan> spans;      // deque: spanById pointers stay stable
+    std::deque<TraceInstant> instants;
+  };
+
+  /// This thread's (buffer index, buffer) in this recorder, creating the
+  /// buffer on first use.  The pointer is cached thread-locally so the hot
+  /// path never reads the (mutable) registry vector.
+  std::pair<std::size_t, Buffer*> myBuffer();
+  /// Stable snapshot of the buffer registry (buffers are never removed).
+  std::vector<Buffer*> bufferList() const;
+
+  const std::uint64_t id_;  // globally unique; keys the thread-local lookup
+  std::atomic<bool> enabled_{true};
+  std::atomic<RequestId> nextRequest_{0};
+  std::atomic<std::size_t> spanCount_{0};
+
+  mutable std::mutex buffersMutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+
+  std::mutex bindingsMutex_;
   std::map<std::pair<Ipv4, Endpoint>, RequestId> flowBindings_;
 };
 

@@ -1,0 +1,75 @@
+// Lane-serialized worker pool: the execution substrate of the controller's
+// concurrent hot path.
+//
+// post(lane, fn) guarantees that closures sharing a lane key execute in
+// FIFO order and never concurrently, while closures on different lanes run
+// in parallel across the pool.  The controller keys request lanes by the
+// (client, service) FlowMemory shard hash, so per-flow handling stays
+// ordered without any global lock; deployment state keeps its own
+// serialization one level down (the Dispatcher's per-(service, cluster)
+// coalescing table, which only ever runs on the simulation thread).
+//
+// Implementation: one FIFO deque + mutex + condition variable per worker,
+// lanes mapped to workers by `lane % workers`.  Per-worker FIFO trivially
+// implies per-lane FIFO and mutual exclusion; no work stealing, because
+// stealing would break the ordering guarantee the controller relies on.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace edgesim {
+
+class LaneExecutor {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit LaneExecutor(std::size_t workers);
+  /// Joins after completing every queued task.
+  ~LaneExecutor();
+
+  LaneExecutor(const LaneExecutor&) = delete;
+  LaneExecutor& operator=(const LaneExecutor&) = delete;
+
+  /// Enqueue `fn` on `lane`.  Thread-safe; never blocks on task execution.
+  void post(std::uint64_t lane, std::function<void()> fn);
+
+  /// Block until every task posted so far (and everything those tasks
+  /// post transitively) has finished.
+  void drain();
+
+  std::size_t workerCount() const { return workers_.size(); }
+  std::uint64_t tasksExecuted() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  /// Tasks posted but not yet finished (queued + currently running).
+  std::int64_t tasksInFlight() const {
+    return inFlight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    bool stop = false;
+    std::thread thread;
+  };
+
+  void workerLoop(Worker& worker);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> executed_{0};
+  // drain() bookkeeping: tasks admitted but not yet finished.
+  std::atomic<std::int64_t> inFlight_{0};
+  std::mutex drainMutex_;
+  std::condition_variable drainCv_;
+};
+
+}  // namespace edgesim

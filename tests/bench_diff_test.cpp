@@ -1,0 +1,206 @@
+// Edge cases of the bench_diff comparison layer (BenchReport +
+// compareReports): empty sample arrays, non-finite (NaN) summary stats,
+// and schema mismatches.  These are the paths a CI gate must not be
+// lenient about -- a comparator that shrugs at a NaN median or an
+// unknown schema silently stops gating anything.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "metrics/bench_report.hpp"
+#include "util/stats.hpp"
+
+namespace edgesim::metrics {
+namespace {
+
+Samples samplesOf(std::initializer_list<double> values) {
+  Samples samples;
+  for (const double v : values) samples.add(v);
+  return samples;
+}
+
+BenchReport reportWith(const std::string& series,
+                       std::initializer_list<double> values) {
+  BenchReport report("test-bench");
+  report.addSeries(series, samplesOf(values));
+  return report;
+}
+
+// ---- empty sample arrays ---------------------------------------------------
+
+TEST(BenchDiffEmptySeries, EmptySeriesProducesZeroedStats) {
+  BenchReport report("test-bench");
+  report.addSeries("empty", Samples());
+  const SeriesStats* stats = report.findSeries("empty");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count, 0u);
+  EXPECT_EQ(stats->median, 0.0);
+  EXPECT_EQ(stats->p95, 0.0);
+  EXPECT_TRUE(stats->samples.empty());
+}
+
+TEST(BenchDiffEmptySeries, EmptyVersusEmptyIsClean) {
+  BenchReport baseline("test-bench");
+  baseline.addSeries("phase", Samples());
+  BenchReport candidate("test-bench");
+  candidate.addSeries("phase", Samples());
+
+  const CompareResult result = compareReports(baseline, candidate);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.seriesCompared, 1u);
+  EXPECT_TRUE(result.regressions.empty());
+}
+
+TEST(BenchDiffEmptySeries, CandidateLosingItsSamplesIsACountRegression) {
+  const BenchReport baseline = reportWith("phase", {0.4, 0.5, 0.6});
+  BenchReport candidate("test-bench");
+  candidate.addSeries("phase", Samples());
+
+  const CompareResult result = compareReports(baseline, candidate);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.regressions.size(), 1u);
+  EXPECT_EQ(result.regressions[0].metric, "count");
+  EXPECT_EQ(result.regressions[0].baseline, 3.0);
+  EXPECT_EQ(result.regressions[0].candidate, 0.0);
+}
+
+TEST(BenchDiffEmptySeries, EmptySeriesSurvivesJsonRoundTrip) {
+  BenchReport report("test-bench");
+  report.addSeries("empty", Samples());
+  const auto parsed = BenchReport::fromJson(report.toJson());
+  ASSERT_TRUE(parsed.ok());
+  const SeriesStats* stats = parsed.value().findSeries("empty");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count, 0u);
+  EXPECT_TRUE(stats->samples.empty());
+}
+
+// ---- non-finite medians ----------------------------------------------------
+
+TEST(BenchDiffNonFinite, NanCandidateMedianIsARegressionNotAPass) {
+  // NaN compares false against everything, so without an explicit check a
+  // broken candidate ("median": NaN) passes every `>` gate.  It must be
+  // flagged, not waved through.
+  const BenchReport baseline = reportWith("phase", {0.5, 0.5, 0.5});
+  const BenchReport candidate =
+      reportWith("phase", {0.5, std::numeric_limits<double>::quiet_NaN(), 0.5});
+  ASSERT_TRUE(std::isnan(candidate.findSeries("phase")->median) ||
+              std::isnan(candidate.findSeries("phase")->p95))
+      << "test setup: NaN sample must poison a summary stat";
+
+  const CompareResult result = compareReports(baseline, candidate);
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.regressions.empty());
+  EXPECT_EQ(result.regressions[0].metric, "non-finite");
+}
+
+TEST(BenchDiffNonFinite, NanBaselineIsFlaggedToo) {
+  // A poisoned BASELINE would otherwise make every future candidate pass.
+  const BenchReport baseline =
+      reportWith("phase", {std::numeric_limits<double>::quiet_NaN()});
+  const BenchReport candidate = reportWith("phase", {0.5});
+
+  const CompareResult result = compareReports(baseline, candidate);
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.regressions.empty());
+  EXPECT_EQ(result.regressions[0].metric, "non-finite");
+}
+
+TEST(BenchDiffNonFinite, InfinityIsFlagged) {
+  const BenchReport baseline = reportWith("phase", {0.5});
+  const BenchReport candidate =
+      reportWith("phase", {std::numeric_limits<double>::infinity()});
+
+  const CompareResult result = compareReports(baseline, candidate);
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.regressions.empty());
+  EXPECT_EQ(result.regressions[0].metric, "non-finite");
+}
+
+// ---- schema mismatches -----------------------------------------------------
+
+TEST(BenchDiffSchema, UnknownSchemaNameIsRejected) {
+  const auto json = JsonValue::parse(R"({
+    "schema": "someone-elses-bench",
+    "schema_version": 1,
+    "bench": "b",
+    "series": {}
+  })");
+  ASSERT_TRUE(json.ok());
+  const auto report = BenchReport::fromJson(json.value());
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message.find("schema"), std::string::npos);
+}
+
+TEST(BenchDiffSchema, NewerSchemaVersionIsRejected) {
+  const auto json = JsonValue::parse(R"({
+    "schema": "edgesim-bench",
+    "schema_version": 99,
+    "bench": "b",
+    "series": {}
+  })");
+  ASSERT_TRUE(json.ok());
+  const auto report = BenchReport::fromJson(json.value());
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.error().message.find("schema_version"), std::string::npos);
+}
+
+TEST(BenchDiffSchema, MissingSchemaVersionIsRejected) {
+  const auto json = JsonValue::parse(R"({
+    "schema": "edgesim-bench",
+    "bench": "b",
+    "series": {}
+  })");
+  ASSERT_TRUE(json.ok());
+  EXPECT_FALSE(BenchReport::fromJson(json.value()).ok());
+}
+
+TEST(BenchDiffSchema, MissingSeriesObjectIsRejected) {
+  const auto json = JsonValue::parse(R"({
+    "schema": "edgesim-bench",
+    "schema_version": 1,
+    "bench": "b"
+  })");
+  ASSERT_TRUE(json.ok());
+  EXPECT_FALSE(BenchReport::fromJson(json.value()).ok());
+}
+
+// ---- missing series / sanity ----------------------------------------------
+
+TEST(BenchDiff, BaselineSeriesAbsentFromCandidateIsReported) {
+  const BenchReport baseline = reportWith("gone", {1.0});
+  const BenchReport candidate = reportWith("other", {1.0});
+
+  const CompareResult result = compareReports(baseline, candidate);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.missingSeries.size(), 1u);
+  EXPECT_EQ(result.missingSeries[0], "gone");
+}
+
+TEST(BenchDiff, MedianOnlyModeIgnoresTailRegressions) {
+  // Same median, much fatter tail: gated by default, waved through when
+  // comparePercentile is off (the bench_diff --median-only mode used for
+  // wall-clock benches whose p95 is scheduling noise).
+  const BenchReport baseline = reportWith("phase", {1.0, 1.0, 1.0, 1.0, 1.0});
+  const BenchReport candidate = reportWith("phase", {1.0, 1.0, 1.0, 1.0, 9.0});
+
+  CompareOptions options;
+  EXPECT_FALSE(compareReports(baseline, candidate, options).ok());
+  options.comparePercentile = false;
+  EXPECT_TRUE(compareReports(baseline, candidate, options).ok());
+}
+
+TEST(BenchDiff, SlowdownBeyondToleranceRegresses) {
+  const BenchReport baseline = reportWith("phase", {1.0});
+  const BenchReport candidate = reportWith("phase", {1.5});
+
+  const CompareResult result = compareReports(baseline, candidate);
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.regressions.empty());
+  EXPECT_EQ(result.regressions[0].metric, "median");
+}
+
+}  // namespace
+}  // namespace edgesim::metrics

@@ -105,9 +105,10 @@ TEST(ControllerTest, RedirectInstallsForwardAndReverseFlows) {
   EXPECT_TRUE(sawForward);
   EXPECT_TRUE(sawReverse);
   // FlowMemory mirrors the installed flow.
-  EXPECT_NE(bed.controller().flowMemory().lookup(bed.client(0).ip(),
-                                                 kNginxAddr),
-            nullptr);
+  EXPECT_TRUE(bed.controller()
+                  .flowMemory()
+                  .lookup(bed.client(0).ip(), kNginxAddr)
+                  .has_value());
 }
 
 TEST(ControllerTest, DuplicateSynsProduceOneResolution) {

@@ -267,8 +267,8 @@ TEST(FlowMemoryTest, UpsertLookupTouchExpire) {
   const Endpoint instance(Ipv4(10, 0, 1, 1), 30000);
   memory.upsert(client, kSvc, instance, "docker-egs", SimTime::zero());
 
-  const auto* flow = memory.lookup(client, kSvc);
-  ASSERT_NE(flow, nullptr);
+  const auto flow = memory.lookup(client, kSvc);
+  ASSERT_TRUE(flow.has_value());
   EXPECT_EQ(flow->instance, instance);
   EXPECT_EQ(flow->cluster, "docker-egs");
 
@@ -277,7 +277,7 @@ TEST(FlowMemoryTest, UpsertLookupTouchExpire) {
   const auto expired = memory.expire(18_s);  // idle 10 s
   ASSERT_EQ(expired.size(), 1u);
   EXPECT_EQ(expired[0].cluster, "docker-egs");
-  EXPECT_EQ(memory.lookup(client, kSvc), nullptr);
+  EXPECT_FALSE(memory.lookup(client, kSvc).has_value());
 }
 
 TEST(FlowMemoryTest, PerClientPerServiceKeys) {

@@ -268,9 +268,9 @@ TEST(Integration, MigrationHappensAsSoonAsBestInstanceRuns) {
                      [&](Result<HttpExchange> r) { second = std::move(r); });
   bed.sim().runUntil(20_s);
   ASSERT_TRUE(second.has_value() && second->ok());
-  const auto* flow =
+  const auto flow =
       bed.controller().flowMemory().lookup(bed.client(0).ip(), kNginxAddr);
-  ASSERT_NE(flow, nullptr);
+  ASSERT_TRUE(flow.has_value());
   EXPECT_EQ(flow->cluster, "docker-egs");
   EXPECT_EQ(flow->instance.ip, bed.egs().ip());
 }
@@ -455,9 +455,9 @@ TEST(Integration, InstanceRoundRobinSpreadsClientsAcrossReplicas) {
   EXPECT_EQ(done, 9);
   std::map<Endpoint, int> perInstance;
   for (std::size_t c = 1; c <= 9; ++c) {
-    const auto* flow =
+    const auto flow =
         bed.controller().flowMemory().lookup(bed.client(c).ip(), kNginxAddr);
-    ASSERT_NE(flow, nullptr);
+    ASSERT_TRUE(flow.has_value());
     ++perInstance[flow->instance];
   }
   ASSERT_EQ(perInstance.size(), 3u);

@@ -222,12 +222,12 @@ TEST(FlowMemoryModel, MatchesReferenceMapUnderRandomOps) {
         break;
       }
       default: {
-        const auto* flow = memory.lookup(client, service);
+        const auto flow = memory.lookup(client, service);
         const auto it = reference.find({client, service});
         if (it == reference.end()) {
-          EXPECT_EQ(flow, nullptr);
+          EXPECT_FALSE(flow.has_value());
         } else {
-          ASSERT_NE(flow, nullptr);
+          ASSERT_TRUE(flow.has_value());
           EXPECT_EQ(flow->instance, it->second.instance);
           EXPECT_EQ(flow->cluster, it->second.cluster);
           EXPECT_EQ(flow->lastSeen, it->second.lastSeen);

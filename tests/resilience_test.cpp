@@ -215,7 +215,7 @@ TEST_F(ResilienceFixture, ExhaustedRetriesFallBackToCloud) {
   EXPECT_EQ(fallbackSeries->count(), 1u);
   ASSERT_NE(recorder_.series("nginx/near/fallback"), nullptr);
   // Degraded redirects are not memorized: the next request re-tries the edge.
-  EXPECT_EQ(memory_.lookup(client, kSvc), nullptr);
+  EXPECT_FALSE(memory_.lookup(client, kSvc).has_value());
 }
 
 TEST_F(ResilienceFixture, CoalescedWaitersAllReceiveFallback) {

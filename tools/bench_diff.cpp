@@ -2,11 +2,15 @@
 // regression.  The CI Release job runs this against results/baselines/.
 //
 //   $ bench_diff baseline.json candidate.json [--tolerance 0.10]
+//                [--median-only]
+//
+// --median-only skips the p95 gate: wall-clock benches (as opposed to
+// sim-time ones) have noisy tails, and gating their p95 makes CI flaky.
 //
 // Exit status: 0 when the candidate is within tolerance of the baseline,
 // 1 when any series regressed (median beyond tolerance, p95 beyond twice
-// the tolerance, sample-count mismatch, or a baseline series is missing),
-// 2 on usage or I/O errors.
+// the tolerance unless --median-only, sample-count mismatch, or a baseline
+// series is missing), 2 on usage or I/O errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,8 +26,9 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <baseline.json> <candidate.json> "
-               "[--tolerance <fraction>]\n"
-               "       (e.g. --tolerance 0.10 allows a 10%% slowdown)\n",
+               "[--tolerance <fraction>] [--median-only]\n"
+               "       (e.g. --tolerance 0.10 allows a 10%% slowdown;\n"
+               "        --median-only skips the noisy p95 gate)\n",
                argv0);
   return 2;
 }
@@ -42,6 +47,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench_diff: invalid tolerance '%s'\n", argv[i]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--median-only") == 0) {
+      options.comparePercentile = false;
     } else if (baselinePath.empty()) {
       baselinePath = argv[i];
     } else if (candidatePath.empty()) {
