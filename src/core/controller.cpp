@@ -66,15 +66,28 @@ EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
                                std::vector<ClusterAdapter*> adapters,
                                const AppProfileRegistry& profiles,
                                metrics::Recorder* recorder,
-                               trace::TraceRecorder* trace)
+                               trace::TraceRecorder* trace,
+                               telemetry::MetricsRegistry* telemetry)
     : sim_(sim),
       options_(options),
       profiles_(profiles),
       recorder_(recorder),
       trace_(trace),
+      telemetry_(telemetry),
       memory_(options.memoryIdleTimeout,
-              options.flowShards == 0 ? 1 : options.flowShards),
+              options.flowShards == 0 ? 1 : options.flowShards, telemetry),
       adapters_(std::move(adapters)) {
+  if (telemetry_ != nullptr) {
+    warmHist_ = &telemetry_->histogram("edgesim_resolve_seconds",
+                                       {{"path", "warm"}});
+    resolvedCtr_ = &telemetry_->counter("edgesim_requests_total",
+                                        {{"outcome", "resolved"}});
+    failedCtr_ = &telemetry_->counter("edgesim_requests_total",
+                                      {{"outcome", "failed"}});
+    degradedCtr_ = &telemetry_->counter("edgesim_requests_total",
+                                        {{"outcome", "degraded"}});
+    scaleDownsCtr_ = &telemetry_->counter("edgesim_scale_downs_total");
+  }
   auto scheduler =
       SchedulerRegistry::instance().create(options_.scheduler, Config());
   ES_ASSERT_MSG(scheduler.ok(), "unknown scheduler in controller options");
@@ -91,7 +104,7 @@ EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
   dispatcherOptions.quarantineCooldown = options_.quarantineCooldown;
   dispatcher_ = std::make_unique<Dispatcher>(
       sim_, memory_, *scheduler_, adapters_, recorder_, dispatcherOptions,
-      trace_);
+      trace_, telemetry_);
 
   // §IV-A2: once a BEST (background) deployment is running, future
   // requests must go there.  Forget memorized flows that point elsewhere;
@@ -113,6 +126,15 @@ EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
 
   if (options_.workers > 0) {
     pool_ = std::make_unique<LaneExecutor>(options_.workers);
+    if (telemetry_ != nullptr) {
+      auto* waitHist = &telemetry_->histogram("edgesim_lane_wait_seconds");
+      auto* depth = &telemetry_->gauge("edgesim_lane_queue_depth");
+      pool_->setTaskObserver(
+          [waitHist, depth](double waitSeconds, std::int64_t inFlight) {
+            waitHist->observe(waitSeconds);
+            depth->set(inFlight);
+          });
+    }
   }
 }
 
@@ -147,6 +169,13 @@ void EdgeController::handleSubmit(Ipv4 client, Endpoint serviceAddress,
     memory_.touch(client, serviceAddress, now);
     warmHits_.fetch_add(1, std::memory_order_relaxed);
     resolved_.fetch_add(1, std::memory_order_relaxed);
+    if (warmHist_ != nullptr) {
+      // Warm answers complete within the same sim instant; the series
+      // carries the count (and the registry's striped cells keep this
+      // worker-thread safe).
+      warmHist_->observe(0.0);
+      resolvedCtr_->add();
+    }
     if (trace_ != nullptr) {
       const trace::RequestId rid = trace_->newRequest();
       trace_->instant(rid, "warm-hit", "controller", now,
@@ -171,6 +200,7 @@ void EdgeController::resolveCold(Ipv4 client, Endpoint serviceAddress,
   const ServiceModel* service = serviceAt(serviceAddress);
   if (service == nullptr) {
     failed_.fetch_add(1, std::memory_order_relaxed);
+    if (failedCtr_ != nullptr) failedCtr_->add();
     cb(makeError(Errc::kNotFound,
                  "no service registered at " + serviceAddress.toString()));
     return;
@@ -185,11 +215,15 @@ void EdgeController::resolveCold(Ipv4 client, Endpoint serviceAddress,
     span = trace_->beginSpan(rid, "resolve", "controller", sim_.now(),
                              {{"service", service->uniqueName}});
   }
+  const SimTime startedAt = sim_.now();
+  const std::string tag = service->tag;
   dispatcher_->resolve(
       *service, client,
-      [this, span, cb = std::move(cb)](Result<Redirect> result) {
+      [this, span, rid, startedAt, serviceAddress, tag,
+       cb = std::move(cb)](Result<Redirect> result) {
         if (!result.ok()) {
           failed_.fetch_add(1, std::memory_order_relaxed);
+          if (failedCtr_ != nullptr) failedCtr_->add();
           if (trace_ != nullptr) {
             trace_->endSpan(span, sim_.now(),
                             {{"ok", "false"},
@@ -202,6 +236,9 @@ void EdgeController::resolveCold(Ipv4 client, Endpoint serviceAddress,
         if (result.value().degraded) {
           degraded_.fetch_add(1, std::memory_order_relaxed);
         }
+        recordResolveOutcome(serviceAddress, tag, startedAt,
+                             result.value().fromMemory,
+                             result.value().degraded, rid);
         if (trace_ != nullptr) {
           trace_->endSpan(span, sim_.now(),
                           {{"ok", "true"},
@@ -211,6 +248,31 @@ void EdgeController::resolveCold(Ipv4 client, Endpoint serviceAddress,
         cb(std::move(result));
       },
       rid);
+}
+
+telemetry::Histogram* EdgeController::coldHistogram(
+    Endpoint serviceAddress) const {
+  const auto it = coldHists_.find(serviceAddress);
+  return it == coldHists_.end() ? nullptr : it->second;
+}
+
+void EdgeController::recordResolveOutcome(Endpoint serviceAddress,
+                                          const std::string& tag,
+                                          SimTime startedAt, bool fromMemory,
+                                          bool degraded,
+                                          trace::RequestId rid) {
+  if (telemetry_ == nullptr) return;
+  const double seconds = (sim_.now() - startedAt).toSeconds();
+  if (fromMemory) {
+    warmHist_->observe(seconds);
+  } else if (auto* hist = coldHistogram(serviceAddress); hist != nullptr) {
+    hist->observe(seconds);
+  }
+  resolvedCtr_->add();
+  if (degraded) degradedCtr_->add();
+  if (!fromMemory && watchdog_ != nullptr) {
+    watchdog_->observeRequest(tag, seconds, rid);
+  }
 }
 
 Result<const ServiceModel*> EdgeController::registerService(
@@ -239,6 +301,11 @@ Result<const ServiceModel*> EdgeController::registerService(
   }
   const ServiceModel* result = owned.get();
   services_.emplace(serviceAddress, std::move(owned));
+  if (telemetry_ != nullptr) {
+    coldHists_[serviceAddress] = &telemetry_->histogram(
+        "edgesim_resolve_seconds",
+        {{"path", "cold"}, {"service", result->tag}});
+  }
   ES_INFO("controller", "registered service %s at %s (tag %s)",
           result->uniqueName.c_str(), serviceAddress.toString().c_str(),
           tag.c_str());
@@ -331,6 +398,7 @@ void EdgeController::handleRegisteredService(OpenFlowSwitch& sw,
     return;
   }
   pending.resolving = true;
+  pending.startedAt = sim_.now();
 
   // Allocate the per-request trace ID here, at packet-in: everything the
   // request triggers downstream (FlowMemory lookup, scheduler decision,
@@ -354,13 +422,16 @@ void EdgeController::handleRegisteredService(OpenFlowSwitch& sw,
       [this, key, &sw, &service](Result<Redirect> result) {
         trace::SpanId resolveSpan = 0;
         trace::RequestId rrid = 0;
+        SimTime startedAt = sim_.now();
         if (const auto it = pendingRequests_.find(key);
             it != pendingRequests_.end()) {
           resolveSpan = it->second.resolveSpan;
           rrid = it->second.rid;
+          startedAt = it->second.startedAt;
         }
         if (!result.ok()) {
           ++failed_;
+          if (failedCtr_ != nullptr) failedCtr_->add();
           ES_WARN("controller", "resolve failed for %s: %s",
                   service.uniqueName.c_str(),
                   result.error().toString().c_str());
@@ -380,6 +451,8 @@ void EdgeController::handleRegisteredService(OpenFlowSwitch& sw,
                   service.uniqueName.c_str(),
                   redirect.instance.toString().c_str());
         }
+        recordResolveOutcome(service.address, service.tag, startedAt,
+                             redirect.fromMemory, redirect.degraded, rrid);
         if (trace_ != nullptr) {
           trace_->endSpan(resolveSpan, sim_.now(),
                           {{"ok", "true"},
@@ -507,6 +580,7 @@ void EdgeController::finishExpiry() {
     const ServiceModel* service = serviceAt(flow.service);
     if (service == nullptr) continue;
     ++scaleDowns_;
+    if (scaleDownsCtr_ != nullptr) scaleDownsCtr_->add();
     ES_INFO("controller", "scaling down idle service %s on %s",
             service->uniqueName.c_str(), flow.cluster.c_str());
     adapter->scaleDown(*service, [](Status) {});

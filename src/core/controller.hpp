@@ -36,6 +36,7 @@
 #include "core/dispatcher.hpp"
 #include "core/service_catalog.hpp"
 #include "openflow/switch.hpp"
+#include "telemetry/slo_watchdog.hpp"
 #include "util/lane_executor.hpp"
 
 namespace edgesim::core {
@@ -103,11 +104,17 @@ struct SwitchTopology {
 
 class EdgeController : public openflow::ControllerApp {
  public:
+  /// `telemetry` (optional) instruments the whole request path: warm/cold
+  /// resolve latency histograms, request-outcome counters, per-shard
+  /// FlowMemory series, lane queue depth/wait, and per-cluster dispatcher
+  /// phase histograms.  Handles are resolved once up front; warm-path
+  /// increments are per-thread striped relaxed atomics.
   EdgeController(Simulation& sim, ControllerOptions options,
                  std::vector<ClusterAdapter*> adapters,
                  const AppProfileRegistry& profiles,
                  metrics::Recorder* recorder = nullptr,
-                 trace::TraceRecorder* trace = nullptr);
+                 trace::TraceRecorder* trace = nullptr,
+                 telemetry::MetricsRegistry* telemetry = nullptr);
   ~EdgeController() override;
 
   // ---- setup ------------------------------------------------------------
@@ -185,6 +192,13 @@ class EdgeController : public openflow::ControllerApp {
     return warmHits_.load(std::memory_order_relaxed);
   }
 
+  /// Attach an SLO watchdog; cold resolve completions are reported to it
+  /// (service tag, sim-time latency, trace request ID) so breaches can name
+  /// their worst offender.  Called from the sim thread before traffic.
+  void setSloWatchdog(telemetry::SloWatchdog* watchdog) {
+    watchdog_ = watchdog;
+  }
+
  private:
   struct PendingRequest {
     openflow::OpenFlowSwitch* sw = nullptr;
@@ -194,6 +208,9 @@ class EdgeController : public openflow::ControllerApp {
     /// open "resolve" span it is measured under.
     trace::RequestId rid = 0;
     trace::SpanId resolveSpan = 0;
+    /// First packet-in time; packet_in -> flow-install latency is observed
+    /// into the warm or cold histogram when the resolve completes.
+    SimTime startedAt;
   };
   struct PendingKey {
     Ipv4 client;
@@ -218,6 +235,14 @@ class EdgeController : public openflow::ControllerApp {
                     Dispatcher::ResolveCallback cb);
   void resolveCold(Ipv4 client, Endpoint serviceAddress,
                    Dispatcher::ResolveCallback cb);
+  /// Cold-path latency histogram for the service (per-service-tag series,
+  /// registered at registerService); nullptr when telemetry is off.
+  telemetry::Histogram* coldHistogram(Endpoint serviceAddress) const;
+  /// Observe a completed resolve: warm/cold latency histogram, outcome
+  /// counter, and (cold) the SLO watchdog's worst-request table.
+  void recordResolveOutcome(Endpoint serviceAddress, const std::string& tag,
+                            SimTime startedAt, bool fromMemory, bool degraded,
+                            trace::RequestId rid);
   void expireMemory();
   void finishExpiry();
   openflow::ActionList redirectActions(openflow::OpenFlowSwitch& sw,
@@ -229,6 +254,18 @@ class EdgeController : public openflow::ControllerApp {
   const AppProfileRegistry& profiles_;
   metrics::Recorder* recorder_;
   trace::TraceRecorder* trace_;
+  telemetry::MetricsRegistry* telemetry_;
+  telemetry::SloWatchdog* watchdog_ = nullptr;
+  // Telemetry handles, resolved once at construction (nullptr when
+  // telemetry is off).  The warm path touches only striped instruments.
+  telemetry::Histogram* warmHist_ = nullptr;
+  telemetry::Counter* resolvedCtr_ = nullptr;
+  telemetry::Counter* failedCtr_ = nullptr;
+  telemetry::Counter* degradedCtr_ = nullptr;
+  telemetry::Counter* scaleDownsCtr_ = nullptr;
+  /// Per-service cold-resolve histograms, filled at registerService (sim
+  /// thread; the cold path only runs there too).
+  std::unordered_map<Endpoint, telemetry::Histogram*> coldHists_;
   FlowMemory memory_;
   std::unique_ptr<GlobalScheduler> scheduler_;
   std::unique_ptr<Dispatcher> dispatcher_;

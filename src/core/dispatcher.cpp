@@ -20,7 +20,8 @@ Dispatcher::Dispatcher(Simulation& sim, FlowMemory& memory,
                        GlobalScheduler& scheduler,
                        std::vector<ClusterAdapter*> adapters,
                        metrics::Recorder* recorder, DispatcherOptions options,
-                       trace::TraceRecorder* trace)
+                       trace::TraceRecorder* trace,
+                       telemetry::MetricsRegistry* telemetry)
     : sim_(sim),
       controlThread_(std::this_thread::get_id()),
       memory_(memory),
@@ -31,6 +32,37 @@ Dispatcher::Dispatcher(Simulation& sim, FlowMemory& memory,
       options_(options),
       localScheduler_(makeLocalScheduler(options.instancePolicy)) {
   ES_ASSERT(!adapters_.empty());
+  if (telemetry != nullptr) {
+    for (const ClusterAdapter* adapter : adapters_) {
+      const std::string name = adapter->name();
+      ClusterTelemetry& handles = clusterTelemetry_[name];
+      for (const char* phase : {"pull", "create", "scaleup-cmd", "wait"}) {
+        handles.phases[phase] = &telemetry->histogram(
+            "edgesim_deploy_phase_seconds",
+            {{"cluster", name}, {"phase", phase}});
+      }
+      handles.deployments =
+          &telemetry->counter("edgesim_deploys_total", {{"cluster", name}});
+      handles.retries = &telemetry->counter("edgesim_deploy_retries_total",
+                                            {{"cluster", name}});
+      handles.fallbacks = &telemetry->counter("edgesim_deploy_fallbacks_total",
+                                              {{"cluster", name}});
+      handles.quarantines = &telemetry->counter(
+          "edgesim_deploy_quarantines_total", {{"cluster", name}});
+      handles.decisionsFast =
+          &telemetry->counter("edgesim_scheduler_decisions_total",
+                              {{"cluster", name}, {"role", "fast"}});
+      handles.decisionsBest =
+          &telemetry->counter("edgesim_scheduler_decisions_total",
+                              {{"cluster", name}, {"role", "best"}});
+    }
+  }
+}
+
+Dispatcher::ClusterTelemetry* Dispatcher::clusterTelemetry(
+    const std::string& cluster) {
+  const auto it = clusterTelemetry_.find(cluster);
+  return it == clusterTelemetry_.end() ? nullptr : &it->second;
 }
 
 ClusterAdapter* Dispatcher::adapterByName(const std::string& name) const {
@@ -50,6 +82,12 @@ ClusterAdapter* Dispatcher::cloudAdapter() const {
 void Dispatcher::recordPhase(const ServiceModel& service,
                              ClusterAdapter& cluster, const char* phase,
                              SimTime duration) {
+  if (ClusterTelemetry* handles = clusterTelemetry(cluster.name())) {
+    if (const auto it = handles->phases.find(phase);
+        it != handles->phases.end()) {
+      it->second->observe(duration.toSeconds());
+    }
+  }
   if (recorder_ == nullptr) return;
   recorder_->addSample(
       strprintf("%s/%s/%s", service.tag.c_str(), cluster.name().c_str(), phase),
@@ -110,6 +148,16 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
 
   // 3. FAST / BEST decision (quarantined clusters are filtered out).
   const GlobalDecision decision = scheduler_.schedule(request, sim_.now());
+  if (decision.fast.has_value()) {
+    if (ClusterTelemetry* handles = clusterTelemetry(*decision.fast)) {
+      handles->decisionsFast->add();
+    }
+  }
+  if (decision.best.has_value()) {
+    if (ClusterTelemetry* handles = clusterTelemetry(*decision.best)) {
+      handles->decisionsBest->add();
+    }
+  }
   if (trace_ != nullptr) {
     trace_->completeSpan(
         rid, "schedule", "scheduler", sim_.now(), sim_.now(),
@@ -194,6 +242,10 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
                     const auto cloudReady = cloud->readyInstances(service);
                     if (!cloudReady.empty()) {
                       ++fallbacks_;
+                      if (ClusterTelemetry* handles =
+                              clusterTelemetry(clusterName)) {
+                        handles->fallbacks->add();
+                      }
                       if (trace_ != nullptr) {
                         trace_->instant(
                             rid, "cloud-fallback", "deploy", sim_.now(),
@@ -274,6 +326,9 @@ void Dispatcher::ensureReady(const ServiceModel& service,
   });
   pending_.emplace(key, std::move(deploy));
   ++deployments_;
+  if (ClusterTelemetry* handles = clusterTelemetry(cluster.name())) {
+    handles->deployments->add();
+  }
   runPhases(service, cluster, key, /*epoch=*/0);
 }
 
@@ -308,6 +363,9 @@ void Dispatcher::onPhaseFailure(const ServiceModel& service,
   const SimTime delay = options_.retry.backoff(deploy.retriesUsed);
   ++deploy.retriesUsed;
   ++retries_;
+  if (ClusterTelemetry* handles = clusterTelemetry(cluster.name())) {
+    handles->retries->add();
+  }
   if (trace_ != nullptr) {
     trace_->instant(deploy.rid, "retry", "deploy", sim_.now(),
                     {{"attempt", strprintf("%d/%d", deploy.retriesUsed,
@@ -451,6 +509,9 @@ void Dispatcher::finishDeploy(const std::string& key,
     if (!isCloud && options_.quarantineCooldown > SimTime::zero()) {
       scheduler_.quarantine(cluster, sim_.now() + options_.quarantineCooldown);
       ++quarantines_;
+      if (ClusterTelemetry* handles = clusterTelemetry(cluster)) {
+        handles->quarantines->add();
+      }
       if (trace_ != nullptr) {
         trace_->instant(deployRid, "quarantine", "deploy", sim_.now(),
                         {{"cluster", cluster},

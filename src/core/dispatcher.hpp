@@ -30,6 +30,7 @@
 #include "core/flow_memory.hpp"
 #include "core/scheduler.hpp"
 #include "metrics/recorder.hpp"
+#include "telemetry/metrics_registry.hpp"
 #include "trace/trace_recorder.hpp"
 
 namespace edgesim::core {
@@ -84,11 +85,16 @@ class Dispatcher {
   using ResolveCallback = std::function<void(Result<Redirect>)>;
   using ReadyCallback = std::function<void(Result<Endpoint>)>;
 
+  /// `telemetry` (optional) registers per-cluster phase-duration histograms
+  /// plus deployment / retry / fallback / quarantine and scheduler-decision
+  /// counters; handles are resolved once here (deployment work is sim-thread
+  /// only, but the striped instruments stay safe to read at any time).
   Dispatcher(Simulation& sim, FlowMemory& memory, GlobalScheduler& scheduler,
              std::vector<ClusterAdapter*> adapters,
              metrics::Recorder* recorder = nullptr,
              DispatcherOptions options = {},
-             trace::TraceRecorder* trace = nullptr);
+             trace::TraceRecorder* trace = nullptr,
+             telemetry::MetricsRegistry* telemetry = nullptr);
 
   /// Resolve a client request to a service instance (fig. 7).  `rid` is the
   /// trace request ID allocated by the controller at packet-in (0 = not
@@ -162,6 +168,19 @@ class Dispatcher {
   void tracePhase(const std::string& key, const char* phase, SimTime start,
                   bool ok);
 
+  /// Per-cluster telemetry handles, resolved at construction (empty map
+  /// when telemetry is off).
+  struct ClusterTelemetry {
+    std::map<std::string, telemetry::Histogram*> phases;  // by phase name
+    telemetry::Counter* deployments = nullptr;
+    telemetry::Counter* retries = nullptr;
+    telemetry::Counter* fallbacks = nullptr;
+    telemetry::Counter* quarantines = nullptr;
+    telemetry::Counter* decisionsFast = nullptr;
+    telemetry::Counter* decisionsBest = nullptr;
+  };
+  ClusterTelemetry* clusterTelemetry(const std::string& cluster);
+
   Simulation& sim_;
   /// The control lane: all deployment state (pending_, adapters, the
   /// schedulers) is single-threaded by construction.  resolve() asserts it
@@ -174,6 +193,7 @@ class Dispatcher {
   std::vector<ClusterAdapter*> adapters_;
   metrics::Recorder* recorder_;
   trace::TraceRecorder* trace_;
+  std::map<std::string, ClusterTelemetry> clusterTelemetry_;
   DispatcherOptions options_;
   std::unique_ptr<LocalScheduler> localScheduler_;
   std::map<std::string, PendingDeploy> pending_;

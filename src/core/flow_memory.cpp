@@ -5,12 +5,30 @@
 
 namespace edgesim::core {
 
-FlowMemory::FlowMemory(SimTime idleTimeout, std::size_t shards)
+FlowMemory::FlowMemory(SimTime idleTimeout, std::size_t shards,
+                       telemetry::MetricsRegistry* telemetry)
     : idleTimeout_(idleTimeout) {
   if (shards == 0) shards = 1;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    if (telemetry != nullptr) {
+      const std::string index = std::to_string(i);
+      shard->hits = &telemetry->counter("edgesim_flow_memory_lookups_total",
+                                        {{"shard", index}, {"result", "hit"}});
+      shard->misses = &telemetry->counter(
+          "edgesim_flow_memory_lookups_total",
+          {{"shard", index}, {"result", "miss"}});
+      shard->expirations = &telemetry->counter(
+          "edgesim_flow_memory_evictions_total",
+          {{"shard", index}, {"reason", "expired"}});
+      shard->invalidations = &telemetry->counter(
+          "edgesim_flow_memory_evictions_total",
+          {{"shard", index}, {"reason", "invalidated"}});
+      shard->occupancy =
+          &telemetry->gauge("edgesim_flow_memory_flows", {{"shard", index}});
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -26,7 +44,10 @@ void FlowMemory::upsert(Ipv4 client, Endpoint service, Endpoint instance,
   stored.instance = instance;
   stored.cluster = cluster;
   stored.lastSeenNanos.store(now.toNanos(), std::memory_order_relaxed);
-  if (inserted) size_.fetch_add(1, std::memory_order_relaxed);
+  if (inserted) {
+    size_.fetch_add(1, std::memory_order_relaxed);
+    if (shard.occupancy != nullptr) shard.occupancy->add(1);
+  }
 }
 
 void FlowMemory::touch(Ipv4 client, Endpoint service, SimTime now) {
@@ -52,7 +73,11 @@ std::optional<MemorizedFlow> FlowMemory::lookup(Ipv4 client,
   const Shard& shard = shardFor(key);
   std::shared_lock lock(shard.mutex);
   const auto it = shard.flows.find(key);
-  if (it == shard.flows.end()) return std::nullopt;
+  if (it == shard.flows.end()) {
+    if (shard.misses != nullptr) shard.misses->add();
+    return std::nullopt;
+  }
+  if (shard.hits != nullptr) shard.hits->add();
   return it->second.snapshot();
 }
 
@@ -68,6 +93,8 @@ std::vector<MemorizedFlow> FlowMemory::expire(SimTime now) {
         expired.push_back(it->second.snapshot());
         it = shard.flows.erase(it);
         size_.fetch_sub(1, std::memory_order_relaxed);
+        if (shard.expirations != nullptr) shard.expirations->add();
+        if (shard.occupancy != nullptr) shard.occupancy->add(-1);
       } else {
         ++it;
       }
@@ -84,6 +111,8 @@ void FlowMemory::forgetInstance(Endpoint instance) {
       if (it->second.instance == instance) {
         it = shard.flows.erase(it);
         size_.fetch_sub(1, std::memory_order_relaxed);
+        if (shard.invalidations != nullptr) shard.invalidations->add();
+        if (shard.occupancy != nullptr) shard.occupancy->add(-1);
       } else {
         ++it;
       }
@@ -100,6 +129,8 @@ void FlowMemory::forgetServiceExcept(Endpoint service,
       if (it->second.service == service && it->second.cluster != keepCluster) {
         it = shard.flows.erase(it);
         size_.fetch_sub(1, std::memory_order_relaxed);
+        if (shard.invalidations != nullptr) shard.invalidations->add();
+        if (shard.occupancy != nullptr) shard.occupancy->add(-1);
       } else {
         ++it;
       }

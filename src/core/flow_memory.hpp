@@ -34,6 +34,7 @@
 
 #include "net/addr.hpp"
 #include "sim/time.hpp"
+#include "telemetry/metrics_registry.hpp"
 
 namespace edgesim::core {
 
@@ -54,7 +55,11 @@ class FlowMemory {
     bool operator==(const Key&) const = default;
   };
 
-  explicit FlowMemory(SimTime idleTimeout, std::size_t shards = 1);
+  /// `telemetry` (optional) registers per-shard occupancy / hit / miss /
+  /// eviction series; handles are resolved here once so the warm path only
+  /// pays striped relaxed increments.
+  explicit FlowMemory(SimTime idleTimeout, std::size_t shards = 1,
+                      telemetry::MetricsRegistry* telemetry = nullptr);
 
   /// Record or refresh a flow.  Takes the shard's exclusive lock.
   void upsert(Ipv4 client, Endpoint service, Endpoint instance,
@@ -124,6 +129,14 @@ class FlowMemory {
   struct Shard {
     mutable std::shared_mutex mutex;
     std::unordered_map<Key, StoredFlow, KeyHash> flows;
+    // Telemetry handles (null when telemetry is off).  The counters stripe
+    // internally, so the shared-lock warm path can bump them without
+    // serializing against other readers of this shard.
+    telemetry::Counter* hits = nullptr;
+    telemetry::Counter* misses = nullptr;
+    telemetry::Counter* expirations = nullptr;
+    telemetry::Counter* invalidations = nullptr;
+    telemetry::Gauge* occupancy = nullptr;
   };
 
   Shard& shardFor(const Key& key) {

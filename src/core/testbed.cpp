@@ -7,6 +7,24 @@ namespace edgesim::core {
 Testbed::Testbed(TestbedOptions options)
     : options_(options), sim_(options.seed) {
   trace_.setEnabled(options_.tracing);
+  recorder_.setCapacity(options_.recorderMaxRecords,
+                        options_.recorderMaxSamplesPerSeries);
+  trace_.setCapacity(options_.traceMaxEvents);
+  if (options_.telemetry) {
+    clientHist_ = &telemetry_.histogram("edgesim_client_request_seconds");
+    clientOk_ = &telemetry_.counter("edgesim_client_requests_total",
+                                    {{"outcome", "ok"}});
+    clientError_ = &telemetry_.counter("edgesim_client_requests_total",
+                                       {{"outcome", "error"}});
+    // Buffer-cap drops are polled at snapshot time rather than pushed on
+    // the recording paths.
+    telemetry_.gaugeFn("edgesim_recorder_dropped_events", {}, [this] {
+      return static_cast<double>(recorder_.droppedEvents());
+    });
+    telemetry_.gaugeFn("edgesim_trace_dropped_events", {}, [this] {
+      return static_cast<double>(trace_.droppedEvents());
+    });
+  }
   net_ = std::make_unique<Network>(sim_);
 
   // ---- hosts ---------------------------------------------------------------
@@ -118,11 +136,30 @@ Testbed::Testbed(TestbedOptions options)
   for (const auto& adapter : adapters_) adapterPtrs.push_back(adapter.get());
   controller_ = std::make_unique<EdgeController>(
       sim_, options_.controller, adapterPtrs, catalog_.profiles(), &recorder_,
-      &trace_);
+      &trace_, options_.telemetry ? &telemetry_ : nullptr);
   controller_->attachSwitch(*switch_, std::move(topo));
+
+  // ---- telemetry export ------------------------------------------------------
+  if (options_.snapshotPeriod > SimTime::zero()) {
+    telemetry::SnapshotWriterOptions writerOptions;
+    writerOptions.dir = options_.snapshotDir;
+    writerOptions.period = options_.snapshotPeriod;
+    snapshotWriter_ = std::make_unique<telemetry::SnapshotWriter>(
+        sim_, telemetry_, writerOptions);
+    snapshotWriter_->start();
+  }
 }
 
 Testbed::~Testbed() = default;
+
+telemetry::SloWatchdog& Testbed::watchdog() {
+  if (watchdog_ == nullptr) {
+    watchdog_ = std::make_unique<telemetry::SloWatchdog>(
+        sim_, telemetry_, options_.tracing ? &trace_ : nullptr);
+    controller_->setSloWatchdog(watchdog_.get());
+  }
+  return *watchdog_;
+}
 
 Result<const ServiceModel*> Testbed::registerCatalogService(
     const std::string& key, Endpoint address) {
@@ -162,6 +199,13 @@ void Testbed::request(std::size_t clientIndex, Endpoint address,
                        metrics::RequestRecord record;
                        record.series = series;
                        record.success = r.ok();
+                       if (clientHist_ != nullptr) {
+                         (r.ok() ? clientOk_ : clientError_)->add();
+                         if (r.ok()) {
+                           clientHist_->observe(
+                               r.value().timings.timeTotal().toSeconds());
+                         }
+                       }
                        if (r.ok()) {
                          record.start = r.value().timings.start;
                          record.total = r.value().timings.timeTotal();

@@ -20,6 +20,9 @@
 #include "core/serverless_adapter.hpp"
 #include "core/service_catalog.hpp"
 #include "metrics/recorder.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/slo_watchdog.hpp"
+#include "telemetry/snapshot_writer.hpp"
 #include "trace/trace_recorder.hpp"
 
 namespace edgesim::core {
@@ -40,6 +43,20 @@ struct TestbedOptions {
   /// Per-request tracing (src/trace).  Cheap (plain vector appends in the
   /// single-threaded sim); disable only for huge batch sweeps.
   bool tracing = true;
+  /// Hot-path telemetry (src/telemetry).  The registry itself is always
+  /// owned by the testbed; this flag controls whether the controller,
+  /// dispatcher, FlowMemory and client callbacks instrument into it.
+  bool telemetry = true;
+  /// Periodic snapshot export (sim-time interval); zero = no writer.  Each
+  /// tick dumps `snapshot_NNNNNN.json` + `.prom` under `snapshotDir`.
+  SimTime snapshotPeriod = SimTime::zero();
+  std::string snapshotDir = "telemetry-out";
+  /// Storage caps (0 = unbounded, the historical default): Recorder record
+  /// / per-series sample count, and total trace events (spans + instants).
+  /// Drops are counted and exported as edgesim_{recorder,trace}_dropped_events.
+  std::size_t recorderMaxRecords = 0;
+  std::size_t recorderMaxSamplesPerSeries = 0;
+  std::size_t traceMaxEvents = 0;
   /// Client <-> switch link (RPi, 1 Gbps).
   SimTime clientLatency = SimTime::micros(300);
   BitRate clientBandwidth = BitRate{1000u * 1000 * 1000};
@@ -70,6 +87,15 @@ class Testbed {
   ServiceCatalog& catalog() { return catalog_; }
   metrics::Recorder& recorder() { return recorder_; }
   trace::TraceRecorder& trace() { return trace_; }
+  /// Live metrics registry; always usable (series exist only when
+  /// options.telemetry was on or someone registered their own).
+  telemetry::MetricsRegistry& telemetry() { return telemetry_; }
+  /// Snapshot writer, or nullptr when options.snapshotPeriod was zero.
+  telemetry::SnapshotWriter* snapshotWriter() { return snapshotWriter_.get(); }
+  /// Lazily-created SLO watchdog, wired to the registry + trace recorder
+  /// and attached to the controller (cold resolves feed its worst-request
+  /// table).  Call addBudget()/start() on it before traffic.
+  telemetry::SloWatchdog& watchdog();
   openflow::OpenFlowSwitch& ovs() { return *switch_; }
   Host& client(std::size_t index) { return *clients_.at(index); }
   std::size_t clientCount() const { return clients_.size(); }
@@ -119,6 +145,13 @@ class Testbed {
   ServiceCatalog catalog_;
   metrics::Recorder recorder_;
   trace::TraceRecorder trace_;
+  telemetry::MetricsRegistry telemetry_;
+  std::unique_ptr<telemetry::SnapshotWriter> snapshotWriter_;
+  std::unique_ptr<telemetry::SloWatchdog> watchdog_;
+  // Client-side handles (nullptr when options.telemetry is off).
+  telemetry::Histogram* clientHist_ = nullptr;
+  telemetry::Counter* clientOk_ = nullptr;
+  telemetry::Counter* clientError_ = nullptr;
 
   std::vector<std::unique_ptr<Host>> clients_;
   std::unique_ptr<Host> egs_;

@@ -6,17 +6,41 @@ namespace edgesim::metrics {
 
 void Recorder::add(RequestRecord record) {
   std::lock_guard lock(mutex_);
+  bool droppedStorage = false;
   if (record.success) {
-    samples_[record.series].add(record.total.toSeconds());
+    Samples& samples = samples_[record.series];
+    if (maxSamplesPerSeries_ != 0 &&
+        samples.count() >= maxSamplesPerSeries_) {
+      droppedStorage = true;
+    } else {
+      samples.add(record.total.toSeconds());
+    }
   } else {
     failures_.fetch_add(1, std::memory_order_relaxed);
   }
-  records_.push_back(std::move(record));
+  if (maxRecords_ != 0 && records_.size() >= maxRecords_) {
+    droppedStorage = true;
+  } else {
+    records_.push_back(std::move(record));
+  }
+  if (droppedStorage) dropped_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Recorder::addSample(const std::string& series, double value) {
   std::lock_guard lock(mutex_);
-  samples_[series].add(value);
+  Samples& samples = samples_[series];
+  if (maxSamplesPerSeries_ != 0 && samples.count() >= maxSamplesPerSeries_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  samples.add(value);
+}
+
+void Recorder::setCapacity(std::size_t maxRecords,
+                           std::size_t maxSamplesPerSeries) {
+  std::lock_guard lock(mutex_);
+  maxRecords_ = maxRecords;
+  maxSamplesPerSeries_ = maxSamplesPerSeries;
 }
 
 const Samples* Recorder::series(const std::string& name) const {

@@ -60,6 +60,16 @@ class Recorder {
     return failures_.load(std::memory_order_relaxed);
   }
 
+  /// Bound storage: at most `maxRecords` stored request records and
+  /// `maxSamplesPerSeries` samples per series (0 = unbounded, the
+  /// historical default).  Events over a cap still count failures but
+  /// their storage is dropped and tallied in droppedEvents() -- surfaced
+  /// through the telemetry registry as `edgesim_recorder_dropped_events`.
+  void setCapacity(std::size_t maxRecords, std::size_t maxSamplesPerSeries);
+  std::size_t droppedEvents() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
   /// Render one row per series: count, median, mean, p95, min, max
   /// (durations in seconds).
   Table summaryTable(const std::string& valueHeader = "seconds") const;
@@ -69,6 +79,9 @@ class Recorder {
   std::vector<RequestRecord> records_;
   std::map<std::string, Samples> samples_;  // ordered for stable output
   std::atomic<std::size_t> failures_{0};
+  std::size_t maxRecords_ = 0;             // guarded by mutex_
+  std::size_t maxSamplesPerSeries_ = 0;    // guarded by mutex_
+  std::atomic<std::size_t> dropped_{0};
 };
 
 }  // namespace edgesim::metrics

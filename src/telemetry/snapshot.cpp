@@ -1,0 +1,652 @@
+#include "telemetry/snapshot.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace edgesim::telemetry {
+
+namespace {
+
+/// Shortest decimal that round-trips to `v` (same contract as the JSON
+/// writer, kept local to the Prometheus exposition).
+std::string formatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::string s = strprintf("%.*g", precision, v);
+    if (std::strtod(s.c_str(), nullptr) == v) return s;
+  }
+  return strprintf("%.17g", v);
+}
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string sanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+/// Prometheus label names: [a-zA-Z_][a-zA-Z0-9_]*.
+std::string sanitizeLabelName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok =
+        std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string escapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// `{a="x",b="y"}`, with `extra` appended last; "" for no labels.
+std::string formatLabels(const Labels& labels,
+                         const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  const auto append = [&](const std::string& k, const std::string& v) {
+    if (!first) out += ',';
+    first = false;
+    out += sanitizeLabelName(k);
+    out += "=\"";
+    out += escapeLabelValue(v);
+    out += '"';
+  };
+  for (const auto& [k, v] : labels) append(k, v);
+  if (extra != nullptr) append(extra->first, extra->second);
+  out += '}';
+  return out;
+}
+
+JsonValue labelsToJson(const Labels& labels) {
+  JsonValue obj = JsonValue::object();
+  for (const auto& [k, v] : labels) obj.set(k, JsonValue(v));
+  return obj;
+}
+
+Result<Labels> labelsFromJson(const JsonValue& value) {
+  Labels labels;
+  if (value.isNull()) return labels;
+  if (!value.isObject()) {
+    return makeError(Errc::kInvalidArgument, "labels: expected object");
+  }
+  for (const auto& [k, v] : value.members()) {
+    if (!v.isString()) {
+      return makeError(Errc::kInvalidArgument,
+                       "labels." + k + ": expected string");
+    }
+    labels.emplace_back(k, v.asString());
+  }
+  return labels;
+}
+
+}  // namespace
+
+// ---- SnapshotHistogram ------------------------------------------------------
+
+double SnapshotHistogram::quantile(double q) const {
+  if (count == 0 || buckets.empty()) return std::nan("");
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = std::max(1.0, q * static_cast<double>(count));
+  // Snapshots keep only non-empty buckets, so the previous stored bound is
+  // the effective lower edge of each bucket's span.
+  double lower = 0.0;
+  std::uint64_t before = 0;
+  for (const Bucket& bucket : buckets) {
+    if (static_cast<double>(bucket.cumulative) >= rank) {
+      const double inBucket = static_cast<double>(bucket.cumulative - before);
+      const double within = (rank - static_cast<double>(before)) / inBucket;
+      return lower + (bucket.upperBound - lower) * within;
+    }
+    lower = bucket.upperBound;
+    before = bucket.cumulative;
+  }
+  return buckets.back().upperBound;
+}
+
+// ---- TelemetrySnapshot lookups ----------------------------------------------
+
+const SnapshotCounter* TelemetrySnapshot::findCounter(
+    const std::string& name, const Labels& labels) const {
+  for (const SnapshotCounter& c : counters) {
+    if (c.name == name && c.labels == labels) return &c;
+  }
+  return nullptr;
+}
+
+const SnapshotGauge* TelemetrySnapshot::findGauge(const std::string& name,
+                                                  const Labels& labels) const {
+  for (const SnapshotGauge& g : gauges) {
+    if (g.name == name && g.labels == labels) return &g;
+  }
+  return nullptr;
+}
+
+const SnapshotHistogram* TelemetrySnapshot::findHistogram(
+    const std::string& name, const Labels& labels) const {
+  for (const SnapshotHistogram& h : histograms) {
+    if (h.name == name && h.labels == labels) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t TelemetrySnapshot::counterValue(const std::string& name,
+                                              const Labels& labels) const {
+  const SnapshotCounter* c = findCounter(name, labels);
+  return c != nullptr ? c->value : 0;
+}
+
+std::uint64_t TelemetrySnapshot::counterTotal(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const SnapshotCounter& c : counters) {
+    if (c.name == name) total += c.value;
+  }
+  return total;
+}
+
+std::uint64_t TelemetrySnapshot::histogramCountTotal(
+    const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const SnapshotHistogram& h : histograms) {
+    if (h.name == name) total += h.count;
+  }
+  return total;
+}
+
+// ---- JSON -------------------------------------------------------------------
+
+JsonValue TelemetrySnapshot::toJson() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", JsonValue("edgesim-telemetry"));
+  doc.set("schema_version", JsonValue(1));
+  doc.set("sequence", JsonValue(sequence));
+  doc.set("sim_time_s", JsonValue(simTimeSeconds));
+
+  JsonValue counterArray = JsonValue::array();
+  for (const SnapshotCounter& c : counters) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue(c.name));
+    if (!c.labels.empty()) entry.set("labels", labelsToJson(c.labels));
+    entry.set("value", JsonValue(c.value));
+    counterArray.push(std::move(entry));
+  }
+  doc.set("counters", std::move(counterArray));
+
+  JsonValue gaugeArray = JsonValue::array();
+  for (const SnapshotGauge& g : gauges) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue(g.name));
+    if (!g.labels.empty()) entry.set("labels", labelsToJson(g.labels));
+    entry.set("value", JsonValue(g.value));
+    gaugeArray.push(std::move(entry));
+  }
+  doc.set("gauges", std::move(gaugeArray));
+
+  JsonValue histArray = JsonValue::array();
+  for (const SnapshotHistogram& h : histograms) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue(h.name));
+    if (!h.labels.empty()) entry.set("labels", labelsToJson(h.labels));
+    entry.set("count", JsonValue(h.count));
+    entry.set("sum", JsonValue(h.sum));
+    JsonValue buckets = JsonValue::array();
+    for (const SnapshotHistogram::Bucket& b : h.buckets) {
+      JsonValue pair = JsonValue::array();
+      pair.push(JsonValue(b.upperBound));
+      pair.push(JsonValue(b.cumulative));
+      buckets.push(std::move(pair));
+    }
+    entry.set("buckets", std::move(buckets));
+    histArray.push(std::move(entry));
+  }
+  doc.set("histograms", std::move(histArray));
+  return doc;
+}
+
+Result<TelemetrySnapshot> TelemetrySnapshot::fromJson(const JsonValue& doc) {
+  if (!doc.isObject()) {
+    return makeError(Errc::kInvalidArgument, "snapshot: expected object");
+  }
+  if (doc.stringOr("schema", "") != "edgesim-telemetry") {
+    return makeError(Errc::kInvalidArgument,
+                     "snapshot: schema is not edgesim-telemetry");
+  }
+  if (doc.numberOr("schema_version", 0) != 1) {
+    return makeError(Errc::kInvalidArgument,
+                     "snapshot: unsupported schema_version");
+  }
+  TelemetrySnapshot snap;
+  snap.sequence = static_cast<std::uint64_t>(doc.numberOr("sequence", 0));
+  snap.simTimeSeconds = doc.numberOr("sim_time_s", 0.0);
+
+  const auto entryName = [](const JsonValue& entry) -> Result<std::string> {
+    const JsonValue* name = entry.find("name");
+    if (name == nullptr || !name->isString()) {
+      return makeError(Errc::kInvalidArgument, "snapshot entry without name");
+    }
+    return name->asString();
+  };
+
+  if (const JsonValue* counters = doc.find("counters")) {
+    for (const JsonValue& entry : counters->items()) {
+      Result<std::string> name = entryName(entry);
+      if (!name.ok()) return name.error();
+      Result<Labels> labels =
+          labelsFromJson(entry.find("labels") != nullptr ? *entry.find("labels")
+                                                         : JsonValue());
+      if (!labels.ok()) return labels.error();
+      snap.counters.push_back(
+          {name.value(), labels.value(),
+           static_cast<std::uint64_t>(entry.numberOr("value", 0))});
+    }
+  }
+  if (const JsonValue* gauges = doc.find("gauges")) {
+    for (const JsonValue& entry : gauges->items()) {
+      Result<std::string> name = entryName(entry);
+      if (!name.ok()) return name.error();
+      Result<Labels> labels =
+          labelsFromJson(entry.find("labels") != nullptr ? *entry.find("labels")
+                                                         : JsonValue());
+      if (!labels.ok()) return labels.error();
+      snap.gauges.push_back(
+          {name.value(), labels.value(), entry.numberOr("value", 0.0)});
+    }
+  }
+  if (const JsonValue* histograms = doc.find("histograms")) {
+    for (const JsonValue& entry : histograms->items()) {
+      Result<std::string> name = entryName(entry);
+      if (!name.ok()) return name.error();
+      Result<Labels> labels =
+          labelsFromJson(entry.find("labels") != nullptr ? *entry.find("labels")
+                                                         : JsonValue());
+      if (!labels.ok()) return labels.error();
+      SnapshotHistogram hist;
+      hist.name = name.value();
+      hist.labels = labels.value();
+      hist.count = static_cast<std::uint64_t>(entry.numberOr("count", 0));
+      hist.sum = entry.numberOr("sum", 0.0);
+      if (const JsonValue* buckets = entry.find("buckets")) {
+        for (const JsonValue& pair : buckets->items()) {
+          if (!pair.isArray() || pair.size() != 2 ||
+              !pair.at(0).isNumber() || !pair.at(1).isNumber()) {
+            return makeError(Errc::kInvalidArgument,
+                             hist.name + ": malformed bucket entry");
+          }
+          hist.buckets.push_back(
+              {pair.at(0).asNumber(),
+               static_cast<std::uint64_t>(pair.at(1).asNumber())});
+        }
+      }
+      snap.histograms.push_back(std::move(hist));
+    }
+  }
+  return snap;
+}
+
+// ---- Prometheus exposition --------------------------------------------------
+
+std::string TelemetrySnapshot::toPrometheus() const {
+  std::string out;
+  std::set<std::string> typed;
+  const auto declareType = [&](const std::string& name,
+                               const char* type) {
+    if (typed.insert(name).second) {
+      out += "# TYPE " + name + " " + type + "\n";
+    }
+  };
+
+  for (const SnapshotCounter& c : counters) {
+    const std::string name = sanitizeMetricName(c.name);
+    declareType(name, "counter");
+    out += name + formatLabels(c.labels, nullptr) + " " +
+           strprintf("%llu", static_cast<unsigned long long>(c.value)) + "\n";
+  }
+  for (const SnapshotGauge& g : gauges) {
+    const std::string name = sanitizeMetricName(g.name);
+    declareType(name, "gauge");
+    out += name + formatLabels(g.labels, nullptr) + " " +
+           formatDouble(g.value) + "\n";
+  }
+  for (const SnapshotHistogram& h : histograms) {
+    const std::string name = sanitizeMetricName(h.name);
+    declareType(name, "histogram");
+    for (const SnapshotHistogram::Bucket& b : h.buckets) {
+      const std::pair<std::string, std::string> le{"le",
+                                                   formatDouble(b.upperBound)};
+      out += name + "_bucket" + formatLabels(h.labels, &le) + " " +
+             strprintf("%llu",
+                       static_cast<unsigned long long>(b.cumulative)) +
+             "\n";
+    }
+    const std::pair<std::string, std::string> leInf{"le", "+Inf"};
+    out += name + "_bucket" + formatLabels(h.labels, &leInf) + " " +
+           strprintf("%llu", static_cast<unsigned long long>(h.count)) + "\n";
+    out += name + "_sum" + formatLabels(h.labels, nullptr) + " " +
+           formatDouble(h.sum) + "\n";
+    out += name + "_count" + formatLabels(h.labels, nullptr) + " " +
+           strprintf("%llu", static_cast<unsigned long long>(h.count)) + "\n";
+  }
+  return out;
+}
+
+// ---- Prometheus lint --------------------------------------------------------
+
+namespace {
+
+struct LintCursor {
+  const std::string& line;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= line.size(); }
+  char peek() const { return done() ? '\0' : line[pos]; }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+bool isMetricNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == ':';
+}
+bool isMetricNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == ':';
+}
+bool isLabelNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool isLabelNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string parseName(LintCursor& cur, bool (*start)(char),
+                      bool (*inner)(char)) {
+  if (cur.done() || !start(cur.peek())) return "";
+  std::string name;
+  while (!cur.done() && inner(cur.peek())) {
+    name += cur.line[cur.pos++];
+  }
+  return name;
+}
+
+bool parseValue(const std::string& token, double* out) {
+  if (token == "+Inf" || token == "Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "NaN") {
+    *out = std::nan("");
+    return true;
+  }
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+Error lintError(std::size_t lineNo, const std::string& message) {
+  return makeError(Errc::kInvalidArgument,
+                   strprintf("line %zu: %s", lineNo, message.c_str()));
+}
+
+}  // namespace
+
+Status lintPrometheus(const std::string& text) {
+  std::map<std::string, std::string> typeByFamily;
+  std::set<std::string> sampledFamilies;
+
+  struct HistogramSeries {
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    double count = 0.0;
+    bool hasCount = false;
+    bool hasSum = false;
+    std::size_t firstLine = 0;
+  };
+  std::map<std::string, HistogramSeries> histogramSeries;
+
+  std::size_t lineNo = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string line = text.substr(
+        start, nl == std::string::npos ? std::string::npos : nl - start);
+    start = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++lineNo;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // Comment: only "# TYPE <name> <type>" is semantically checked.
+      LintCursor cur{line, 1};
+      while (cur.consume(' ')) {}
+      if (line.compare(cur.pos, 5, "TYPE ") == 0) {
+        cur.pos += 5;
+        const std::string family =
+            parseName(cur, isMetricNameStart, isMetricNameChar);
+        if (family.empty()) {
+          return lintError(lineNo, "TYPE without a valid metric name");
+        }
+        if (!cur.consume(' ')) {
+          return lintError(lineNo, "TYPE " + family + ": missing type");
+        }
+        const std::string type = line.substr(cur.pos);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return lintError(lineNo, "unknown metric type '" + type + "'");
+        }
+        if (typeByFamily.contains(family)) {
+          return lintError(lineNo, "duplicate TYPE for " + family);
+        }
+        if (sampledFamilies.contains(family)) {
+          return lintError(lineNo,
+                           "TYPE for " + family + " after its samples");
+        }
+        typeByFamily[family] = type;
+      }
+      continue;
+    }
+
+    // Sample line: name [{labels}] value [timestamp]
+    LintCursor cur{line, 0};
+    const std::string name =
+        parseName(cur, isMetricNameStart, isMetricNameChar);
+    if (name.empty()) {
+      return lintError(lineNo, "invalid metric name");
+    }
+    Labels labels;
+    if (cur.consume('{')) {
+      while (!cur.consume('}')) {
+        const std::string label =
+            parseName(cur, isLabelNameStart, isLabelNameChar);
+        if (label.empty()) {
+          return lintError(lineNo, name + ": invalid label name");
+        }
+        if (!cur.consume('=') || !cur.consume('"')) {
+          return lintError(lineNo, name + ": expected =\"...\" after label");
+        }
+        std::string value;
+        while (!cur.done() && cur.peek() != '"') {
+          char c = cur.line[cur.pos++];
+          if (c == '\\') {
+            if (cur.done()) {
+              return lintError(lineNo, name + ": dangling escape");
+            }
+            const char esc = cur.line[cur.pos++];
+            if (esc == 'n') c = '\n';
+            else if (esc == '\\' || esc == '"') c = esc;
+            else return lintError(lineNo, name + ": bad escape sequence");
+          }
+          value += c;
+        }
+        if (!cur.consume('"')) {
+          return lintError(lineNo, name + ": unterminated label value");
+        }
+        labels.emplace_back(label, value);
+        if (cur.consume(',')) continue;
+        if (cur.peek() != '}') {
+          return lintError(lineNo, name + ": expected ',' or '}' in labels");
+        }
+      }
+    }
+    if (!cur.consume(' ')) {
+      return lintError(lineNo, name + ": expected space before value");
+    }
+    while (cur.consume(' ')) {}
+    std::string valueToken;
+    while (!cur.done() && cur.peek() != ' ') {
+      valueToken += cur.line[cur.pos++];
+    }
+    double value = 0.0;
+    if (!parseValue(valueToken, &value)) {
+      return lintError(lineNo, name + ": invalid value '" + valueToken + "'");
+    }
+    while (cur.consume(' ')) {}
+    if (!cur.done()) {
+      // Optional timestamp (integer milliseconds).
+      std::string ts = line.substr(cur.pos);
+      char* end = nullptr;
+      std::strtoll(ts.c_str(), &end, 10);
+      if (end != ts.c_str() + ts.size()) {
+        return lintError(lineNo, name + ": trailing garbage '" + ts + "'");
+      }
+    }
+
+    // Resolve the metric family: histogram components map back to the base
+    // name that carried the TYPE.
+    std::string family = name;
+    std::string component;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::size_t len = std::string(suffix).size();
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0) {
+        const std::string base = name.substr(0, name.size() - len);
+        const auto it = typeByFamily.find(base);
+        if (it != typeByFamily.end() && it->second == "histogram") {
+          family = base;
+          component = suffix;
+        }
+        break;
+      }
+    }
+    const auto typeIt = typeByFamily.find(family);
+    if (typeIt == typeByFamily.end()) {
+      return lintError(lineNo, name + ": sample before # TYPE declaration");
+    }
+    sampledFamilies.insert(family);
+
+    if (typeIt->second == "histogram") {
+      if (component.empty()) {
+        return lintError(lineNo,
+                         name + ": histogram sample must be "
+                                "_bucket/_sum/_count");
+      }
+      Labels seriesLabels;
+      std::string le;
+      bool hasLe = false;
+      for (const auto& [k, v] : labels) {
+        if (k == "le") {
+          le = v;
+          hasLe = true;
+        } else {
+          seriesLabels.emplace_back(k, v);
+        }
+      }
+      std::sort(seriesLabels.begin(), seriesLabels.end());
+      std::string seriesKey = family;
+      for (const auto& [k, v] : seriesLabels) {
+        seriesKey += '\x1f';
+        seriesKey += k;
+        seriesKey += '\x1e';
+        seriesKey += v;
+      }
+      HistogramSeries& series = histogramSeries[seriesKey];
+      if (series.firstLine == 0) series.firstLine = lineNo;
+      if (component == "_bucket") {
+        if (!hasLe) {
+          return lintError(lineNo, name + ": _bucket without le label");
+        }
+        double leValue = 0.0;
+        if (!parseValue(le, &leValue)) {
+          return lintError(lineNo, name + ": invalid le '" + le + "'");
+        }
+        series.buckets.emplace_back(leValue, value);
+      } else if (hasLe) {
+        return lintError(lineNo, name + ": le label outside _bucket");
+      } else if (component == "_count") {
+        series.hasCount = true;
+        series.count = value;
+      } else {
+        series.hasSum = true;
+      }
+    } else if (typeIt->second == "counter" && value < 0.0) {
+      return lintError(lineNo, name + ": negative counter value");
+    }
+  }
+
+  for (const auto& [key, series] : histogramSeries) {
+    const std::string family = key.substr(0, key.find('\x1f'));
+    const auto fail = [&](const std::string& message) {
+      return lintError(series.firstLine, family + ": " + message);
+    };
+    if (series.buckets.empty()) {
+      return fail("histogram series without _bucket samples");
+    }
+    for (std::size_t i = 1; i < series.buckets.size(); ++i) {
+      if (!(series.buckets[i].first > series.buckets[i - 1].first)) {
+        return fail("le bounds not strictly increasing");
+      }
+      if (series.buckets[i].second < series.buckets[i - 1].second) {
+        return fail("cumulative bucket counts decrease");
+      }
+    }
+    if (!std::isinf(series.buckets.back().first)) {
+      return fail("missing le=\"+Inf\" bucket");
+    }
+    if (!series.hasCount || !series.hasSum) {
+      return fail("missing _sum or _count sample");
+    }
+    if (series.count != series.buckets.back().second) {
+      return fail("_count does not equal the +Inf bucket");
+    }
+  }
+  return Status::okStatus();
+}
+
+}  // namespace edgesim::telemetry

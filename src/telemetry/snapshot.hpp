@@ -1,0 +1,98 @@
+// Point-in-time export of a telemetry::MetricsRegistry.
+//
+// A TelemetrySnapshot is plain data: the merged value of every counter,
+// gauge and histogram at one sim-time instant, in registry (name-sorted)
+// order so successive snapshots diff cleanly.  It serializes two ways:
+//   * the ordered util/json form ("edgesim-telemetry" schema, versioned
+//     like BENCH_<name>.json) -- consumed by tools/telemetry_top and by
+//     the reconciliation checks in bench_telemetry_fig16;
+//   * Prometheus text exposition format (# TYPE comments, cumulative
+//     `le` buckets, _sum/_count) so a live run can be scraped with
+//     standard tooling.
+// lintPrometheus() is the format self-check behind `telemetry_top --lint`:
+// it validates metric/label grammar, TYPE-before-samples ordering and
+// histogram bucket monotonicity, so CI catches exposition regressions
+// without a real Prometheus server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace edgesim::telemetry {
+
+/// Metric dimensions, e.g. {{"shard", "3"}, {"result", "hit"}}.  Order is
+/// preserved and significant for identity: the registry keys series on the
+/// exact (name, labels) pair.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+struct SnapshotCounter {
+  std::string name;
+  Labels labels;
+  std::uint64_t value = 0;
+};
+
+struct SnapshotGauge {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+
+struct SnapshotHistogram {
+  /// Cumulative bucket: `cumulative` observations were <= `upperBound`
+  /// seconds.  Only buckets whose cumulative count changed are stored; the
+  /// implicit +Inf bucket equals `count`.
+  struct Bucket {
+    double upperBound = 0.0;
+    std::uint64_t cumulative = 0;
+  };
+
+  std::string name;
+  Labels labels;
+  std::uint64_t count = 0;
+  double sum = 0.0;                  // seconds
+  std::vector<Bucket> buckets;       // increasing upperBound, finite only
+
+  /// Quantile estimate from the stored cumulative buckets (upper-bound
+  /// attribution, like Prometheus histogram_quantile).  NaN when empty.
+  double quantile(double q) const;
+};
+
+struct TelemetrySnapshot {
+  std::uint64_t sequence = 0;        // monotonic per registry
+  double simTimeSeconds = 0.0;
+  std::vector<SnapshotCounter> counters;
+  std::vector<SnapshotGauge> gauges;
+  std::vector<SnapshotHistogram> histograms;
+
+  const SnapshotCounter* findCounter(const std::string& name,
+                                     const Labels& labels = {}) const;
+  const SnapshotGauge* findGauge(const std::string& name,
+                                 const Labels& labels = {}) const;
+  const SnapshotHistogram* findHistogram(const std::string& name,
+                                         const Labels& labels = {}) const;
+  /// 0 when the series is absent.
+  std::uint64_t counterValue(const std::string& name,
+                             const Labels& labels = {}) const;
+  /// Sum over every counter series with this name, all label sets.
+  std::uint64_t counterTotal(const std::string& name) const;
+  /// Sum of `count` over every histogram series with this name.
+  std::uint64_t histogramCountTotal(const std::string& name) const;
+
+  JsonValue toJson() const;
+  std::string toPrometheus() const;
+  static Result<TelemetrySnapshot> fromJson(const JsonValue& doc);
+};
+
+/// Validate `text` as Prometheus text exposition format: metric/label name
+/// grammar, numeric sample values, `# TYPE` declared before the family's
+/// first sample, histogram `le` buckets strictly increasing with
+/// non-decreasing cumulative counts, +Inf bucket present and equal to
+/// _count.  Errors carry 1-based line numbers.
+Status lintPrometheus(const std::string& text);
+
+}  // namespace edgesim::telemetry

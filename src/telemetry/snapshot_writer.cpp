@@ -1,0 +1,72 @@
+#include "telemetry/snapshot_writer.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace edgesim::telemetry {
+
+namespace {
+
+Status writeFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return makeError(Errc::kUnavailable, "cannot open " + path);
+  }
+  out << contents;
+  out.flush();
+  if (!out) {
+    return makeError(Errc::kUnavailable, "short write to " + path);
+  }
+  return Status::okStatus();
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(Simulation& sim, MetricsRegistry& registry,
+                               SnapshotWriterOptions options)
+    : sim_(sim), registry_(registry), options_(std::move(options)) {}
+
+void SnapshotWriter::start() {
+  timer_.start(sim_, options_.period, [this] {
+    const Result<TelemetrySnapshot> result = writeNow();
+    if (!result.ok()) {
+      ES_WARN("telemetry", "snapshot dump stopped: %s",
+              result.error().toString().c_str());
+      return false;
+    }
+    return true;
+  });
+}
+
+void SnapshotWriter::stop() { timer_.cancel(); }
+
+Result<TelemetrySnapshot> SnapshotWriter::writeNow() {
+  TelemetrySnapshot snapshot = registry_.snapshot(sim_.now().toSeconds());
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec) {
+    return makeError(Errc::kUnavailable,
+                     "mkdir " + options_.dir + ": " + ec.message());
+  }
+  const std::string stem =
+      options_.dir + "/" +
+      strprintf("%s_%06llu", options_.prefix.c_str(),
+                static_cast<unsigned long long>(snapshot.sequence));
+  if (options_.writeJson) {
+    const Status status = writeFile(stem + ".json",
+                                    snapshot.toJson().dump(2) + "\n");
+    if (!status.ok()) return status.error();
+  }
+  if (options_.writePrometheus) {
+    const Status status = writeFile(stem + ".prom", snapshot.toPrometheus());
+    if (!status.ok()) return status.error();
+  }
+  ++written_;
+  return snapshot;
+}
+
+}  // namespace edgesim::telemetry

@@ -1,0 +1,59 @@
+// Periodic + on-demand TelemetrySnapshot file dumps.
+//
+// The writer snapshots the registry on a SIM-TIME cadence (a PeriodicTimer
+// tick, so a 40 s simulated run emits the same snapshot sequence no matter
+// how fast the host executes it) and writes numbered
+// `<prefix>_NNNNNN.json` / `.prom` pairs into one directory.
+// tools/telemetry_top tails the highest-numbered JSON file.  Disabled by
+// default everywhere: writing files from a sim event is a side effect, so
+// deterministic goldens never see it unless a run opts in.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "util/result.hpp"
+
+namespace edgesim::telemetry {
+
+struct SnapshotWriterOptions {
+  std::string dir = "telemetry-out";
+  /// Sim-time interval between periodic snapshots (start()).
+  SimTime period = SimTime::seconds(5.0);
+  std::string prefix = "snapshot";
+  bool writeJson = true;
+  bool writePrometheus = true;
+};
+
+class SnapshotWriter {
+ public:
+  SnapshotWriter(Simulation& sim, MetricsRegistry& registry,
+                 SnapshotWriterOptions options = {});
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Arm the periodic dump (first snapshot one period from now).  Write
+  /// failures are logged once and stop the timer rather than spamming.
+  void start();
+  void stop();
+
+  /// Snapshot and write immediately; returns the snapshot that was
+  /// written.  Sim thread only (reads sim.now()).
+  Result<TelemetrySnapshot> writeNow();
+
+  std::size_t written() const { return written_; }
+  const SnapshotWriterOptions& options() const { return options_; }
+
+ private:
+  Simulation& sim_;
+  MetricsRegistry& registry_;
+  SnapshotWriterOptions options_;
+  PeriodicTimer timer_;
+  std::size_t written_ = 0;
+};
+
+}  // namespace edgesim::telemetry

@@ -75,10 +75,21 @@ RequestId TraceRecorder::newRequest() {
   return nextRequest_.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+bool TraceRecorder::admitEvent() {
+  const std::size_t cap = maxEvents_.load(std::memory_order_relaxed);
+  if (cap != 0 && eventCount_.load(std::memory_order_relaxed) >= cap) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  eventCount_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 SpanId TraceRecorder::beginSpan(RequestId request, const std::string& name,
                                 const std::string& category, SimTime now,
                                 TraceArgs args, SpanId parent) {
   if (!enabled()) return 0;
+  if (!admitEvent()) return 0;
   const auto [bufferIndex, bufferPtr] = myBuffer();
   Buffer& buffer = *bufferPtr;
   std::lock_guard lock(buffer.mutex);
@@ -129,6 +140,7 @@ void TraceRecorder::instant(RequestId request, const std::string& name,
                             const std::string& category, SimTime at,
                             TraceArgs args) {
   if (!enabled()) return;
+  if (!admitEvent()) return;
   Buffer& buffer = *myBuffer().second;
   std::lock_guard lock(buffer.mutex);
   buffer.instants.push_back({request, name, category, at, std::move(args)});

@@ -108,6 +108,20 @@ class TraceRecorder {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Bound total stored events (spans + instants across all buffers); 0 =
+  /// unbounded, the historical default.  Over the cap, beginSpan returns 0
+  /// (endSpan(0) is already a no-op) and instants are discarded; drops are
+  /// tallied in droppedEvents() and surfaced through the telemetry registry
+  /// as `edgesim_trace_dropped_events`.  The count uses relaxed atomics, so
+  /// the cap is approximate under concurrency (off by at most the number of
+  /// recording threads).
+  void setCapacity(std::size_t maxEvents) {
+    maxEvents_.store(maxEvents, std::memory_order_relaxed);
+  }
+  std::size_t droppedEvents() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
   // ---- recording (all thread-safe) ----------------------------------------
   RequestId newRequest();
 
@@ -180,11 +194,16 @@ class TraceRecorder {
   std::pair<std::size_t, Buffer*> myBuffer();
   /// Stable snapshot of the buffer registry (buffers are never removed).
   std::vector<Buffer*> bufferList() const;
+  /// Reserve storage for one more event; false = cap reached, drop it.
+  bool admitEvent();
 
   const std::uint64_t id_;  // globally unique; keys the thread-local lookup
   std::atomic<bool> enabled_{true};
   std::atomic<RequestId> nextRequest_{0};
   std::atomic<std::size_t> spanCount_{0};
+  std::atomic<std::size_t> maxEvents_{0};
+  std::atomic<std::size_t> eventCount_{0};
+  std::atomic<std::size_t> dropped_{0};
 
   mutable std::mutex buffersMutex_;
   std::vector<std::unique_ptr<Buffer>> buffers_;

@@ -30,12 +30,21 @@ void LaneExecutor::post(std::uint64_t lane, std::function<void()> fn) {
   ES_ASSERT(fn != nullptr);
   Worker& worker = *workers_[lane % workers_.size()];
   inFlight_.fetch_add(1, std::memory_order_relaxed);
+  Task task{std::move(fn), {}};
+  if (observed_.load(std::memory_order_relaxed)) {
+    task.postedAt = std::chrono::steady_clock::now();
+  }
   {
     std::lock_guard lock(worker.mutex);
     ES_ASSERT_MSG(!worker.stop, "post() after shutdown");
-    worker.queue.push_back(std::move(fn));
+    worker.queue.push_back(std::move(task));
   }
   worker.cv.notify_one();
+}
+
+void LaneExecutor::setTaskObserver(TaskObserver observer) {
+  observer_ = std::move(observer);
+  observed_.store(observer_ != nullptr, std::memory_order_relaxed);
 }
 
 void LaneExecutor::drain() {
@@ -47,7 +56,7 @@ void LaneExecutor::drain() {
 
 void LaneExecutor::workerLoop(Worker& worker) {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(worker.mutex);
       worker.cv.wait(lock,
@@ -56,7 +65,14 @@ void LaneExecutor::workerLoop(Worker& worker) {
       task = std::move(worker.queue.front());
       worker.queue.pop_front();
     }
-    task();
+    if (observed_.load(std::memory_order_relaxed) && observer_ != nullptr &&
+        task.postedAt != std::chrono::steady_clock::time_point{}) {
+      observer_(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              task.postedAt)
+                    .count(),
+                inFlight_.load(std::memory_order_relaxed));
+    }
+    task.fn();
     executed_.fetch_add(1, std::memory_order_relaxed);
     if (inFlight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last outstanding task: wake drain() waiters.  Taking the mutex

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -40,6 +41,17 @@ class LaneExecutor {
   /// Enqueue `fn` on `lane`.  Thread-safe; never blocks on task execution.
   void post(std::uint64_t lane, std::function<void()> fn);
 
+  /// Telemetry hook, invoked on the worker thread as each task STARTS with
+  /// the task's queue wait (post -> dequeue, wall seconds) and the number
+  /// of tasks still in flight.  util stays below telemetry in the module
+  /// graph, so the hook is a plain callback; the controller wires it to
+  /// registry handles.  Set before any post() (not synchronized against
+  /// concurrent posting); tasks are only timestamped while an observer is
+  /// installed, so the unobserved hot path skips the clock read.
+  using TaskObserver = std::function<void(double waitSeconds,
+                                          std::int64_t inFlight)>;
+  void setTaskObserver(TaskObserver observer);
+
   /// Block until every task posted so far (and everything those tasks
   /// post transitively) has finished.
   void drain();
@@ -54,16 +66,22 @@ class LaneExecutor {
   }
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point postedAt;  // only set when observed
+  };
   struct Worker {
     std::mutex mutex;
     std::condition_variable cv;
-    std::deque<std::function<void()>> queue;
+    std::deque<Task> queue;
     bool stop = false;
     std::thread thread;
   };
 
   void workerLoop(Worker& worker);
 
+  TaskObserver observer_;
+  std::atomic<bool> observed_{false};
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<std::uint64_t> executed_{0};
   // drain() bookkeeping: tasks admitted but not yet finished.

@@ -384,6 +384,18 @@ TEST(ResilienceEndToEnd, TotalPullFaultOnEdgeDegradesRequestsToCloud) {
   EXPECT_GE(bed.controller().dispatcher().fallbacks(), 1u);
   EXPECT_GE(plan.triggerCount(), 2u);  // initial attempt + retry
   EXPECT_EQ(bed.controller().requestsFailed(), 0u);
+
+  // The injected fault must be visible in live telemetry: the retry, the
+  // cloud fallback and the quarantine all show up as nonzero counters, and
+  // the degraded request is counted by outcome.
+  const telemetry::TelemetrySnapshot snap =
+      bed.telemetry().snapshot(bed.sim().now().toSeconds());
+  EXPECT_GE(snap.counterTotal("edgesim_deploy_retries_total"), 1u);
+  EXPECT_GE(snap.counterTotal("edgesim_deploy_fallbacks_total"), 1u);
+  EXPECT_GE(snap.counterTotal("edgesim_deploy_quarantines_total"), 1u);
+  EXPECT_GE(snap.counterValue("edgesim_requests_total",
+                              {{"outcome", "degraded"}}),
+            1u);
 }
 
 }  // namespace

@@ -1,0 +1,480 @@
+// Telemetry subsystem tests: striped-registry merge correctness under
+// concurrent writers (run under `ctest -L concurrency`, which the CI TSan
+// job builds with -fsanitize=thread), histogram bucket boundaries,
+// Prometheus / JSON golden serialization, lintPrometheus accept/reject
+// cases, the SLO watchdog trigger/no-trigger paths and the bounded
+// Recorder / TraceRecorder buffers.
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/recorder.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/slo_watchdog.hpp"
+#include "telemetry/snapshot.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace edgesim::telemetry {
+namespace {
+
+using edgesim::trace::TraceRecorder;
+
+// ---- striped writes ---------------------------------------------------------
+
+TEST(CounterTest, MergesConcurrentStripedWriters) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, MergesConcurrentStripedWriters) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  Histogram hist;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    // Distinct per-thread values so the merge also has to sum distinct
+    // buckets, not just one hot cell.
+    const double value = 0.001 * (t + 1);
+    threads.emplace_back([&hist, value] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) hist.observe(value);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  // Sum of 10000 * (1+2+...+8) ms = 360 s, at nanosecond resolution.
+  EXPECT_NEAR(hist.sum(), 360.0, 1e-3);
+}
+
+TEST(MetricsRegistryTest, ConcurrentWritersAndSnapshotsMergeExactly) {
+  constexpr int kThreads = 6;
+  constexpr std::uint64_t kPerThread = 5000;
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Handles resolve once; the loop is pure striped writes.
+      Counter& mine =
+          registry.counter("worker_ops_total", {{"worker", std::to_string(t)}});
+      Counter& shared = registry.counter("ops_total");
+      Histogram& hist = registry.histogram("op_seconds");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        mine.add();
+        shared.add();
+        hist.observe(1e-6);
+      }
+    });
+  }
+  // Snapshots while writers run must be safe (values are approximations).
+  for (int i = 0; i < 50; ++i) {
+    const TelemetrySnapshot mid = registry.snapshot(0.0);
+    EXPECT_LE(mid.counterTotal("ops_total"), kThreads * kPerThread);
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Quiescent: the merge is exact.
+  const TelemetrySnapshot snap = registry.snapshot(1.0);
+  EXPECT_EQ(snap.counterValue("ops_total"), kThreads * kPerThread);
+  EXPECT_EQ(snap.counterTotal("worker_ops_total"), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.counterValue("worker_ops_total",
+                                {{"worker", std::to_string(t)}}),
+              kPerThread);
+  }
+  const SnapshotHistogram* hist = snap.findHistogram("op_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("c", {{"k", "v"}});
+  Counter& b = registry.counter("c", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  // Same name, different labels = different series.
+  EXPECT_NE(&a, &registry.counter("c", {{"k", "w"}}));
+  EXPECT_NE(&a, &registry.counter("c"));
+}
+
+TEST(MetricsRegistryTest, SnapshotSequenceIncreases) {
+  MetricsRegistry registry;
+  const TelemetrySnapshot first = registry.snapshot(0.0);
+  const TelemetrySnapshot second = registry.snapshot(0.5);
+  EXPECT_EQ(second.sequence, first.sequence + 1);
+  EXPECT_DOUBLE_EQ(second.simTimeSeconds, 0.5);
+}
+
+// ---- histogram buckets ------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesTileTheRange) {
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const double lower = Histogram::bucketLowerBound(i);
+    const double upper = Histogram::bucketUpperBound(i);
+    EXPECT_LT(lower, upper) << "bucket " << i;
+    if (i + 1 < Histogram::kBuckets) {
+      // Buckets tile: each upper bound is the next bucket's lower bound.
+      EXPECT_DOUBLE_EQ(upper, Histogram::bucketLowerBound(i + 1));
+    }
+    // The exact lower bound and an interior point both map back to i.
+    if (i > 0) {
+      EXPECT_EQ(Histogram::bucketIndex(lower), i);
+    }
+    EXPECT_EQ(Histogram::bucketIndex((lower + upper) / 2.0), i);
+  }
+}
+
+TEST(HistogramTest, BucketIndexClampsAndRejectsNonPositive) {
+  EXPECT_EQ(Histogram::bucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::bucketIndex(-1.0), 0);
+  EXPECT_EQ(Histogram::bucketIndex(std::nan("")), 0);
+  EXPECT_EQ(Histogram::bucketIndex(1e-300), 0);   // below 2^-31 s
+  EXPECT_EQ(Histogram::bucketIndex(1e9), Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, KnownValuesLandInExpectedBuckets) {
+  // 0.5 s = 2^-1 with zero mantissa: first sub-bucket of octave -1.
+  const int octaveOfHalf = (-1 - Histogram::kMinExp) * Histogram::kSubBuckets;
+  EXPECT_EQ(Histogram::bucketIndex(0.5), octaveOfHalf);
+  EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(octaveOfHalf), 0.625);
+  // 0.6 = 2^-1 * 1.2: sub-bucket floor((1.2 - 1) * 4) = 0, same as 0.5.
+  EXPECT_EQ(Histogram::bucketIndex(0.6), octaveOfHalf);
+  // 0.7 = 2^-1 * 1.4 -> sub-bucket 1.
+  EXPECT_EQ(Histogram::bucketIndex(0.7), octaveOfHalf + 1);
+  // 1.0 starts the octave 0 group.
+  EXPECT_EQ(Histogram::bucketIndex(1.0),
+            (0 - Histogram::kMinExp) * Histogram::kSubBuckets);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram hist;
+  for (int i = 0; i < 99; ++i) hist.observe(0.001);  // ~1 ms
+  hist.observe(1.0);                                 // one outlier
+  // p50 sits in the 1 ms bucket; p100 in the 1 s bucket.
+  const double p50 = hist.quantile(0.5);
+  EXPECT_GE(p50, Histogram::bucketLowerBound(Histogram::bucketIndex(0.001)));
+  EXPECT_LE(p50, Histogram::bucketUpperBound(Histogram::bucketIndex(0.001)));
+  const double p100 = hist.quantile(1.0);
+  EXPECT_GE(p100, 1.0);
+  EXPECT_LE(p100, Histogram::bucketUpperBound(Histogram::bucketIndex(1.0)));
+  Histogram empty;
+  EXPECT_TRUE(std::isnan(empty.quantile(0.5)));
+}
+
+// ---- serialization goldens --------------------------------------------------
+
+MetricsRegistry& goldenRegistry() {
+  static MetricsRegistry registry;
+  static bool once = [] {
+    registry.counter("requests_total", {{"outcome", "ok"}}).add(2);
+    registry.gauge("queue_depth").set(3);
+    registry.histogram("latency_seconds").observe(0.5);
+    return true;
+  }();
+  (void)once;
+  return registry;
+}
+
+TEST(SnapshotTest, PrometheusGolden) {
+  const TelemetrySnapshot snap = goldenRegistry().snapshot(1.5);
+  const std::string expected =
+      "# TYPE requests_total counter\n"
+      "requests_total{outcome=\"ok\"} 2\n"
+      "# TYPE queue_depth gauge\n"
+      "queue_depth 3\n"
+      "# TYPE latency_seconds histogram\n"
+      "latency_seconds_bucket{le=\"0.625\"} 1\n"
+      "latency_seconds_bucket{le=\"+Inf\"} 1\n"
+      "latency_seconds_sum 0.5\n"
+      "latency_seconds_count 1\n";
+  EXPECT_EQ(snap.toPrometheus(), expected);
+  EXPECT_TRUE(lintPrometheus(snap.toPrometheus()).ok());
+}
+
+TEST(SnapshotTest, JsonRoundTripsExactly) {
+  const TelemetrySnapshot snap = goldenRegistry().snapshot(2.5);
+  const std::string text = snap.toJson().dump(2);
+  const Result<JsonValue> doc = JsonValue::parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.error().toString();
+  const Result<TelemetrySnapshot> reread =
+      TelemetrySnapshot::fromJson(doc.value());
+  ASSERT_TRUE(reread.ok()) << reread.error().toString();
+  const TelemetrySnapshot& got = reread.value();
+
+  EXPECT_EQ(got.sequence, snap.sequence);
+  EXPECT_DOUBLE_EQ(got.simTimeSeconds, 2.5);
+  ASSERT_EQ(got.counters.size(), 1u);
+  EXPECT_EQ(got.counters[0].name, "requests_total");
+  EXPECT_EQ(got.counters[0].labels, Labels({{"outcome", "ok"}}));
+  EXPECT_EQ(got.counters[0].value, 2u);
+  ASSERT_EQ(got.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(got.gauges[0].value, 3.0);
+  ASSERT_EQ(got.histograms.size(), 1u);
+  EXPECT_EQ(got.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(got.histograms[0].sum, 0.5);
+  ASSERT_EQ(got.histograms[0].buckets.size(), 1u);
+  EXPECT_DOUBLE_EQ(got.histograms[0].buckets[0].upperBound, 0.625);
+  EXPECT_EQ(got.histograms[0].buckets[0].cumulative, 1u);
+}
+
+TEST(SnapshotTest, FromJsonRejectsWrongSchema) {
+  const auto doc = JsonValue::parse("{\"schema\": \"other\"}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(TelemetrySnapshot::fromJson(doc.value()).ok());
+}
+
+TEST(SnapshotTest, GaugeFnIsPolledAtSnapshotTime) {
+  MetricsRegistry registry;
+  double dropped = 7.0;
+  registry.gaugeFn("dropped_events", {}, [&dropped] { return dropped; });
+  EXPECT_DOUBLE_EQ(registry.snapshot(0.0).findGauge("dropped_events")->value,
+                   7.0);
+  dropped = 9.0;
+  EXPECT_DOUBLE_EQ(registry.snapshot(0.0).findGauge("dropped_events")->value,
+                   9.0);
+  // Re-registering replaces the callback.
+  registry.gaugeFn("dropped_events", {}, [] { return 1.0; });
+  EXPECT_DOUBLE_EQ(registry.snapshot(0.0).findGauge("dropped_events")->value,
+                   1.0);
+}
+
+// ---- Prometheus lint --------------------------------------------------------
+
+TEST(LintPrometheusTest, RejectsMalformedExpositions) {
+  // Sample before its TYPE declaration.
+  EXPECT_FALSE(lintPrometheus("a_total 1\n# TYPE a_total counter\n").ok());
+  // Invalid metric name.
+  EXPECT_FALSE(lintPrometheus("# TYPE 9bad counter\n").ok());
+  // Unknown type.
+  EXPECT_FALSE(lintPrometheus("# TYPE a_total widget\n").ok());
+  // Unterminated label value.
+  EXPECT_FALSE(
+      lintPrometheus("# TYPE a counter\na{k=\"v} 1\n").ok());
+  // Non-numeric sample value.
+  EXPECT_FALSE(lintPrometheus("# TYPE a counter\na banana\n").ok());
+  // Negative counter.
+  EXPECT_FALSE(lintPrometheus("# TYPE a counter\na -1\n").ok());
+  // Histogram: le bounds must strictly increase.
+  EXPECT_FALSE(lintPrometheus("# TYPE h histogram\n"
+                              "h_bucket{le=\"1\"} 1\n"
+                              "h_bucket{le=\"1\"} 2\n"
+                              "h_bucket{le=\"+Inf\"} 2\n"
+                              "h_sum 1\nh_count 2\n")
+                   .ok());
+  // Histogram: cumulative counts must not decrease.
+  EXPECT_FALSE(lintPrometheus("# TYPE h histogram\n"
+                              "h_bucket{le=\"1\"} 2\n"
+                              "h_bucket{le=\"2\"} 1\n"
+                              "h_bucket{le=\"+Inf\"} 2\n"
+                              "h_sum 1\nh_count 2\n")
+                   .ok());
+  // Histogram: +Inf bucket required.
+  EXPECT_FALSE(lintPrometheus("# TYPE h histogram\n"
+                              "h_bucket{le=\"1\"} 1\n"
+                              "h_sum 1\nh_count 1\n")
+                   .ok());
+  // Histogram: _count must equal the +Inf bucket.
+  EXPECT_FALSE(lintPrometheus("# TYPE h histogram\n"
+                              "h_bucket{le=\"+Inf\"} 2\n"
+                              "h_sum 1\nh_count 3\n")
+                   .ok());
+}
+
+TEST(LintPrometheusTest, AcceptsWellFormedExposition) {
+  EXPECT_TRUE(lintPrometheus("# TYPE a_total counter\n"
+                             "a_total{k=\"v\",q=\"x\\\"y\"} 1\n"
+                             "# TYPE g gauge\n"
+                             "g 2.5\n"
+                             "# TYPE h histogram\n"
+                             "h_bucket{le=\"0.5\"} 1\n"
+                             "h_bucket{le=\"+Inf\"} 3\n"
+                             "h_sum 1.25\n"
+                             "h_count 3\n")
+                  .ok());
+  EXPECT_TRUE(lintPrometheus("").ok());
+}
+
+// ---- SLO watchdog -----------------------------------------------------------
+
+TEST(SloWatchdogTest, LatencyBreachCapturesWorstRequestSpans) {
+  Simulation sim;
+  MetricsRegistry registry;
+  TraceRecorder trace;
+  SloWatchdog watchdog(sim, registry, &trace);
+
+  SloBudget budget;
+  budget.name = "resolve-p95";
+  budget.service = "nginx";
+  budget.histogram = "edgesim_resolve_seconds";
+  budget.labels = {{"path", "cold"}};
+  budget.quantile = 0.95;
+  budget.latencyBudgetSeconds = 0.1;
+  budget.minWindowSamples = 3;
+  watchdog.addBudget(budget);
+
+  Histogram& hist =
+      registry.histogram("edgesim_resolve_seconds", {{"path", "cold"}});
+  const trace::RequestId rid = trace.newRequest();
+  trace.completeSpan(rid, "resolve", "controller", SimTime::millis(100),
+                     SimTime::millis(900));
+  for (int i = 0; i < 10; ++i) hist.observe(0.8);
+  watchdog.observeRequest("nginx", 0.8, rid);
+
+  EXPECT_EQ(watchdog.evaluate(), 1u);
+  ASSERT_EQ(watchdog.breaches().size(), 1u);
+  const SloBreach& breach = watchdog.breaches()[0];
+  EXPECT_EQ(breach.budget, "resolve-p95");
+  EXPECT_EQ(breach.kind, "latency");
+  EXPECT_GT(breach.observed, 0.1);
+  EXPECT_EQ(breach.windowSamples, 10u);
+  EXPECT_EQ(breach.worstRequest, rid);
+  ASSERT_EQ(breach.worstSpans.size(), 1u);
+  EXPECT_EQ(breach.worstSpans[0].name, "resolve");
+
+  // The breach is visible in the registry and as a trace instant.
+  EXPECT_EQ(registry.snapshot(0.0).counterValue(
+                "edgesim_slo_breaches_total", {{"budget", "resolve-p95"}}),
+            1u);
+  bool sawInstant = false;
+  for (const trace::TraceInstant& instant : trace.instants()) {
+    sawInstant |= instant.name == "slo-breach" && instant.request == rid;
+  }
+  EXPECT_TRUE(sawInstant);
+
+  // Windowed evaluation: no new observations, no new breach.
+  EXPECT_EQ(watchdog.evaluate(), 0u);
+  EXPECT_EQ(watchdog.breaches().size(), 1u);
+}
+
+TEST(SloWatchdogTest, NoBreachUnderBudgetOrBelowMinSamples) {
+  Simulation sim;
+  MetricsRegistry registry;
+  SloWatchdog watchdog(sim, registry);
+
+  SloBudget budget;
+  budget.name = "fast";
+  budget.histogram = "h";
+  budget.quantile = 0.95;
+  budget.latencyBudgetSeconds = 0.5;
+  budget.minWindowSamples = 5;
+  watchdog.addBudget(budget);
+
+  Histogram& hist = registry.histogram("h");
+  for (int i = 0; i < 100; ++i) hist.observe(0.01);  // well under budget
+  EXPECT_EQ(watchdog.evaluate(), 0u);
+
+  // Over budget but below the minimum window size: still no breach.
+  hist.observe(10.0);
+  hist.observe(10.0);
+  EXPECT_EQ(watchdog.evaluate(), 0u);
+  EXPECT_TRUE(watchdog.breaches().empty());
+}
+
+TEST(SloWatchdogTest, ErrorBudgetUsesWindowedRatio) {
+  Simulation sim;
+  MetricsRegistry registry;
+  SloWatchdog watchdog(sim, registry);
+
+  SloBudget budget;
+  budget.name = "errors";
+  budget.errorCounter = "errs_total";
+  budget.totalCounter = "reqs_total";
+  budget.maxErrorRatio = 0.2;
+  budget.minWindowSamples = 4;
+  watchdog.addBudget(budget);
+
+  Counter& errors = registry.counter("errs_total");
+  Counter& total = registry.counter("reqs_total");
+  total.add(10);
+  errors.add(5);  // ratio 0.5 > 0.2
+  EXPECT_EQ(watchdog.evaluate(), 1u);
+  ASSERT_EQ(watchdog.breaches().size(), 1u);
+  EXPECT_EQ(watchdog.breaches()[0].kind, "errors");
+  EXPECT_DOUBLE_EQ(watchdog.breaches()[0].observed, 0.5);
+
+  // Next window is healthy: 1 error in 10 is under the ratio.
+  total.add(10);
+  errors.add(1);
+  EXPECT_EQ(watchdog.evaluate(), 0u);
+  EXPECT_EQ(watchdog.breaches().size(), 1u);
+}
+
+// ---- bounded buffers --------------------------------------------------------
+
+TEST(RecorderCapTest, DropsStorageOverCapAndCountsDrops) {
+  metrics::Recorder recorder;
+  recorder.setCapacity(/*maxRecords=*/2, /*maxSamplesPerSeries=*/3);
+  for (int i = 0; i < 5; ++i) {
+    recorder.add({"s", SimTime::zero(), SimTime::millis(10), /*success=*/true,
+                  0});
+  }
+  // Storage is bounded...
+  EXPECT_EQ(recorder.totalRecords(), 2u);
+  ASSERT_NE(recorder.series("s"), nullptr);
+  EXPECT_EQ(recorder.series("s")->count(), 3u);
+  // ...and every over-cap event is tallied (3 record drops, the worst of
+  // the per-event record/sample drops counts once per event).
+  EXPECT_EQ(recorder.droppedEvents(), 3u);
+
+  // Failures still count even when storage is dropped.
+  recorder.add({"s", SimTime::zero(), SimTime::millis(10), /*success=*/false,
+                0});
+  EXPECT_EQ(recorder.failureCount(), 1u);
+  EXPECT_EQ(recorder.totalRecords(), 2u);
+
+  recorder.addSample("t", 1.0);
+  recorder.addSample("t", 2.0);
+  recorder.addSample("t", 3.0);
+  recorder.addSample("t", 4.0);
+  EXPECT_EQ(recorder.series("t")->count(), 3u);
+}
+
+TEST(RecorderCapTest, UnboundedByDefault) {
+  metrics::Recorder recorder;
+  for (int i = 0; i < 100; ++i) {
+    recorder.add({"s", SimTime::zero(), SimTime::millis(1), true, 0});
+  }
+  EXPECT_EQ(recorder.totalRecords(), 100u);
+  EXPECT_EQ(recorder.droppedEvents(), 0u);
+}
+
+TEST(TraceRecorderCapTest, DropsEventsOverCapAndCountsDrops) {
+  TraceRecorder trace;
+  trace.setCapacity(3);
+  const trace::RequestId rid = trace.newRequest();
+  EXPECT_NE(trace.beginSpan(rid, "a", "test", SimTime::zero()), 0u);
+  EXPECT_NE(trace.beginSpan(rid, "b", "test", SimTime::zero()), 0u);
+  trace.instant(rid, "c", "test", SimTime::zero());
+  // Cap reached: spans return 0, instants vanish, drops are counted.
+  EXPECT_EQ(trace.beginSpan(rid, "d", "test", SimTime::zero()), 0u);
+  trace.instant(rid, "e", "test", SimTime::zero());
+  EXPECT_EQ(trace.spans().size(), 2u);
+  EXPECT_EQ(trace.instants().size(), 1u);
+  EXPECT_EQ(trace.droppedEvents(), 2u);
+}
+
+TEST(TraceRecorderCapTest, DisabledRecorderDoesNotCountDrops) {
+  TraceRecorder trace;
+  trace.setCapacity(1);
+  trace.setEnabled(false);
+  const trace::RequestId rid = trace.newRequest();
+  for (int i = 0; i < 5; ++i) {
+    trace.instant(rid, "x", "test", SimTime::zero());
+  }
+  EXPECT_EQ(trace.droppedEvents(), 0u);
+}
+
+}  // namespace
+}  // namespace edgesim::telemetry

@@ -1,0 +1,285 @@
+// telemetry_top: terminal viewer for edgesim telemetry snapshots.
+//
+// Usage:
+//   telemetry_top [dir] [--interval <seconds>] [--once]
+//   telemetry_top --lint <file.prom>...
+//
+// Top mode tails a snapshot directory (as written by telemetry::SnapshotWriter
+// or `bench_telemetry_fig16`): every refresh it picks the highest-sequence
+// snapshot_*.json, parses it and renders request / shard / lane / phase / SLO
+// health tables.  `--once` renders a single frame and exits (useful in CI or
+// for post-mortem inspection of a finished run).
+//
+// Lint mode validates Prometheus text exposition files against
+// telemetry::lintPrometheus and exits nonzero on the first malformed file --
+// CI runs this over the .prom snapshots a bench produced.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/snapshot.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace edgesim;
+using namespace edgesim::telemetry;
+
+namespace {
+
+std::string readFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string labelValue(const Labels& labels, const std::string& key) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return std::string();
+}
+
+std::string fmtQuantileMs(const SnapshotHistogram& hist, double q) {
+  const double value = hist.quantile(q);
+  if (std::isnan(value)) return "-";
+  return strprintf("%.2f", value * 1e3);
+}
+
+std::string fmtCount(std::uint64_t value) {
+  return std::to_string(static_cast<unsigned long long>(value));
+}
+
+/// Highest-sequence snapshot_NNNNNN.json in `dir`; filenames are
+/// zero-padded, so the lexicographic max is the numeric max.
+std::optional<std::filesystem::path> findLatest(const std::string& dir) {
+  std::optional<std::filesystem::path> best;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("snapshot_") || !name.ends_with(".json")) continue;
+    if (!best || best->filename().string() < name) best = entry.path();
+  }
+  return best;
+}
+
+void renderRequests(const TelemetrySnapshot& snap, std::string& out) {
+  Table outcomes({"outcome", "requests"});
+  for (const auto& counter : snap.counters) {
+    if (counter.name != "edgesim_requests_total") continue;
+    outcomes.addRow({labelValue(counter.labels, "outcome"),
+                     fmtCount(counter.value)});
+  }
+  Table resolve({"path", "service", "count", "p50 (ms)", "p95 (ms)"});
+  for (const auto& hist : snap.histograms) {
+    if (hist.name != "edgesim_resolve_seconds") continue;
+    const std::string service = labelValue(hist.labels, "service");
+    resolve.addRow({labelValue(hist.labels, "path"),
+                    service.empty() ? "-" : service, fmtCount(hist.count),
+                    fmtQuantileMs(hist, 0.5), fmtQuantileMs(hist, 0.95)});
+  }
+  if (outcomes.rowCount() + resolve.rowCount() == 0) return;
+  out += "requests\n";
+  if (outcomes.rowCount() > 0) out += outcomes.render();
+  if (resolve.rowCount() > 0) out += resolve.render();
+  out += "\n";
+}
+
+void renderShards(const TelemetrySnapshot& snap, std::string& out) {
+  struct ShardRow {
+    std::uint64_t hits = 0, misses = 0, evictions = 0;
+    double flows = 0.0;
+  };
+  std::map<std::string, ShardRow> shards;  // ordered by shard id string
+  for (const auto& counter : snap.counters) {
+    const std::string shard = labelValue(counter.labels, "shard");
+    if (shard.empty()) continue;
+    if (counter.name == "edgesim_flow_memory_lookups_total") {
+      if (labelValue(counter.labels, "result") == "hit") {
+        shards[shard].hits += counter.value;
+      } else {
+        shards[shard].misses += counter.value;
+      }
+    } else if (counter.name == "edgesim_flow_memory_evictions_total") {
+      shards[shard].evictions += counter.value;
+    }
+  }
+  for (const auto& gauge : snap.gauges) {
+    if (gauge.name != "edgesim_flow_memory_flows") continue;
+    shards[labelValue(gauge.labels, "shard")].flows = gauge.value;
+  }
+  if (shards.empty()) return;
+  Table table({"shard", "flows", "hits", "misses", "evictions"});
+  for (const auto& [shard, row] : shards) {
+    table.addRow({shard, strprintf("%.0f", row.flows), fmtCount(row.hits),
+                  fmtCount(row.misses), fmtCount(row.evictions)});
+  }
+  out += "flow memory shards\n" + table.render() + "\n";
+}
+
+void renderLanes(const TelemetrySnapshot& snap, std::string& out) {
+  const auto* depth = snap.findGauge("edgesim_lane_queue_depth");
+  const auto* wait = snap.findHistogram("edgesim_lane_wait_seconds");
+  const auto* recorderDrops = snap.findGauge("edgesim_recorder_dropped_events");
+  const auto* traceDrops = snap.findGauge("edgesim_trace_dropped_events");
+  if (depth == nullptr && wait == nullptr) return;
+  Table table({"in flight", "tasks", "wait p50 (ms)", "wait p95 (ms)",
+               "recorder drops", "trace drops"});
+  table.addRow({depth != nullptr ? strprintf("%.0f", depth->value) : "-",
+                wait != nullptr ? fmtCount(wait->count) : "-",
+                wait != nullptr ? fmtQuantileMs(*wait, 0.5) : "-",
+                wait != nullptr ? fmtQuantileMs(*wait, 0.95) : "-",
+                recorderDrops != nullptr
+                    ? strprintf("%.0f", recorderDrops->value)
+                    : "-",
+                traceDrops != nullptr ? strprintf("%.0f", traceDrops->value)
+                                      : "-"});
+  out += "controller lanes\n" + table.render() + "\n";
+}
+
+void renderPhases(const TelemetrySnapshot& snap, std::string& out) {
+  Table table({"cluster", "phase", "count", "p50 (ms)", "p95 (ms)"});
+  for (const auto& hist : snap.histograms) {
+    if (hist.name != "edgesim_deploy_phase_seconds") continue;
+    table.addRow({labelValue(hist.labels, "cluster"),
+                  labelValue(hist.labels, "phase"), fmtCount(hist.count),
+                  fmtQuantileMs(hist, 0.5), fmtQuantileMs(hist, 0.95)});
+  }
+  if (table.rowCount() == 0) return;
+  out += "deployment phases\n" + table.render();
+  out += strprintf(
+      "deploys %llu  retries %llu  fallbacks %llu  quarantines %llu\n\n",
+      static_cast<unsigned long long>(
+          snap.counterTotal("edgesim_deploys_total")),
+      static_cast<unsigned long long>(
+          snap.counterTotal("edgesim_deploy_retries_total")),
+      static_cast<unsigned long long>(
+          snap.counterTotal("edgesim_deploy_fallbacks_total")),
+      static_cast<unsigned long long>(
+          snap.counterTotal("edgesim_deploy_quarantines_total")));
+}
+
+void renderSlo(const TelemetrySnapshot& snap, std::string& out) {
+  Table table({"budget", "breaches"});
+  for (const auto& counter : snap.counters) {
+    if (counter.name != "edgesim_slo_breaches_total") continue;
+    table.addRow({labelValue(counter.labels, "budget"),
+                  fmtCount(counter.value)});
+  }
+  if (table.rowCount() == 0) return;
+  out += "SLO budgets\n" + table.render() + "\n";
+}
+
+std::string renderFrame(const TelemetrySnapshot& snap,
+                        const std::filesystem::path& path) {
+  std::string out = strprintf("telemetry_top -- %s  (seq %llu, sim t=%.1fs)\n\n",
+                              path.string().c_str(),
+                              static_cast<unsigned long long>(snap.sequence),
+                              snap.simTimeSeconds);
+  renderRequests(snap, out);
+  renderShards(snap, out);
+  renderLanes(snap, out);
+  renderPhases(snap, out);
+  renderSlo(snap, out);
+  return out;
+}
+
+int runLint(const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "telemetry_top --lint: no files given\n");
+    return 2;
+  }
+  int rc = 0;
+  for (const auto& file : files) {
+    if (!std::filesystem::exists(file)) {
+      std::fprintf(stderr, "%s: no such file\n", file.c_str());
+      rc = 1;
+      continue;
+    }
+    const Status status = lintPrometheus(readFile(file));
+    if (status.ok()) {
+      std::printf("%s: OK\n", file.c_str());
+    } else {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   status.error().toString().c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+int runTop(const std::string& dir, double intervalSeconds, bool once) {
+  std::uint64_t shownSequence = 0;
+  bool shownAny = false;
+  while (true) {
+    const auto latest = findLatest(dir);
+    if (!latest) {
+      if (once) {
+        std::fprintf(stderr, "telemetry_top: no snapshot_*.json in %s\n",
+                     dir.c_str());
+        return 1;
+      }
+    } else {
+      const auto doc = JsonValue::parse(readFile(*latest));
+      if (!doc.ok()) {
+        // A writer may be mid-flight; skip this refresh and retry.
+        if (once) {
+          std::fprintf(stderr, "%s: %s\n", latest->string().c_str(),
+                       doc.error().toString().c_str());
+          return 1;
+        }
+      } else {
+        const auto snap = TelemetrySnapshot::fromJson(doc.value());
+        if (!snap.ok()) {
+          std::fprintf(stderr, "%s: %s\n", latest->string().c_str(),
+                       snap.error().toString().c_str());
+          if (once) return 1;
+        } else if (!shownAny || snap.value().sequence != shownSequence) {
+          shownSequence = snap.value().sequence;
+          shownAny = true;
+          if (!once) std::printf("\033[H\033[2J");  // clear + home
+          std::fputs(renderFrame(snap.value(), *latest).c_str(), stdout);
+          std::fflush(stdout);
+        }
+      }
+    }
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(intervalSeconds));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "telemetry-out";
+  double intervalSeconds = 1.0;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--lint") {
+      std::vector<std::string> files(argv + i + 1, argv + argc);
+      return runLint(files);
+    }
+    if (arg == "--interval" && i + 1 < argc) {
+      intervalSeconds = std::max(0.1, std::atof(argv[++i]));
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: telemetry_top [dir] [--interval <seconds>] "
+                  "[--once]\n       telemetry_top --lint <file.prom>...\n");
+      return 0;
+    } else {
+      dir = arg;
+    }
+  }
+  return runTop(dir, intervalSeconds, once);
+}
