@@ -59,6 +59,7 @@ ControllerOptions ControllerOptions::fromConfig(const Config& config) {
       config.getIntOr("flow_shards", static_cast<long long>(options.flowShards)));
   options.workers = static_cast<std::size_t>(
       config.getIntOr("workers", static_cast<long long>(options.workers)));
+  options.overload = overload::OverloadOptions::fromConfig(config);
   return options;
 }
 
@@ -88,10 +89,22 @@ EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
                                         {{"outcome", "degraded"}});
     scaleDownsCtr_ = &telemetry_->counter("edgesim_scale_downs_total");
   }
+  if (options_.overload.enabled) {
+    governor_ = std::make_unique<overload::OverloadGovernor>(
+        options_.overload, telemetry_);
+  }
   auto scheduler =
       SchedulerRegistry::instance().create(options_.scheduler, Config());
   ES_ASSERT_MSG(scheduler.ok(), "unknown scheduler in controller options");
   scheduler_ = std::move(scheduler).value();
+  if (governor_ != nullptr && options_.overload.breakerEnabled) {
+    // Circuit breakers veto clusters at scheduling time, next to (and
+    // before) quarantine.
+    scheduler_->setAvailabilityFilter(
+        [gov = governor_.get()](const std::string& cluster, SimTime now) {
+          return gov->clusterAllowed(cluster, now);
+        });
+  }
 
   DispatcherOptions dispatcherOptions;
   dispatcherOptions.portPollInterval = options_.portPollInterval;
@@ -104,7 +117,7 @@ EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
   dispatcherOptions.quarantineCooldown = options_.quarantineCooldown;
   dispatcher_ = std::make_unique<Dispatcher>(
       sim_, memory_, *scheduler_, adapters_, recorder_, dispatcherOptions,
-      trace_, telemetry_);
+      trace_, telemetry_, governor_.get());
 
   // §IV-A2: once a BEST (background) deployment is running, future
   // requests must go there.  Forget memorized flows that point elsewhere;
@@ -125,15 +138,29 @@ EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
   }, options_.memoryScanPeriod);
 
   if (options_.workers > 0) {
-    pool_ = std::make_unique<LaneExecutor>(options_.workers);
+    LaneExecutorOptions poolOptions;
+    poolOptions.workers = options_.workers;
+    if (governor_ != nullptr) {
+      poolOptions.queueCapacity = options_.overload.laneQueueCapacity;
+      poolOptions.shedPolicy =
+          options_.overload.shedPolicy == "deadline-aware"
+              ? ShedPolicy::kDeadlineAware
+              : ShedPolicy::kRejectNewest;
+    }
+    pool_ = std::make_unique<LaneExecutor>(poolOptions);
     if (telemetry_ != nullptr) {
       auto* waitHist = &telemetry_->histogram("edgesim_lane_wait_seconds");
       auto* depth = &telemetry_->gauge("edgesim_lane_queue_depth");
-      pool_->setTaskObserver(
-          [waitHist, depth](double waitSeconds, std::int64_t inFlight) {
-            waitHist->observe(waitSeconds);
-            depth->set(inFlight);
-          });
+      LaneExecutor::TaskObserver observer;
+      observer.onTaskStart = [waitHist, depth](double waitSeconds,
+                                               std::int64_t inFlight) {
+        waitHist->observe(waitSeconds);
+        depth->set(inFlight);
+      };
+      observer.onTaskShed = [depth](std::int64_t inFlight) {
+        depth->set(inFlight);
+      };
+      pool_->setTaskObserver(std::move(observer));
     }
   }
 }
@@ -146,21 +173,74 @@ EdgeController::~EdgeController() {
 void EdgeController::submitRequest(Ipv4 client, Endpoint serviceAddress,
                                    Dispatcher::ResolveCallback cb) {
   ES_ASSERT(cb != nullptr);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  // The deadline budget starts at submit: it rides through the lane queue
+  // (deadline-aware shedding), the FlowMemory lookup, and the dispatcher's
+  // deployment wait.
+  SimTime deadline = SimTime::max();
+  if (governor_ != nullptr &&
+      governor_->options().requestBudget > SimTime::zero()) {
+    deadline = sim_.approxNow() + governor_->options().requestBudget;
+  }
   if (pool_ == nullptr) {
-    handleSubmit(client, serviceAddress, std::move(cb));
+    handleSubmit(client, serviceAddress, std::move(cb), deadline);
     return;
   }
   // Lane = FlowMemory shard of (client, service): requests for the same
   // flow are handled in submission order; independent flows in parallel.
   const std::uint64_t lane = memory_.shardIndex(client, serviceAddress);
-  pool_->post(lane, [this, client, serviceAddress, cb = std::move(cb)] {
-    handleSubmit(client, serviceAddress, std::move(cb));
-  });
+  if (governor_ == nullptr) {
+    pool_->post(lane, [this, client, serviceAddress, cb = std::move(cb)] {
+      handleSubmit(client, serviceAddress, std::move(cb), SimTime::max());
+    });
+    return;
+  }
+  // Bounded admission: the callback is shared between the task body and
+  // its onShed path -- exactly one of the two ever runs.
+  auto shared =
+      std::make_shared<Dispatcher::ResolveCallback>(std::move(cb));
+  LaneExecutor::TaskMeta meta;
+  meta.deadlineNanos = deadline == SimTime::max() ? 0 : deadline.toNanos();
+  meta.onShed = [this, serviceAddress, shared] {
+    shedRequest(overload::ShedReason::kQueueFull, serviceAddress, *shared);
+  };
+  pool_->post(
+      lane,
+      [this, client, serviceAddress, shared, deadline] {
+        handleSubmit(client, serviceAddress, std::move(*shared), deadline);
+      },
+      std::move(meta));
+}
+
+void EdgeController::shedRequest(overload::ShedReason reason,
+                                 Endpoint serviceAddress,
+                                 const Dispatcher::ResolveCallback& cb) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  governor_->noteShed(reason);
+  // cloudRedirects_ is immutable after setup, so this lock-free read is
+  // safe from any lane worker.
+  if (const auto it = cloudRedirects_.find(serviceAddress);
+      it != cloudRedirects_.end()) {
+    cb(it->second);
+    return;
+  }
+  cb(makeError(Errc::kUnavailable,
+               "request shed (" + std::string(shedReasonName(reason)) +
+                   ") and no cloud instance hosts " +
+                   serviceAddress.toString()));
 }
 
 void EdgeController::handleSubmit(Ipv4 client, Endpoint serviceAddress,
-                                  Dispatcher::ResolveCallback cb) {
+                                  Dispatcher::ResolveCallback cb,
+                                  SimTime deadline) {
   packetIns_.fetch_add(1, std::memory_order_relaxed);
+  if (governor_ != nullptr && deadline < SimTime::max() &&
+      sim_.approxNow() >= deadline) {
+    // The budget burned away while the request sat in the lane queue:
+    // fail fast to the cloud instead of doing work nobody waits for.
+    shedRequest(overload::ShedReason::kBudgetExpired, serviceAddress, cb);
+    return;
+  }
   if (const auto memorized = memory_.lookup(client, serviceAddress)) {
     // Warm path: answered entirely on this worker.  The memorized instance
     // is trusted -- scale-down and migration invalidate FlowMemory before
@@ -186,17 +266,32 @@ void EdgeController::handleSubmit(Ipv4 client, Endpoint serviceAddress,
     cb(Redirect{memorized->instance, memorized->cluster, true});
     return;
   }
-  // Cold miss: deployment state lives on the simulation thread; marshal
-  // through the one thread-safe seam.  The Dispatcher's per-(service,
-  // cluster) pending table then coalesces concurrent cold requests into a
-  // single deployment.
-  sim_.postExternal([this, client, serviceAddress, cb = std::move(cb)]() mutable {
-    resolveCold(client, serviceAddress, std::move(cb));
-  });
+  // Cold miss: deployment state lives on the simulation thread.  With no
+  // pool this call already IS the simulation thread (submitRequest's
+  // contract), so resolve directly; from a lane worker, marshal through
+  // the one thread-safe seam.  The Dispatcher's per-(service, cluster)
+  // pending table then coalesces concurrent cold requests into a single
+  // deployment.
+  if (pool_ == nullptr) {
+    resolveCold(client, serviceAddress, std::move(cb), deadline);
+    return;
+  }
+  sim_.postExternal(
+      [this, client, serviceAddress, deadline, cb = std::move(cb)]() mutable {
+        resolveCold(client, serviceAddress, std::move(cb), deadline);
+      });
 }
 
 void EdgeController::resolveCold(Ipv4 client, Endpoint serviceAddress,
-                                 Dispatcher::ResolveCallback cb) {
+                                 Dispatcher::ResolveCallback cb,
+                                 SimTime deadline) {
+  if (governor_ != nullptr && deadline < SimTime::max() &&
+      sim_.now() >= deadline) {
+    // Budget burned between the worker's hand-off and this sim-thread
+    // turn; same fail-fast answer as in the lane queue.
+    shedRequest(overload::ShedReason::kBudgetExpired, serviceAddress, cb);
+    return;
+  }
   const ServiceModel* service = serviceAt(serviceAddress);
   if (service == nullptr) {
     failed_.fetch_add(1, std::memory_order_relaxed);
@@ -232,6 +327,21 @@ void EdgeController::resolveCold(Ipv4 client, Endpoint serviceAddress,
           cb(std::move(result));
           return;
         }
+        if (result.value().shed) {
+          // The dispatcher failed fast on an expired deadline budget; the
+          // governor already counted the reason -- the request lands in
+          // the shed bucket, not resolved.
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          if (trace_ != nullptr) {
+            trace_->endSpan(span, sim_.now(),
+                            {{"ok", "true"},
+                             {"shed", "true"},
+                             {"instance", result.value().instance.toString()},
+                             {"cluster", result.value().cluster}});
+          }
+          cb(std::move(result));
+          return;
+        }
         resolved_.fetch_add(1, std::memory_order_relaxed);
         if (result.value().degraded) {
           degraded_.fetch_add(1, std::memory_order_relaxed);
@@ -247,7 +357,7 @@ void EdgeController::resolveCold(Ipv4 client, Endpoint serviceAddress,
         }
         cb(std::move(result));
       },
-      rid);
+      rid, deadline);
 }
 
 telemetry::Histogram* EdgeController::coldHistogram(
@@ -293,10 +403,18 @@ Result<const ServiceModel*> EdgeController::registerService(
 
   auto owned = std::make_unique<ServiceModel>(std::move(model).value());
   // The "real" service exists in the cloud from day one -- that is what
-  // the transparent approach redirects away from.
+  // the transparent approach redirects away from.  Its address doubles as
+  // the governor's shed target: a request dropped under overload is
+  // answered with this degraded redirect without touching any adapter
+  // state, so lane workers can shed without marshalling to the sim thread.
   for (auto* adapter : adapters_) {
     if (adapter->isCloud()) {
-      static_cast<CloudAdapter*>(adapter)->hostService(*owned);
+      const Endpoint cloudInstance =
+          static_cast<CloudAdapter*>(adapter)->hostService(*owned);
+      Redirect redirect{cloudInstance, adapter->name(), false};
+      redirect.degraded = true;
+      redirect.shed = true;
+      cloudRedirects_.emplace(serviceAddress, redirect);
     }
   }
   const ServiceModel* result = owned.get();
@@ -399,6 +517,12 @@ void EdgeController::handleRegisteredService(OpenFlowSwitch& sw,
   }
   pending.resolving = true;
   pending.startedAt = sim_.now();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  SimTime deadline = SimTime::max();
+  if (governor_ != nullptr &&
+      governor_->options().requestBudget > SimTime::zero()) {
+    deadline = sim_.now() + governor_->options().requestBudget;
+  }
 
   // Allocate the per-request trace ID here, at packet-in: everything the
   // request triggers downstream (FlowMemory lookup, scheduler decision,
@@ -443,16 +567,24 @@ void EdgeController::handleRegisteredService(OpenFlowSwitch& sw,
           dropBuffered(key);
           return;
         }
-        ++resolved_;
         const Redirect& redirect = result.value();
-        if (redirect.degraded) {
-          ++degraded_;
-          ES_INFO("controller", "degraded resolve for %s -> cloud instance %s",
-                  service.uniqueName.c_str(),
-                  redirect.instance.toString().c_str());
+        if (redirect.shed) {
+          // Deadline budget expired mid-deployment: the redirect still
+          // points the client at the cloud (flows below), but the request
+          // counts as shed, not resolved.
+          ++shed_;
+        } else {
+          ++resolved_;
+          if (redirect.degraded) {
+            ++degraded_;
+            ES_INFO("controller",
+                    "degraded resolve for %s -> cloud instance %s",
+                    service.uniqueName.c_str(),
+                    redirect.instance.toString().c_str());
+          }
+          recordResolveOutcome(service.address, service.tag, startedAt,
+                               redirect.fromMemory, redirect.degraded, rrid);
         }
-        recordResolveOutcome(service.address, service.tag, startedAt,
-                             redirect.fromMemory, redirect.degraded, rrid);
         if (trace_ != nullptr) {
           trace_->endSpan(resolveSpan, sim_.now(),
                           {{"ok", "true"},
@@ -468,7 +600,7 @@ void EdgeController::handleRegisteredService(OpenFlowSwitch& sw,
         installRedirectFlows(sw, key.client, service, redirect.instance);
         releaseBuffered(sw, key, service, redirect.instance);
       },
-      rid);
+      rid, deadline);
 }
 
 void EdgeController::installRedirectFlows(OpenFlowSwitch& sw, Ipv4 client,

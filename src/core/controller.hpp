@@ -36,6 +36,7 @@
 #include "core/dispatcher.hpp"
 #include "core/service_catalog.hpp"
 #include "openflow/switch.hpp"
+#include "overload/governor.hpp"
 #include "telemetry/slo_watchdog.hpp"
 #include "util/lane_executor.hpp"
 
@@ -86,6 +87,10 @@ struct ControllerOptions {
   /// (submitRequest).  0 = no pool: packet-in handling stays inline on the
   /// simulation thread and runs bit-identically to the pre-shard seed.
   std::size_t workers = 0;
+  /// Overload governor: bounded lane admission, deadline budgets, deploy
+  /// tokens, per-cluster circuit breakers, brownout.  Disabled by default
+  /// -- nothing is constructed and every hot-path hook is a null check.
+  overload::OverloadOptions overload;
 
   static ControllerOptions fromConfig(const Config& config);
 };
@@ -150,6 +155,10 @@ class EdgeController : public openflow::ControllerApp {
   /// The lane pool, or nullptr when options.workers == 0.
   LaneExecutor* workerPool() { return pool_.get(); }
 
+  /// The overload governor, or nullptr when options.overload.enabled was
+  /// false.
+  overload::OverloadGovernor* governor() { return governor_.get(); }
+
   // ---- introspection ------------------------------------------------------
   const ServiceModel* serviceAt(Endpoint address) const;
 
@@ -165,6 +174,19 @@ class EdgeController : public openflow::ControllerApp {
   GlobalScheduler& scheduler() { return *scheduler_; }
   std::uint64_t packetInCount() const {
     return packetIns_.load(std::memory_order_relaxed);
+  }
+  /// Every request handed to submitRequest().  At quiescence the overload
+  /// accounting invariant holds:
+  ///   requestsSubmitted() == requestsResolved() + requestsFailed()
+  ///                          + requestsShed()
+  std::uint64_t requestsSubmitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  /// Requests the governor terminated early: lane-queue admission rejects,
+  /// deadline-budget expiries (including fail-fast cloud answers from the
+  /// dispatcher).  Disjoint from resolved and failed.
+  std::uint64_t requestsShed() const {
+    return shed_.load(std::memory_order_relaxed);
   }
   std::uint64_t requestsResolved() const {
     return resolved_.load(std::memory_order_relaxed);
@@ -232,9 +254,16 @@ class EdgeController : public openflow::ControllerApp {
                        const ServiceModel& service, Endpoint instance);
   void dropBuffered(const PendingKey& key);
   void handleSubmit(Ipv4 client, Endpoint serviceAddress,
-                    Dispatcher::ResolveCallback cb);
+                    Dispatcher::ResolveCallback cb, SimTime deadline);
   void resolveCold(Ipv4 client, Endpoint serviceAddress,
-                   Dispatcher::ResolveCallback cb);
+                   Dispatcher::ResolveCallback cb, SimTime deadline);
+  /// Terminate a shed request (thread-safe): bump the shed accounting and
+  /// answer `cb` immediately with the service's cached degraded cloud
+  /// redirect (an error when the service has none).  This is the "shed
+  /// requests get an immediate cloud redirect" half of admission control;
+  /// it deliberately touches no adapter state so lane workers may call it.
+  void shedRequest(overload::ShedReason reason, Endpoint serviceAddress,
+                   const Dispatcher::ResolveCallback& cb);
   /// Cold-path latency histogram for the service (per-service-tag series,
   /// registered at registerService); nullptr when telemetry is off.
   telemetry::Histogram* coldHistogram(Endpoint serviceAddress) const;
@@ -267,8 +296,15 @@ class EdgeController : public openflow::ControllerApp {
   /// thread; the cold path only runs there too).
   std::unordered_map<Endpoint, telemetry::Histogram*> coldHists_;
   FlowMemory memory_;
+  /// Created before the dispatcher (which borrows it); destroyed after the
+  /// pool so shedding workers never race teardown.
+  std::unique_ptr<overload::OverloadGovernor> governor_;
   std::unique_ptr<GlobalScheduler> scheduler_;
   std::unique_ptr<Dispatcher> dispatcher_;
+  /// Per-service degraded cloud redirect for shed requests, captured at
+  /// registerService from CloudAdapter::hostService.  Immutable once
+  /// traffic starts, so lane workers read it without locks.
+  std::unordered_map<Endpoint, Redirect> cloudRedirects_;
   std::vector<ClusterAdapter*> adapters_;
   std::unordered_map<Endpoint, std::unique_ptr<ServiceModel>> services_;
   std::map<openflow::OpenFlowSwitch*, SwitchTopology> switches_;
@@ -283,6 +319,8 @@ class EdgeController : public openflow::ControllerApp {
   // Counters are atomics: the warm path increments them from pool workers
   // while the simulation thread serves cold requests and expiry.
   std::atomic<std::uint64_t> packetIns_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> resolved_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> degraded_{0};

@@ -21,7 +21,8 @@ Dispatcher::Dispatcher(Simulation& sim, FlowMemory& memory,
                        std::vector<ClusterAdapter*> adapters,
                        metrics::Recorder* recorder, DispatcherOptions options,
                        trace::TraceRecorder* trace,
-                       telemetry::MetricsRegistry* telemetry)
+                       telemetry::MetricsRegistry* telemetry,
+                       overload::OverloadGovernor* governor)
     : sim_(sim),
       controlThread_(std::this_thread::get_id()),
       memory_(memory),
@@ -29,6 +30,7 @@ Dispatcher::Dispatcher(Simulation& sim, FlowMemory& memory,
       adapters_(std::move(adapters)),
       recorder_(recorder),
       trace_(trace),
+      governor_(governor),
       options_(options),
       localScheduler_(makeLocalScheduler(options.instancePolicy)) {
   ES_ASSERT(!adapters_.empty());
@@ -79,6 +81,34 @@ ClusterAdapter* Dispatcher::cloudAdapter() const {
   return nullptr;
 }
 
+overload::CircuitBreaker* Dispatcher::breakerFor(
+    const ClusterAdapter& cluster) {
+  if (governor_ == nullptr || !governor_->options().breakerEnabled ||
+      cluster.isCloud()) {
+    return nullptr;
+  }
+  return &governor_->breaker(cluster.name());
+}
+
+bool Dispatcher::answerFromCloud(const ServiceModel& service, Ipv4 client,
+                                 const ResolveCallback& cb, bool shed,
+                                 trace::RequestId rid, const char* why) {
+  ClusterAdapter* cloud = cloudAdapter();
+  if (cloud == nullptr) return false;
+  const auto ready = cloud->readyInstances(service);
+  if (ready.empty()) return false;
+  Redirect redirect{localScheduler_->pick(ready, client), cloud->name(),
+                    false};
+  redirect.degraded = true;
+  redirect.shed = shed;
+  if (trace_ != nullptr) {
+    trace_->instant(rid, why, "overload", sim_.now(),
+                    {{"instance", redirect.instance.toString()}});
+  }
+  sim_.schedule(SimTime::zero(), [cb, redirect] { cb(redirect); });
+  return true;
+}
+
 void Dispatcher::recordPhase(const ServiceModel& service,
                              ClusterAdapter& cluster, const char* phase,
                              SimTime duration) {
@@ -104,7 +134,8 @@ void Dispatcher::tracePhase(const std::string& key, const char* phase,
 }
 
 void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
-                         ResolveCallback cb, trace::RequestId rid) {
+                         ResolveCallback cb, trace::RequestId rid,
+                         SimTime deadline) {
   ES_ASSERT(cb != nullptr);
   ES_ASSERT_MSG(std::this_thread::get_id() == controlThread_,
                 "Dispatcher::resolve off the control (simulation) thread; "
@@ -209,6 +240,7 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
     fast = cloud;
   }
 
+  overload::CircuitBreaker* breaker = breakerFor(*fast);
   const auto ready = fast->readyInstances(service);
   if (!ready.empty()) {
     // Local Scheduler choice within the cluster (fig. 6).
@@ -220,17 +252,100 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
                        {"cluster", redirect.cluster},
                        {"policy", options_.instancePolicy}});
     }
+    // A ready-instance answer is success evidence for the cluster's
+    // breaker (and settles a half-open probe without one ever starting).
+    if (breaker != nullptr) breaker->recordSuccess(sim_.now(), 0.0);
     memory_.upsert(client, service.address, redirect.instance, fast->name(),
                    sim_.now());
     sim_.schedule(SimTime::zero(), [cb, redirect] { cb(redirect); });
     return;
   }
 
-  // Deploy on demand and wait for readiness (fig. 5).
+  // Brownout: sustained shedding means waiting on ANY deployment is a
+  // losing game -- force the paper's "without waiting" behaviour (fig. 3)
+  // for every cold request: deploy on the chosen edge in the background,
+  // answer the client from a ready cloud instance right now.
+  if (governor_ != nullptr && !fast->isCloud() &&
+      governor_->brownoutActive(sim_.now()) &&
+      answerFromCloud(service, client, cb, /*shed=*/false, rid,
+                      "brownout-redirect")) {
+    if (auto* counter = governor_->brownoutRedirectCounter()) counter->add();
+    const SimTime deployStart = sim_.now();
+    ensureReady(service, *fast,
+                [this, breaker, deployStart](Result<Endpoint> result) {
+                  if (breaker == nullptr) return;
+                  if (result.ok()) {
+                    breaker->recordSuccess(
+                        sim_.now(), (sim_.now() - deployStart).toSeconds());
+                  } else {
+                    breaker->recordFailure(sim_.now());
+                  }
+                },
+                rid);
+    return;
+  }
+
+  // Deploy on demand and wait for readiness (fig. 5).  Under the governor,
+  // a half-open breaker treats this deployment as its probe, and the
+  // request's deadline budget caps the wait: when it expires first, the
+  // waiter is answered with a shed degraded cloud redirect while the
+  // deployment itself keeps running.
+  bool probeStarted = false;
+  if (breaker != nullptr &&
+      breaker->state(sim_.now()) == overload::BreakerState::kHalfOpen) {
+    breaker->beginProbe(sim_.now());
+    probeStarted = true;
+  }
+  auto answered = std::make_shared<bool>(false);
+  auto budgetTimer = std::make_shared<EventHandle>();
+  if (governor_ != nullptr && deadline < SimTime::max()) {
+    const SimTime now = sim_.now();
+    const SimTime delay = deadline > now ? deadline - now : SimTime::zero();
+    *budgetTimer = sim_.schedule(delay, [this, service, client, cb, answered,
+                                         rid] {
+      if (*answered) return;
+      *answered = true;
+      governor_->noteShed(overload::ShedReason::kBudgetExpired);
+      if (!answerFromCloud(service, client, cb, /*shed=*/true, rid,
+                           "budget-expired")) {
+        cb(makeError(Errc::kTimeout,
+                     "request deadline budget expired before " +
+                         service.uniqueName + " deployed"));
+      }
+    });
+  }
+  const SimTime deployStart = sim_.now();
   const std::string clusterName = fast->name();
   ensureReady(service, *fast,
-              [this, service, client, clusterName, cb,
-               rid](Result<Endpoint> result) {
+              [this, service, client, clusterName, cb, rid, breaker,
+               probeStarted, deployStart, answered,
+               budgetTimer](Result<Endpoint> result) {
+                budgetTimer->cancel();
+                if (breaker != nullptr) {
+                  if (result.ok()) {
+                    breaker->recordSuccess(
+                        sim_.now(), (sim_.now() - deployStart).toSeconds());
+                  } else if (result.error().code ==
+                             Errc::kResourceExhausted) {
+                    // A deploy-token refusal judges the governor's cap, not
+                    // the cluster's health -- release the probe slot
+                    // without recording an outcome.
+                    if (probeStarted) breaker->cancelProbe(sim_.now());
+                  } else {
+                    breaker->recordFailure(sim_.now());
+                  }
+                }
+                if (*answered) {
+                  // The budget expired first and the waiter already got its
+                  // shed cloud answer; the deployment outcome only feeds
+                  // the breaker (and FlowMemory for future requests).
+                  if (result.ok()) {
+                    memory_.upsert(client, service.address, result.value(),
+                                   clusterName, sim_.now());
+                  }
+                  return;
+                }
+                *answered = true;
                 if (!result.ok()) {
                   // Graceful degradation: the edge deployment died even after
                   // retries -- answer from the cloud rather than failing the
@@ -308,11 +423,39 @@ void Dispatcher::ensureReady(const ServiceModel& service,
     return;
   }
 
+  // A NEW deployment on an edge cluster costs one of the governor's
+  // per-cluster deploy tokens (joining an in-flight one above does not).
+  // At the cap the request is refused with kResourceExhausted, which flows
+  // into resolve()'s cloud-fallback degradation; the cloud itself is never
+  // capped -- it is the degradation target.
+  bool holdsToken = false;
+  if (governor_ != nullptr && !cluster.isCloud()) {
+    if (!governor_->tryAcquireDeployToken(cluster.name())) {
+      governor_->noteShed(overload::ShedReason::kDeployCap);
+      if (trace_ != nullptr) {
+        trace_->instant(rid, "deploy-cap", "overload", sim_.now(),
+                        {{"cluster", cluster.name()},
+                         {"in_use", strprintf("%d", governor_->deployTokensInUse(
+                                                        cluster.name()))}});
+      }
+      ES_DEBUG("dispatcher", "deploy cap reached on %s; refusing deployment",
+               cluster.name().c_str());
+      const std::string name = cluster.name();
+      sim_.schedule(SimTime::zero(), [cb = std::move(cb), name] {
+        cb(makeError(Errc::kResourceExhausted,
+                     "concurrent deployment cap reached on " + name));
+      });
+      return;
+    }
+    holdsToken = true;
+  }
+
   PendingDeploy deploy;
   deploy.waiters.push_back(std::move(cb));
   deploy.startedAt = sim_.now();
   deploy.cluster = cluster.name();
   deploy.rid = rid;
+  deploy.holdsToken = holdsToken;
   if (trace_ != nullptr) {
     deploy.span = trace_->beginSpan(rid, "deploy", "deploy", sim_.now(),
                                     {{"cluster", cluster.name()},
@@ -493,12 +636,16 @@ void Dispatcher::finishDeploy(const std::string& key,
   it->second.phaseTimer.cancel();
   const std::string cluster = it->second.cluster;
   const trace::RequestId deployRid = it->second.rid;
+  const bool holdsToken = it->second.holdsToken;
   if (trace_ != nullptr) {
     trace_->endSpan(it->second.span, sim_.now(),
                     {{"ok", result.ok() ? "true" : "false"},
                      {"retries", strprintf("%d", it->second.retriesUsed)}});
   }
   pending_.erase(it);
+  if (holdsToken && governor_ != nullptr) {
+    governor_->releaseDeployToken(cluster);
+  }
 
   if (!result.ok()) {
     // The retry budget is spent: hide the cluster from scheduling decisions

@@ -30,6 +30,7 @@
 #include "core/flow_memory.hpp"
 #include "core/scheduler.hpp"
 #include "metrics/recorder.hpp"
+#include "overload/governor.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "trace/trace_recorder.hpp"
 
@@ -44,6 +45,11 @@ struct Redirect {
   /// Degraded redirects are NOT memorized, so the client's next request
   /// re-tries the edge.
   bool degraded = false;
+  /// True when the overload governor terminated the request early (deadline
+  /// budget expired while the deployment was still in flight) and this is
+  /// the fail-fast cloud answer.  Implies degraded.  The controller counts
+  /// these as SHED, not resolved.
+  bool shed = false;
 };
 
 /// Capped exponential backoff for failed deployment phases.
@@ -89,18 +95,27 @@ class Dispatcher {
   /// plus deployment / retry / fallback / quarantine and scheduler-decision
   /// counters; handles are resolved once here (deployment work is sim-thread
   /// only, but the striped instruments stay safe to read at any time).
+  /// `governor` (optional) adds overload protection: deadline budgets fail
+  /// fast to the cloud, per-cluster deploy tokens cap concurrent
+  /// deployments, circuit-breaker outcomes are fed from deployment results,
+  /// and brownout forces the "without waiting" redirect behaviour.
   Dispatcher(Simulation& sim, FlowMemory& memory, GlobalScheduler& scheduler,
              std::vector<ClusterAdapter*> adapters,
              metrics::Recorder* recorder = nullptr,
              DispatcherOptions options = {},
              trace::TraceRecorder* trace = nullptr,
-             telemetry::MetricsRegistry* telemetry = nullptr);
+             telemetry::MetricsRegistry* telemetry = nullptr,
+             overload::OverloadGovernor* governor = nullptr);
 
   /// Resolve a client request to a service instance (fig. 7).  `rid` is the
   /// trace request ID allocated by the controller at packet-in (0 = not
   /// traced); every span/instant this resolve produces carries it.
+  /// `deadline` is the request's absolute deadline budget (SimTime::max() =
+  /// none): if it expires while the FAST deployment is still in flight, the
+  /// request is answered immediately with a shed degraded cloud redirect
+  /// instead of waiting the deployment out.
   void resolve(const ServiceModel& service, Ipv4 client, ResolveCallback cb,
-               trace::RequestId rid = 0);
+               trace::RequestId rid = 0, SimTime deadline = SimTime::max());
 
   /// Ensure the service is deployed and ready on `cluster`; callbacks for
   /// the same (service, cluster) pair are coalesced onto one deployment.
@@ -148,6 +163,9 @@ class Dispatcher {
     /// Bumped on every retry; callbacks from a superseded attempt carry a
     /// stale epoch and are dropped on arrival.
     int epoch = 0;
+    /// This deployment holds one of the governor's per-cluster deploy
+    /// tokens; finishDeploy() returns it.
+    bool holdsToken = false;
     EventHandle timeoutHandle;  // overall hard deadline
     EventHandle phaseTimer;     // per-phase watchdog
   };
@@ -167,6 +185,15 @@ class Dispatcher {
   /// Emit a completed phase span nested under `key`'s deploy span.
   void tracePhase(const std::string& key, const char* phase, SimTime start,
                   bool ok);
+  /// The governor's breaker for `cluster`, or nullptr when breakers are off
+  /// or the cluster is the cloud (never broken -- it is the fallback
+  /// target, like quarantine).
+  overload::CircuitBreaker* breakerFor(const ClusterAdapter& cluster);
+  /// Answer `cb` with a degraded redirect to a ready cloud instance.
+  /// Returns false (and leaves `cb` uncalled) when no such instance exists.
+  bool answerFromCloud(const ServiceModel& service, Ipv4 client,
+                       const ResolveCallback& cb, bool shed,
+                       trace::RequestId rid, const char* why);
 
   /// Per-cluster telemetry handles, resolved at construction (empty map
   /// when telemetry is off).
@@ -193,6 +220,7 @@ class Dispatcher {
   std::vector<ClusterAdapter*> adapters_;
   metrics::Recorder* recorder_;
   trace::TraceRecorder* trace_;
+  overload::OverloadGovernor* governor_;
   std::map<std::string, ClusterTelemetry> clusterTelemetry_;
   DispatcherOptions options_;
   std::unique_ptr<LocalScheduler> localScheduler_;

@@ -136,12 +136,16 @@ class RoundRobinScheduler final : public GlobalScheduler {
 }  // namespace
 
 GlobalDecision GlobalScheduler::schedule(ScheduleRequest request, SimTime now) {
-  if (!quarantineUntil_.empty()) {
+  if (!quarantineUntil_.empty() || availabilityFilter_ != nullptr) {
     auto& clusters = request.clusters;
     clusters.erase(std::remove_if(clusters.begin(), clusters.end(),
                                   [&](const ClusterView& view) {
-                                    return !view.isCloud &&
-                                           quarantined(view.name, now);
+                                    if (view.isCloud) return false;
+                                    if (quarantined(view.name, now)) {
+                                      return true;
+                                    }
+                                    return availabilityFilter_ != nullptr &&
+                                           !availabilityFilter_(view.name, now);
                                   }),
                    clusters.end());
   }

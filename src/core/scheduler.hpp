@@ -76,8 +76,22 @@ class GlobalScheduler {
   void quarantine(const std::string& cluster, SimTime until);
   bool quarantined(const std::string& cluster, SimTime now) const;
 
+  /// Request-time availability veto consulted for every non-cloud cluster
+  /// in schedule(); returning false drops the cluster from the request
+  /// before decide(), exactly like quarantine.  The overload governor
+  /// installs its circuit breakers here -- a tripped breaker routes around
+  /// the cluster long before quarantine (which needs a full retry budget
+  /// to burn) would.  Like quarantine, the filter is a degradation
+  /// mechanism, not a policy, so it applies uniformly to every scheduler.
+  using AvailabilityFilter =
+      std::function<bool(const std::string& cluster, SimTime now)>;
+  void setAvailabilityFilter(AvailabilityFilter filter) {
+    availabilityFilter_ = std::move(filter);
+  }
+
  private:
   std::map<std::string, SimTime> quarantineUntil_;
+  AvailabilityFilter availabilityFilter_;
 };
 
 /// Factory registry; the controller config names the scheduler to load.

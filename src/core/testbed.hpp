@@ -84,6 +84,9 @@ class Testbed {
   Simulation& sim() { return sim_; }
   Network& net() { return *net_; }
   EdgeController& controller() { return *controller_; }
+  /// The controller's overload governor, or nullptr when
+  /// options.controller.overload.enabled was false.
+  overload::OverloadGovernor* governor() { return controller_->governor(); }
   ServiceCatalog& catalog() { return catalog_; }
   metrics::Recorder& recorder() { return recorder_; }
   trace::TraceRecorder& trace() { return trace_; }

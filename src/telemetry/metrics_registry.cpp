@@ -88,6 +88,20 @@ double Histogram::quantileFromCounts(const std::vector<std::uint64_t>& counts,
   return bucketUpperBound(static_cast<int>(counts.size()) - 1);
 }
 
+std::uint64_t Histogram::deltaCounts(const std::vector<std::uint64_t>& counts,
+                                     std::vector<std::uint64_t>& last,
+                                     std::vector<std::uint64_t>& window) {
+  if (last.size() != counts.size()) last.assign(counts.size(), 0);
+  window.assign(counts.size(), 0);
+  std::uint64_t samples = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    window[b] = counts[b] - last[b];
+    samples += window[b];
+  }
+  last = counts;
+  return samples;
+}
+
 // ---- MetricsRegistry --------------------------------------------------------
 
 std::string MetricsRegistry::seriesKey(const std::string& name,

@@ -161,6 +161,15 @@ class Histogram {
   /// computed by the SLO watchdog).  NaN when the counts sum to zero.
   static double quantileFromCounts(const std::vector<std::uint64_t>& counts,
                                    double q);
+  /// Windowed bucket delta: window = counts - last element-wise, then last
+  /// is refreshed to counts.  Returns the sample count in the window.
+  /// `last` is resized (zero-filled) on first use.  This is the shared
+  /// mechanism behind the SLO watchdog's and the overload governor's
+  /// rolling latency windows: cumulative bucket snapshots differenced
+  /// against the previous evaluation.
+  static std::uint64_t deltaCounts(const std::vector<std::uint64_t>& counts,
+                                   std::vector<std::uint64_t>& last,
+                                   std::vector<std::uint64_t>& window);
 
  private:
   struct Stripe {

@@ -70,14 +70,9 @@ std::size_t SloWatchdog::evaluate() {
         state.histogram = &registry_.histogram(budget.histogram, budget.labels);
         state.lastCounts.assign(Histogram::kBuckets, 0);
       }
-      std::vector<std::uint64_t> counts = state.histogram->bucketCounts();
-      std::vector<std::uint64_t> window(counts.size(), 0);
-      std::uint64_t windowSamples = 0;
-      for (std::size_t b = 0; b < counts.size(); ++b) {
-        window[b] = counts[b] - state.lastCounts[b];
-        windowSamples += window[b];
-      }
-      state.lastCounts = std::move(counts);
+      std::vector<std::uint64_t> window;
+      const std::uint64_t windowSamples = Histogram::deltaCounts(
+          state.histogram->bucketCounts(), state.lastCounts, window);
       if (windowSamples >= budget.minWindowSamples && windowSamples > 0) {
         const double q = Histogram::quantileFromCounts(window, budget.quantile);
         if (q > budget.latencyBudgetSeconds) {

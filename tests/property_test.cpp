@@ -6,11 +6,19 @@
 //   * FlowMemory model-based check against a reference map,
 //   * under any seeded fault plan, every resolve terminates in bounded time
 //     with an instance or the cloud endpoint -- never a hang or a dangling
-//     pending deployment.
+//     pending deployment,
+//   * under any randomized overload configuration (queue capacity, shed
+//     policy, budget, deploy cap, brownout) every submitted request is
+//     answered exactly once and the shed accounting balances:
+//     submitted == resolved + shed + failed.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/testbed.hpp"
 #include "fault/fault_plan.hpp"
@@ -338,6 +346,105 @@ TEST_P(FaultInvariant, EveryResolveTerminatesInBoundedTime) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultInvariant, ::testing::Range(1, 7));
+
+// ---------------------------------------------- overload accounting ----
+//
+// Randomize the governor's knobs (queue capacity, shed policy, budget,
+// deploy cap, brownout threshold) and fire an open-loop burst of requests
+// from real driver threads while the sim thread pumps.  Whatever mix of
+// warm hits, cold deployments, queue-full sheds, budget expiries, brownout
+// redirects and degraded fallbacks results, every request must be answered
+// exactly once and the controller's books must balance.
+
+class OverloadAccounting : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverloadAccounting, SubmittedEqualsResolvedPlusShedPlusFailed) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed * 811 + 29);
+
+  TestbedOptions options;
+  options.seed = seed;
+  options.clusterMode = ClusterMode::kDockerOnly;
+  options.controller.flowShards = 4;
+  options.controller.workers = 2;
+  auto& overload = options.controller.overload;
+  overload.enabled = true;
+  overload.laneQueueCapacity = rng.uniformInt(1, 4);
+  overload.shedPolicy = rng.chance(0.5) ? "deadline-aware" : "reject-newest";
+  switch (rng.uniformInt(0, 2)) {
+    case 0: overload.requestBudget = SimTime::zero(); break;
+    case 1: overload.requestBudget = SimTime::millis(100); break;
+    default: overload.requestBudget = SimTime::seconds(1.0); break;
+  }
+  overload.maxDeploysPerCluster = static_cast<int>(rng.uniformInt(0, 2));
+  overload.brownoutShedThreshold = rng.chance(0.5) ? 0 : 8;
+  overload.brownoutWindow = SimTime::seconds(5.0);
+  Testbed bed(options);
+  if (rng.chance(0.7)) bed.warmImageCache("nginx");
+  const Endpoint addr(Ipv4(203, 0, 113, 10), 80);
+  ASSERT_TRUE(bed.registerCatalogService("nginx", addr).ok());
+
+  core::EdgeController& controller = bed.controller();
+  constexpr int kDrivers = 2;
+  constexpr int kPerDriver = 40;
+  constexpr int kTotal = kDrivers * kPerDriver;
+  std::vector<std::atomic<int>> callbackCount(kTotal);
+  std::atomic<int> completed{0};
+
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      for (int i = 0; i < kPerDriver; ++i) {
+        const int index = d * kPerDriver + i;
+        // Few distinct clients: later requests hit the memorized flow.
+        controller.submitRequest(
+            Ipv4(10, 0, 2, static_cast<std::uint8_t>(1 + index % 6)), addr,
+            [&, index](Result<core::Redirect>) {
+              callbackCount[index].fetch_add(1);
+              completed.fetch_add(1);
+            });
+      }
+    });
+  }
+
+  Simulation& sim = bed.sim();
+  int guard = 0;
+  while (completed.load(std::memory_order_acquire) < kTotal) {
+    sim.waitForExternal(std::chrono::microseconds(200));
+    sim.pump(10_ms);
+    ASSERT_LT(++guard, 50000)
+        << "requests stalled; " << completed.load() << "/" << kTotal
+        << " shed=" << controller.requestsShed()
+        << " resolved=" << controller.requestsResolved()
+        << " failed=" << controller.requestsFailed();
+  }
+  for (auto& thread : drivers) thread.join();
+  controller.workerPool()->drain();
+  sim.pump(10_ms);
+
+  for (int i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(callbackCount[i].load(), 1) << "request " << i;
+  }
+  EXPECT_EQ(controller.requestsSubmitted(), static_cast<std::uint64_t>(kTotal));
+  EXPECT_EQ(controller.requestsSubmitted(),
+            controller.requestsResolved() + controller.requestsShed() +
+                controller.requestsFailed());
+  // The controller's shed bucket is exactly the governor's queue-full plus
+  // budget-expired counts (deploy-cap refusals degrade, they don't shed).
+  ASSERT_NE(bed.governor(), nullptr);
+  EXPECT_EQ(controller.requestsShed(),
+            bed.governor()->shedCount(overload::ShedReason::kQueueFull) +
+                bed.governor()->shedCount(overload::ShedReason::kBudgetExpired));
+  // Shed answers complete before their background deployments settle; the
+  // deployments must still drain rather than dangle.
+  guard = 0;
+  while (controller.dispatcher().pendingDeployments() > 0) {
+    sim.pump(1_s);
+    ASSERT_LT(++guard, 10000) << "dangling pending deployment";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverloadAccounting, ::testing::Range(1, 7));
 
 }  // namespace
 }  // namespace edgesim

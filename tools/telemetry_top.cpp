@@ -6,8 +6,8 @@
 //
 // Top mode tails a snapshot directory (as written by telemetry::SnapshotWriter
 // or `bench_telemetry_fig16`): every refresh it picks the highest-sequence
-// snapshot_*.json, parses it and renders request / shard / lane / phase / SLO
-// health tables.  `--once` renders a single frame and exits (useful in CI or
+// snapshot_*.json, parses it and renders request / shard / lane / phase /
+// overload-governor / SLO health tables.  `--once` renders a single frame and exits (useful in CI or
 // for post-mortem inspection of a finished run).
 //
 // Lint mode validates Prometheus text exposition files against
@@ -168,6 +168,56 @@ void renderPhases(const TelemetrySnapshot& snap, std::string& out) {
           snap.counterTotal("edgesim_deploy_quarantines_total")));
 }
 
+void renderOverload(const TelemetrySnapshot& snap, std::string& out) {
+  Table sheds({"shed reason", "requests"});
+  for (const auto& counter : snap.counters) {
+    if (counter.name != "edgesim_shed_total") continue;
+    sheds.addRow({labelValue(counter.labels, "reason"),
+                  fmtCount(counter.value)});
+  }
+  Table breakers({"cluster", "state", "opens", "short circuits"});
+  struct BreakerRow {
+    double state = 0.0;
+    std::uint64_t opens = 0, shortCircuits = 0;
+  };
+  std::map<std::string, BreakerRow> byCluster;
+  for (const auto& gauge : snap.gauges) {
+    if (gauge.name != "edgesim_breaker_state") continue;
+    byCluster[labelValue(gauge.labels, "cluster")].state = gauge.value;
+  }
+  for (const auto& counter : snap.counters) {
+    if (counter.name == "edgesim_breaker_transitions_total" &&
+        labelValue(counter.labels, "to") == "open") {
+      byCluster[labelValue(counter.labels, "cluster")].opens += counter.value;
+    } else if (counter.name == "edgesim_breaker_short_circuits_total") {
+      byCluster[labelValue(counter.labels, "cluster")].shortCircuits +=
+          counter.value;
+    }
+  }
+  for (const auto& [cluster, row] : byCluster) {
+    const char* state = row.state >= 2.0   ? "half-open"
+                        : row.state >= 1.0 ? "OPEN"
+                                           : "closed";
+    breakers.addRow({cluster, state, fmtCount(row.opens),
+                     fmtCount(row.shortCircuits)});
+  }
+  const auto* brownout = snap.findGauge("edgesim_brownout_active");
+  if (sheds.rowCount() + breakers.rowCount() == 0 && brownout == nullptr) {
+    return;
+  }
+  out += "overload governor\n";
+  if (sheds.rowCount() > 0) out += sheds.render();
+  if (breakers.rowCount() > 0) out += breakers.render();
+  out += strprintf(
+      "brownout %s  brownout redirects %llu  deploy tokens in use %.0f\n\n",
+      brownout != nullptr && brownout->value >= 1.0 ? "ACTIVE" : "off",
+      static_cast<unsigned long long>(
+          snap.counterTotal("edgesim_brownout_redirects_total")),
+      snap.findGauge("edgesim_deploy_tokens_in_use") != nullptr
+          ? snap.findGauge("edgesim_deploy_tokens_in_use")->value
+          : 0.0);
+}
+
 void renderSlo(const TelemetrySnapshot& snap, std::string& out) {
   Table table({"budget", "breaches"});
   for (const auto& counter : snap.counters) {
@@ -189,6 +239,7 @@ std::string renderFrame(const TelemetrySnapshot& snap,
   renderShards(snap, out);
   renderLanes(snap, out);
   renderPhases(snap, out);
+  renderOverload(snap, out);
   renderSlo(snap, out);
   return out;
 }
