@@ -603,9 +603,10 @@ void EdgeController::handleRegisteredService(OpenFlowSwitch& sw,
       rid, deadline);
 }
 
-void EdgeController::installRedirectFlows(OpenFlowSwitch& sw, Ipv4 client,
-                                          const ServiceModel& service,
-                                          Endpoint instance) {
+std::uint64_t EdgeController::installRedirectFlows(OpenFlowSwitch& sw,
+                                                   Ipv4 client,
+                                                   const ServiceModel& service,
+                                                   Endpoint instance) {
   const SwitchTopology& topo = switches_.at(&sw);
   const std::uint64_t cookie = cookieCounter_++;
 
@@ -636,6 +637,7 @@ void EdgeController::installRedirectFlows(OpenFlowSwitch& sw, Ipv4 client,
                    OutputAction{topo.portFor(client)}};
     sw.sendFlowMod(rev);
   }
+  return cookie;
 }
 
 void EdgeController::releaseBuffered(OpenFlowSwitch& sw, const PendingKey& key,
@@ -772,6 +774,343 @@ Status EdgeController::predeploy(Endpoint serviceAddress,
                              if (cb) cb(std::move(result));
                            });
   return Status();
+}
+
+// ---- mobility / transparent handover --------------------------------------
+//
+// idle -> re-steer -> settle, one state machine per (client, service).
+// The old instance keeps serving throughout: its reverse flow stays
+// installed until the settle confirms the new forward flow in the switch,
+// and the forward flow is *replaced* (install-or-replace FlowMod semantics)
+// rather than removed-then-added, so no packet ever hits a hole in the
+// table.  The continuity gap is therefore bounded by one rule-install RTT
+// -- the flow-stats round trip that confirms the re-steer -- not by a cold
+// deploy (a missing target instance is deployed *before* the re-steer
+// commits, with the old binding answering meanwhile).
+
+void EdgeController::ensureHandoverTelemetry() {
+  if (telemetry_ == nullptr || hoStartedCtr_ != nullptr) return;
+  hoStartedCtr_ = &telemetry_->counter("edgesim_handovers_total",
+                                       {{"outcome", "started"}});
+  hoCompletedCtr_ = &telemetry_->counter("edgesim_handovers_total",
+                                         {{"outcome", "completed"}});
+  hoAbortedCtr_ = &telemetry_->counter("edgesim_handovers_total",
+                                       {{"outcome", "aborted_to_cloud"}});
+  hoLatencyHist_ = &telemetry_->histogram("edgesim_handover_latency_seconds");
+  hoGapHist_ =
+      &telemetry_->histogram("edgesim_handover_continuity_gap_seconds");
+}
+
+void EdgeController::requestHandover(Ipv4 client, Endpoint serviceAddress,
+                                     const std::string& targetCluster,
+                                     HandoverCallback cb) {
+  if (pool_ != nullptr) {
+    // Mobility triggers may fire from lane workers; all handover state
+    // lives on the simulation thread, so marshal through the one
+    // thread-safe seam (same contract as cold submitRequest).
+    sim_.postExternal([this, client, serviceAddress, targetCluster,
+                       cb = std::move(cb)]() mutable {
+      startHandover(client, serviceAddress, targetCluster, std::move(cb));
+    });
+    return;
+  }
+  startHandover(client, serviceAddress, targetCluster, std::move(cb));
+}
+
+void EdgeController::startHandover(Ipv4 client, Endpoint serviceAddress,
+                                   const std::string& targetCluster,
+                                   HandoverCallback cb) {
+  const auto noop = [&cb](const char* reason) {
+    if (cb) {
+      HandoverResult result;
+      result.reason = reason;
+      cb(result);
+    }
+  };
+  const ServiceModel* service = serviceAt(serviceAddress);
+  if (service == nullptr) {
+    noop("unknown-service");
+    return;
+  }
+  const auto memorized = memory_.lookup(client, serviceAddress);
+  if (!memorized.has_value()) {
+    noop("no-memorized-flow");
+    return;
+  }
+  if (memorized->cluster == targetCluster) {
+    noop("already-on-target");
+    return;
+  }
+  const PendingKey key{client, serviceAddress};
+  if (handovers_.count(key) != 0) {
+    // One handover per flow at a time; the mobility layer retries on the
+    // next attachment scan if the client moved again meanwhile.
+    noop("handover-in-flight");
+    return;
+  }
+
+  ensureHandoverTelemetry();
+  handoversStarted_.fetch_add(1, std::memory_order_relaxed);
+  if (hoStartedCtr_ != nullptr) hoStartedCtr_->add();
+  ActiveHandover& ah = handovers_[key];
+  ah.startedAt = sim_.now();
+  ah.oldInstance = memorized->instance;
+  ah.oldCluster = memorized->cluster;
+  ah.targetCluster = targetCluster;
+  ah.cb = std::move(cb);
+  if (trace_ != nullptr) {
+    ah.rid = trace_->newRequest();
+    trace_->instant(ah.rid, "handover-start", "mobility", sim_.now(),
+                    {{"client", client.toString()},
+                     {"service", serviceAddress.toString()},
+                     {"from", ah.oldCluster},
+                     {"to", targetCluster}});
+    ah.span = trace_->beginSpan(ah.rid, "handover", "mobility", sim_.now(),
+                                {{"service", service->uniqueName},
+                                 {"from", ah.oldCluster},
+                                 {"to", targetCluster}});
+  }
+
+  ClusterAdapter* target = dispatcher_->adapterByName(targetCluster);
+  if (target == nullptr) {
+    abortHandoverToCloud(key, *service, "unknown-cluster");
+    return;
+  }
+  if (governor_ != nullptr && !target->isCloud() &&
+      (!governor_->clusterAllowed(targetCluster, sim_.now()) ||
+       governor_->brownoutActive(sim_.now()))) {
+    // A breaker-open or browned-out target would turn the handover into
+    // the very overload it protects against: degrade to the cloud now.
+    abortHandoverToCloud(key, *service, "governor-vetoed-target");
+    return;
+  }
+
+  const auto ready = target->readyInstances(*service);
+  if (!ready.empty()) {
+    // Warm handover: re-steer straight onto an existing instance.
+    commitReSteer(key, *service, dispatcher_->pickInstance(ready, client),
+                  targetCluster, /*degraded=*/false, "warm");
+    return;
+  }
+
+  // Cold handover: deploy at the target first; the old binding keeps
+  // serving until the re-steer commits.  ensureReady brings the full
+  // retry/backoff/fault machinery, so kubelet or registry faults at the
+  // target surface here as a deploy failure -> degrade to cloud.
+  if (trace_ != nullptr) {
+    trace_->instant(ah.rid, "handover-deploy", "mobility", sim_.now(),
+                    {{"cluster", targetCluster}});
+  }
+  const ServiceModel* servicePtr = service;
+  dispatcher_->ensureReady(
+      *service, *target,
+      [this, key, servicePtr, targetCluster](Result<Endpoint> result) {
+        if (handovers_.count(key) == 0) return;
+        if (!result.ok()) {
+          abortHandoverToCloud(key, *servicePtr, "deploy-failed");
+          return;
+        }
+        commitReSteer(key, *servicePtr, result.value(), targetCluster,
+                      /*degraded=*/false, "deployed");
+      },
+      handovers_[key].rid);
+}
+
+void EdgeController::commitReSteer(const PendingKey& key,
+                                   const ServiceModel& service,
+                                   Endpoint instance,
+                                   const std::string& cluster, bool degraded,
+                                   const char* reason) {
+  const auto it = handovers_.find(key);
+  if (it == handovers_.end()) return;
+  ActiveHandover& ah = it->second;
+  ah.commitAt = sim_.now();
+  if (!memory_.rebind(key.client, key.service, instance, cluster,
+                      sim_.now())) {
+    // The flow expired while the target was deploying: nothing left to
+    // re-steer.  Counts in the aborted bucket to keep the accounting exact.
+    HandoverResult result;
+    result.started = true;
+    result.abortedToCloud = true;
+    result.instance = ah.oldInstance;
+    result.cluster = ah.oldCluster;
+    result.latency = sim_.now() - ah.startedAt;
+    result.reason = "flow-expired";
+    handoversAborted_.fetch_add(1, std::memory_order_relaxed);
+    if (hoAbortedCtr_ != nullptr) hoAbortedCtr_->add();
+    if (hoLatencyHist_ != nullptr) {
+      hoLatencyHist_->observe(result.latency.toSeconds());
+    }
+    if (trace_ != nullptr) {
+      trace_->endSpan(ah.span, sim_.now(),
+                      {{"outcome", "aborted"}, {"reason", result.reason}});
+    }
+    finishHandover(key, std::move(result));
+    return;
+  }
+  // The flow may have been scheduled for the Remove phase on the cluster it
+  // just (re-)landed on; it is live again.
+  scaledDownAt_.erase({key.service, cluster});
+
+  // Replace the redirect flows on every attached switch, then confirm the
+  // install with a flow-stats round trip: the FlowMod and the stats request
+  // ride the same ordered control channel, so the snapshot that comes back
+  // provably contains the new forward entry (matched by cookie).  That
+  // round trip IS the continuity gap.
+  std::vector<std::pair<OpenFlowSwitch*, std::uint64_t>> installs;
+  for (auto& [sw, topo] : switches_) {
+    installs.emplace_back(sw,
+                          installRedirectFlows(*sw, key.client, service,
+                                               instance));
+  }
+  if (installs.empty()) {
+    // Headless controller (no attached switch, e.g. pure submitRequest
+    // harnesses): the FlowMemory re-bind is the whole switchover.
+    settleHandover(key, service, instance, cluster, degraded, reason);
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(installs.size());
+  const ServiceModel* servicePtr = &service;
+  for (auto& [sw, cookie] : installs) {
+    sw->requestFlowStats([this, key, servicePtr, instance, cluster, degraded,
+                          reason, cookie, remaining](
+                             const std::vector<openflow::FlowEntry>& entries) {
+      bool found = false;
+      for (const auto& entry : entries) {
+        if (entry.cookie == cookie) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ES_WARN("controller",
+                "handover re-steer cookie %llu missing from flow stats",
+                static_cast<unsigned long long>(cookie));
+      }
+      if (--*remaining == 0) {
+        settleHandover(key, *servicePtr, instance, cluster, degraded, reason);
+      }
+    });
+  }
+}
+
+void EdgeController::settleHandover(const PendingKey& key,
+                                    const ServiceModel& service,
+                                    Endpoint instance,
+                                    const std::string& cluster, bool degraded,
+                                    const char* reason) {
+  const auto it = handovers_.find(key);
+  if (it == handovers_.end()) return;
+  ActiveHandover& ah = it->second;
+  const SimTime now = sim_.now();
+
+  // Switchover done: retire the old instance's reverse flow.  Until this
+  // point it kept rewriting in-flight responses from the old instance back
+  // to the service address, so the hand-off never dropped a reply.
+  if (ah.oldInstance != instance && ah.oldInstance != service.address) {
+    for (auto& [sw, topo] : switches_) {
+      FlowMatch oldReverse;
+      oldReverse.ipSrc = ah.oldInstance.ip;
+      oldReverse.tcpSrc = ah.oldInstance.port;
+      oldReverse.ipDst = key.client;
+      oldReverse.ipProto = IpProto::kTcp;
+      sw->sendFlowRemove(oldReverse);
+    }
+  }
+
+  HandoverResult result;
+  result.started = true;
+  result.completed = !degraded;
+  result.abortedToCloud = degraded;
+  result.instance = instance;
+  result.cluster = cluster;
+  result.continuityGap = now - ah.commitAt;
+  result.latency = now - ah.startedAt;
+  result.reason = reason;
+  if (degraded) {
+    handoversAborted_.fetch_add(1, std::memory_order_relaxed);
+    if (hoAbortedCtr_ != nullptr) hoAbortedCtr_->add();
+  } else {
+    handoversCompleted_.fetch_add(1, std::memory_order_relaxed);
+    if (hoCompletedCtr_ != nullptr) hoCompletedCtr_->add();
+  }
+  if (hoLatencyHist_ != nullptr) {
+    hoLatencyHist_->observe(result.latency.toSeconds());
+    hoGapHist_->observe(result.continuityGap.toSeconds());
+  }
+  if (trace_ != nullptr) {
+    trace_->completeSpan(ah.rid, "continuity-gap", "mobility", ah.commitAt,
+                         now, {}, ah.span);
+    trace_->endSpan(ah.span, now,
+                    {{"outcome", degraded ? "aborted_to_cloud" : "completed"},
+                     {"instance", instance.toString()},
+                     {"cluster", cluster},
+                     {"reason", reason}});
+  }
+  ES_INFO("controller", "handover %s for %s: %s -> %s (%s)",
+          degraded ? "degraded" : "completed", service.uniqueName.c_str(),
+          ah.oldCluster.c_str(), cluster.c_str(), reason);
+
+  // Scale the vacated instance down once no flow needs it -- mirror of the
+  // idle-expiry policy, but triggered by the migration itself.
+  if (options_.scaleDownIdleServices && ah.oldCluster != cluster &&
+      memory_.flowsFor(key.service, ah.oldCluster) == 0) {
+    ClusterAdapter* old = dispatcher_->adapterByName(ah.oldCluster);
+    const ServiceModel* servicePtr = serviceAt(key.service);
+    if (old != nullptr && !old->isCloud() && servicePtr != nullptr) {
+      ++scaleDowns_;
+      if (scaleDownsCtr_ != nullptr) scaleDownsCtr_->add();
+      ES_INFO("controller", "scaling down vacated service %s on %s",
+              servicePtr->uniqueName.c_str(), ah.oldCluster.c_str());
+      old->scaleDown(*servicePtr, [](Status) {});
+      scaledDownAt_[{key.service, ah.oldCluster}] = now;
+    }
+  }
+  finishHandover(key, std::move(result));
+}
+
+void EdgeController::abortHandoverToCloud(const PendingKey& key,
+                                          const ServiceModel& service,
+                                          const char* reason) {
+  const auto cloudIt = cloudRedirects_.find(key.service);
+  if (cloudIt != cloudRedirects_.end()) {
+    // Same re-steer path as a successful handover, pointed at the cloud
+    // instance: the flow ends up on a working binding either way.
+    commitReSteer(key, service, cloudIt->second.instance,
+                  cloudIt->second.cluster, /*degraded=*/true, reason);
+    return;
+  }
+  const auto it = handovers_.find(key);
+  if (it == handovers_.end()) return;
+  ActiveHandover& ah = it->second;
+  // No cloud to degrade to: keep the old binding (still serving) rather
+  // than strand the flow.
+  HandoverResult result;
+  result.started = true;
+  result.abortedToCloud = true;
+  result.instance = ah.oldInstance;
+  result.cluster = ah.oldCluster;
+  result.latency = sim_.now() - ah.startedAt;
+  result.reason = reason;
+  handoversAborted_.fetch_add(1, std::memory_order_relaxed);
+  if (hoAbortedCtr_ != nullptr) hoAbortedCtr_->add();
+  if (hoLatencyHist_ != nullptr) {
+    hoLatencyHist_->observe(result.latency.toSeconds());
+  }
+  if (trace_ != nullptr) {
+    trace_->endSpan(ah.span, sim_.now(),
+                    {{"outcome", "aborted"}, {"reason", reason}});
+  }
+  finishHandover(key, std::move(result));
+}
+
+void EdgeController::finishHandover(const PendingKey& key,
+                                    HandoverResult result) {
+  const auto it = handovers_.find(key);
+  if (it == handovers_.end()) return;
+  HandoverCallback cb = std::move(it->second.cb);
+  handovers_.erase(it);
+  if (cb) cb(result);
 }
 
 }  // namespace edgesim::core

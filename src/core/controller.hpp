@@ -95,6 +95,33 @@ struct ControllerOptions {
   static ControllerOptions fromConfig(const Config& config);
 };
 
+/// Outcome of one transparent handover (EdgeController::requestHandover).
+struct HandoverResult {
+  /// False when the request was a no-op -- nothing memorized for the flow,
+  /// the flow already lives on the target cluster, or a handover for the
+  /// same (client, service) is still in flight.  No-ops are not counted in
+  /// the handover accounting.
+  bool started = false;
+  /// The flow was re-steered onto the requested target cluster.
+  bool completed = false;
+  /// The handover could not land on the target (governor veto, exhausted
+  /// deployment, unknown cluster, flow expired mid-handover) and was
+  /// degraded to the cloud -- or, with no cloud instance, the flow kept its
+  /// old binding (never stranded either way).
+  bool abortedToCloud = false;
+  /// Where the flow points after the handover.
+  Endpoint instance;
+  std::string cluster;
+  /// Re-steer commit (flow-mods sent) -> new forward flow confirmed in the
+  /// switch; bounded by one rule-install RTT for warm handovers.  Zero when
+  /// nothing was re-installed (no-op, expired flow, no attached switch).
+  SimTime continuityGap;
+  /// requestHandover() -> settled, including any target-cluster deployment.
+  SimTime latency;
+  /// "warm" / "deployed" on success; the abort reason otherwise.
+  const char* reason = "";
+};
+
 /// Static topology knowledge for one attached switch: which port reaches
 /// which host IP, and which port leads toward the cloud/uplink.
 struct SwitchTopology {
@@ -151,6 +178,45 @@ class EdgeController : public openflow::ControllerApp {
   /// instead of re-querying the cluster adapter, which is not thread-safe.
   void submitRequest(Ipv4 client, Endpoint serviceAddress,
                      Dispatcher::ResolveCallback cb);
+
+  // ---- mobility / transparent handover ------------------------------------
+  using HandoverCallback = std::function<void(const HandoverResult&)>;
+
+  /// Transparently re-steer the memorized flow (client, serviceAddress)
+  /// onto `targetCluster` while the old instance keeps serving until the
+  /// switchover: idle -> re-steer -> settle.  A ready instance at the
+  /// target makes the handover *warm* -- FlowMemory is re-bound and the
+  /// forward redirect flow is atomically replaced (install-or-replace
+  /// FlowMod), so the continuity gap is one rule-install RTT; with no
+  /// instance the target is deployed first (the old binding keeps
+  /// answering meanwhile).  A breaker-open or browned-out target, an
+  /// unknown cluster, or an exhausted deployment degrades the handover to
+  /// the cloud instead of stranding the flow.  Exact accounting:
+  ///   handoversStarted() == handoversCompleted()
+  ///                         + handoversAbortedToCloud()
+  /// Thread-safe when options.workers > 0 (marshals through
+  /// Simulation::postExternal; the sim thread must be pumping); with no
+  /// pool the call must come from the simulation thread.
+  void requestHandover(Ipv4 client, Endpoint serviceAddress,
+                       const std::string& targetCluster,
+                       HandoverCallback cb = nullptr);
+
+  /// Per-client proximity override for the Global Scheduler's distance
+  /// ranks (mobility attachment table).  Sim thread, before traffic;
+  /// `provider` must outlive the controller or be cleared with nullptr.
+  void setProximityProvider(const ProximityProvider* provider) {
+    dispatcher_->setProximityProvider(provider);
+  }
+
+  std::uint64_t handoversStarted() const {
+    return handoversStarted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t handoversCompleted() const {
+    return handoversCompleted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t handoversAbortedToCloud() const {
+    return handoversAborted_.load(std::memory_order_relaxed);
+  }
 
   /// The lane pool, or nullptr when options.workers == 0.
   LaneExecutor* workerPool() { return pool_.get(); }
@@ -243,13 +309,53 @@ class EdgeController : public openflow::ControllerApp {
     }
   };
 
+  /// One in-flight handover per (client, service): idle -> re-steer ->
+  /// settle.  All state transitions run on the simulation thread.
+  struct ActiveHandover {
+    SimTime startedAt;
+    /// Re-steer commit time (flow-mods sent); the continuity gap runs from
+    /// here to the switch-confirmed settle.
+    SimTime commitAt;
+    Endpoint oldInstance;
+    std::string oldCluster;
+    std::string targetCluster;
+    trace::RequestId rid = 0;
+    trace::SpanId span = 0;
+    HandoverCallback cb;
+  };
+
   void handleRegisteredService(openflow::OpenFlowSwitch& sw,
                                const openflow::PacketIn& event,
                                const ServiceModel& service);
   void handleUnregistered(openflow::OpenFlowSwitch& sw,
                           const openflow::PacketIn& event);
-  void installRedirectFlows(openflow::OpenFlowSwitch& sw, Ipv4 client,
-                            const ServiceModel& service, Endpoint instance);
+  /// Install (or atomically replace) the forward + reverse redirect flows
+  /// for (client, service) -> instance; returns the cookie stamped on both
+  /// entries so callers can confirm the install in a flow-stats snapshot.
+  std::uint64_t installRedirectFlows(openflow::OpenFlowSwitch& sw, Ipv4 client,
+                                     const ServiceModel& service,
+                                     Endpoint instance);
+  // ---- handover state machine (sim thread) --------------------------------
+  void startHandover(Ipv4 client, Endpoint serviceAddress,
+                     const std::string& targetCluster, HandoverCallback cb);
+  /// Re-steer commit: re-bind FlowMemory and replace the redirect flows on
+  /// every attached switch, then confirm via a flow-stats round trip.
+  /// `degraded` marks an abort-to-cloud commit (counts aborted, not
+  /// completed).
+  void commitReSteer(const PendingKey& key, const ServiceModel& service,
+                     Endpoint instance, const std::string& cluster,
+                     bool degraded, const char* reason);
+  void settleHandover(const PendingKey& key, const ServiceModel& service,
+                      Endpoint instance, const std::string& cluster,
+                      bool degraded, const char* reason);
+  /// Degrade the handover to the service's cached cloud redirect (never
+  /// strand the flow); with no cloud instance the old binding is kept.
+  void abortHandoverToCloud(const PendingKey& key, const ServiceModel& service,
+                            const char* reason);
+  void finishHandover(const PendingKey& key, HandoverResult result);
+  /// Lazily register the edgesim_handover_* series on the first handover so
+  /// mobility-free runs export exactly the pre-mobility series set.
+  void ensureHandoverTelemetry();
   void releaseBuffered(openflow::OpenFlowSwitch& sw, const PendingKey& key,
                        const ServiceModel& service, Endpoint instance);
   void dropBuffered(const PendingKey& key);
@@ -309,6 +415,14 @@ class EdgeController : public openflow::ControllerApp {
   std::unordered_map<Endpoint, std::unique_ptr<ServiceModel>> services_;
   std::map<openflow::OpenFlowSwitch*, SwitchTopology> switches_;
   std::map<PendingKey, PendingRequest> pendingRequests_;
+  std::map<PendingKey, ActiveHandover> handovers_;
+  // Handover telemetry, registered lazily on the first handover (sim
+  // thread; registration is mutex-guarded but not hot-path safe).
+  telemetry::Counter* hoStartedCtr_ = nullptr;
+  telemetry::Counter* hoCompletedCtr_ = nullptr;
+  telemetry::Counter* hoAbortedCtr_ = nullptr;
+  telemetry::Histogram* hoLatencyHist_ = nullptr;
+  telemetry::Histogram* hoGapHist_ = nullptr;
   PeriodicTimer memoryScan_;
   /// (service address, cluster) -> when the service was scaled down; used
   /// to drive the Remove/Delete phases after prolonged idle.
@@ -328,6 +442,9 @@ class EdgeController : public openflow::ControllerApp {
   std::atomic<std::uint64_t> removals_{0};
   std::atomic<std::uint64_t> migrations_{0};
   std::atomic<std::uint64_t> warmHits_{0};
+  std::atomic<std::uint64_t> handoversStarted_{0};
+  std::atomic<std::uint64_t> handoversCompleted_{0};
+  std::atomic<std::uint64_t> handoversAborted_{0};
   std::atomic<std::uint64_t> cookieCounter_{1};
 };
 

@@ -81,6 +81,12 @@ ClusterAdapter* Dispatcher::cloudAdapter() const {
   return nullptr;
 }
 
+Endpoint Dispatcher::pickInstance(const std::vector<Endpoint>& instances,
+                                  Ipv4 client) {
+  ES_ASSERT(!instances.empty());
+  return localScheduler_->pick(instances, client);
+}
+
 overload::CircuitBreaker* Dispatcher::breakerFor(
     const ClusterAdapter& cluster) {
   if (governor_ == nullptr || !governor_->options().breakerEnabled ||
@@ -174,7 +180,13 @@ void Dispatcher::resolve(const ServiceModel& service, Ipv4 client,
   request.service = service.address;
   request.client = client;
   for (const auto* adapter : adapters_) {
-    request.clusters.push_back(adapter->view(service));
+    ClusterView view = adapter->view(service);
+    if (proximity_ != nullptr) {
+      // Mobility: the client's current attachment decides who is nearest.
+      const int rank = proximity_->distanceRank(client, view.name);
+      if (rank >= 0) view.distanceRank = rank;
+    }
+    request.clusters.push_back(std::move(view));
   }
 
   // 3. FAST / BEST decision (quarantined clusters are filtered out).

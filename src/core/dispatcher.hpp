@@ -28,6 +28,7 @@
 
 #include "core/cluster_adapter.hpp"
 #include "core/flow_memory.hpp"
+#include "core/proximity.hpp"
 #include "core/scheduler.hpp"
 #include "metrics/recorder.hpp"
 #include "overload/governor.hpp"
@@ -128,6 +129,21 @@ class Dispatcher {
   ClusterAdapter* cloudAdapter() const;
   const std::vector<ClusterAdapter*>& adapters() const { return adapters_; }
 
+  /// Per-client proximity override (mobility): when set, ClusterView
+  /// distance ranks handed to the Global Scheduler come from the provider
+  /// instead of each adapter's static rank (negative = keep static).
+  /// Consulted on the simulation thread only; `provider` must outlive the
+  /// dispatcher or be cleared with nullptr first.
+  void setProximityProvider(const ProximityProvider* provider) {
+    proximity_ = provider;
+  }
+  const ProximityProvider* proximityProvider() const { return proximity_; }
+
+  /// Local Scheduler choice among `instances` (never empty) for `client` --
+  /// exposed so the controller's handover path picks a target instance with
+  /// the same request-time policy as resolve().
+  Endpoint pickInstance(const std::vector<Endpoint>& instances, Ipv4 client);
+
   /// Invoked whenever a BEST (background, "without waiting") deployment
   /// becomes ready: (service address, cluster name, instance).  The
   /// controller uses this to migrate future requests to the optimal
@@ -221,6 +237,7 @@ class Dispatcher {
   metrics::Recorder* recorder_;
   trace::TraceRecorder* trace_;
   overload::OverloadGovernor* governor_;
+  const ProximityProvider* proximity_ = nullptr;
   std::map<std::string, ClusterTelemetry> clusterTelemetry_;
   DispatcherOptions options_;
   std::unique_ptr<LocalScheduler> localScheduler_;

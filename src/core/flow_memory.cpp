@@ -67,6 +67,32 @@ void FlowMemory::touch(Ipv4 client, Endpoint service, SimTime now) {
   }
 }
 
+bool FlowMemory::rebind(Ipv4 client, Endpoint service, Endpoint instance,
+                        const std::string& cluster, SimTime now) {
+  const Key key{client, service};
+  Shard& shard = shardFor(key);
+  std::unique_lock lock(shard.mutex);
+  const auto it = shard.flows.find(key);
+  if (it == shard.flows.end()) return false;
+  StoredFlow& stored = it->second;
+  stored.instance = instance;
+  stored.cluster = cluster;
+  stored.lastSeenNanos.store(now.toNanos(), std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<MemorizedFlow> FlowMemory::flowsForClient(Ipv4 client) const {
+  std::vector<MemorizedFlow> flows;
+  for (const auto& shardPtr : shards_) {
+    const Shard& shard = *shardPtr;
+    std::shared_lock lock(shard.mutex);
+    for (const auto& [key, flow] : shard.flows) {
+      if (key.client == client) flows.push_back(flow.snapshot());
+    }
+  }
+  return flows;
+}
+
 std::optional<MemorizedFlow> FlowMemory::lookup(Ipv4 client,
                                                 Endpoint service) const {
   const Key key{client, service};

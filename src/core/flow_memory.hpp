@@ -77,6 +77,19 @@ class FlowMemory {
   /// shard order.  Exclusive lock per shard, taken one shard at a time.
   std::vector<MemorizedFlow> expire(SimTime now);
 
+  /// Re-point an EXISTING flow at a new instance/cluster without touching
+  /// its identity -- the handover path: the client keeps talking to the
+  /// registered service address while the controller re-steers the flow.
+  /// Returns false when no flow is memorized for (client, service) -- e.g.
+  /// it expired while the handover was deploying the target instance.
+  /// Takes the shard's exclusive lock.
+  bool rebind(Ipv4 client, Endpoint service, Endpoint instance,
+              const std::string& cluster, SimTime now);
+
+  /// Snapshot of every flow memorized for `client`, in shard order; the
+  /// handover trigger enumerates these when the client's attachment moves.
+  std::vector<MemorizedFlow> flowsForClient(Ipv4 client) const;
+
   /// Forget all flows pointing at `instance` (e.g. instance scaled down).
   void forgetInstance(Endpoint instance);
 

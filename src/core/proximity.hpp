@@ -1,0 +1,32 @@
+// Per-client proximity: who is "nearest" depends on where the client is.
+//
+// Every ClusterAdapter carries a static distanceRank -- correct for a fixed
+// topology, wrong the moment clients move between base stations.  A
+// ProximityProvider overrides that rank per (client, cluster) pair when the
+// Dispatcher gathers ClusterViews for the Global Scheduler, so a client that
+// walked from the EGS cell to the far-edge cell is scheduled onto the
+// far-edge cluster without any scheduler knowing about mobility.
+//
+// The mobility subsystem's AttachmentManager implements this interface from
+// its base-station attachment table; the provider is consulted on the
+// simulation thread only (Dispatcher::resolve asserts it).
+#pragma once
+
+#include <string>
+
+#include "net/addr.hpp"
+
+namespace edgesim::core {
+
+class ProximityProvider {
+ public:
+  virtual ~ProximityProvider() = default;
+
+  /// Distance rank of `cluster` as seen from `client`'s current position;
+  /// lower = closer, matching ClusterView::distanceRank.  Return a negative
+  /// value to keep the adapter's static rank (e.g. for the cloud, whose
+  /// distance does not depend on which base station serves the client).
+  virtual int distanceRank(Ipv4 client, const std::string& cluster) const = 0;
+};
+
+}  // namespace edgesim::core

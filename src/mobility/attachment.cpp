@@ -1,0 +1,47 @@
+#include "mobility/attachment.hpp"
+
+namespace edgesim::mobility {
+
+AttachmentManager::AttachmentManager(Simulation& sim,
+                                     const MobilityModel& model,
+                                     AttachmentOptions options)
+    : sim_(sim), model_(model), options_(options) {}
+
+void AttachmentManager::start() {
+  scanNow();
+  timer_.start(sim_, options_.scanPeriod, [this] {
+    scanNow();
+    return true;
+  }, options_.scanPeriod);
+}
+
+void AttachmentManager::stop() { timer_.cancel(); }
+
+void AttachmentManager::scanNow() {
+  const SimTime now = sim_.now();
+  for (const Ipv4 client : model_.clients()) {
+    const std::size_t station =
+        model_.nearestStationIndex(model_.positionOf(client, now));
+    const auto it = attached_.find(client);
+    if (it != attached_.end() && it->second == station) continue;
+    const BaseStation* from =
+        it == attached_.end() ? nullptr : &model_.station(it->second);
+    attached_[client] = station;
+    ++changes_;
+    if (listener_) listener_(client, from, model_.station(station));
+  }
+}
+
+const BaseStation* AttachmentManager::attachmentOf(Ipv4 client) const {
+  const auto it = attached_.find(client);
+  return it == attached_.end() ? nullptr : &model_.station(it->second);
+}
+
+int AttachmentManager::distanceRank(Ipv4 client,
+                                    const std::string& cluster) const {
+  const auto it = attached_.find(client);
+  if (it == attached_.end()) return -1;
+  return model_.clusterRankFrom(it->second, cluster);
+}
+
+}  // namespace edgesim::mobility

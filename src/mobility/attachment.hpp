@@ -1,0 +1,73 @@
+// AttachmentManager: detects when a client's serving cluster is no longer
+// the nearest one.
+//
+// A periodic sim-time scan evaluates every client's position against the
+// base stations and maintains the attachment table (client -> station).
+// When the nearest station changes, the change listener fires -- that is
+// the mobility subsystem's handover trigger.  The manager also implements
+// core::ProximityProvider from the same table, so the Global Scheduler's
+// distance ranks follow the client around (a cold request from a moved
+// client already lands on the new nearest cluster, no handover needed).
+//
+// All scanning and queries run on the simulation thread; the table is
+// plain state with no locks, matching Dispatcher::resolve's threading.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "core/proximity.hpp"
+#include "mobility/mobility_model.hpp"
+#include "sim/simulation.hpp"
+
+namespace edgesim::mobility {
+
+struct AttachmentOptions {
+  /// How often positions are re-evaluated.  The detection half of the
+  /// handover latency is bounded by this period.
+  SimTime scanPeriod = SimTime::millis(500);
+};
+
+class AttachmentManager : public core::ProximityProvider {
+ public:
+  AttachmentManager(Simulation& sim, const MobilityModel& model,
+                    AttachmentOptions options = {});
+
+  /// `from` is nullptr on the initial attachment.
+  using ChangeListener = std::function<void(
+      Ipv4 client, const BaseStation* from, const BaseStation& to)>;
+  void setChangeListener(ChangeListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Seed the table with an immediate scan, then re-scan every scanPeriod.
+  void start();
+  void stop();
+
+  /// One scan pass right now (exposed for tests and manual stepping).
+  void scanNow();
+
+  /// Current attachment, or nullptr before the first scan reaches the
+  /// client.
+  const BaseStation* attachmentOf(Ipv4 client) const;
+
+  /// Attachment changes observed (initial attachments included).
+  std::uint64_t attachmentChanges() const { return changes_; }
+
+  // ---- core::ProximityProvider -------------------------------------------
+  /// Rank from the client's attached station; -1 (keep the adapter's
+  /// static rank) for unattached clients and clusters no station serves.
+  int distanceRank(Ipv4 client, const std::string& cluster) const override;
+
+ private:
+  Simulation& sim_;
+  const MobilityModel& model_;
+  AttachmentOptions options_;
+  PeriodicTimer timer_;
+  std::map<Ipv4, std::size_t> attached_;  // client -> station index
+  ChangeListener listener_;
+  std::uint64_t changes_ = 0;
+};
+
+}  // namespace edgesim::mobility

@@ -1,0 +1,51 @@
+#include "mobility/handover.hpp"
+
+#include "util/log.hpp"
+
+namespace edgesim::mobility {
+
+HandoverManager::HandoverManager(core::EdgeController& controller,
+                                 AttachmentManager& attachments,
+                                 HandoverOptions options)
+    : controller_(controller), attachments_(attachments), options_(options) {}
+
+void HandoverManager::start() {
+  controller_.setProximityProvider(&attachments_);
+  attachments_.setChangeListener(
+      [this](Ipv4 client, const BaseStation* from, const BaseStation& to) {
+        onAttachmentChange(client, from, to);
+      });
+  attachments_.start();
+}
+
+void HandoverManager::stop() {
+  attachments_.stop();
+  controller_.setProximityProvider(nullptr);
+}
+
+void HandoverManager::onAttachmentChange(Ipv4 client, const BaseStation* from,
+                                         const BaseStation& to) {
+  ES_DEBUG("mobility", "client %s attached to %s (cluster %s)%s",
+           client.toString().c_str(), to.name.c_str(), to.cluster.c_str(),
+           from == nullptr ? " [initial]" : "");
+  // Re-steer every memorized flow that no longer lives on the nearest
+  // cluster.  The controller ignores flows already on the target and
+  // de-dupes handovers in flight, so re-triggering on every scan is safe.
+  for (const auto& flow :
+       controller_.flowMemory().flowsForClient(client)) {
+    if (flow.cluster == to.cluster) continue;
+    if (!options_.liftCloudFlows) {
+      const core::ClusterAdapter* adapter =
+          controller_.dispatcher().adapterByName(flow.cluster);
+      if (adapter != nullptr && adapter->isCloud()) continue;
+    }
+    ++triggered_;
+    controller_.requestHandover(
+        client, flow.service, to.cluster,
+        [this, client](const core::HandoverResult& result) {
+          if (listener_) listener_(client, result);
+        });
+  }
+}
+
+}  // namespace edgesim::mobility

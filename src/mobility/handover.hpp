@@ -1,0 +1,63 @@
+// HandoverManager: wires mobility into the controller's handover path.
+//
+// On every attachment change it enumerates the client's memorized flows and
+// asks the controller to re-steer each one onto the new station's cluster
+// (EdgeController::requestHandover -- idle -> re-steer -> settle, degrade
+// to cloud on governor veto or deploy failure).  It also installs the
+// attachment manager as the Dispatcher's ProximityProvider, so *new* flows
+// of moved clients schedule onto the right cluster without any handover.
+//
+// The manager owns no handover state itself; it is the trigger layer, and
+// the controller's exact accounting (started == completed + aborted) is the
+// invariant the property suite checks through it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/controller.hpp"
+#include "mobility/attachment.hpp"
+
+namespace edgesim::mobility {
+
+struct HandoverOptions {
+  /// Also re-steer flows currently bound to the cloud: a client arriving
+  /// in an edge cell pulls its cloud flow down to the edge (deploying
+  /// there when needed).  Off, cloud flows stay put until they expire.
+  bool liftCloudFlows = true;
+};
+
+class HandoverManager {
+ public:
+  HandoverManager(core::EdgeController& controller,
+                  AttachmentManager& attachments, HandoverOptions options = {});
+
+  /// Install the proximity provider + change listener and start the
+  /// attachment scan.  Call on the simulation thread before traffic.
+  void start();
+  void stop();
+
+  /// Observes every finished handover this manager triggered (fires after
+  /// the controller's settle, on the simulation thread).
+  using ResultListener =
+      std::function<void(Ipv4 client, const core::HandoverResult&)>;
+  void setResultListener(ResultListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// requestHandover calls issued (no-ops excluded by the controller's own
+  /// accounting, included here).
+  std::uint64_t handoversTriggered() const { return triggered_; }
+
+ private:
+  void onAttachmentChange(Ipv4 client, const BaseStation* from,
+                          const BaseStation& to);
+
+  core::EdgeController& controller_;
+  AttachmentManager& attachments_;
+  HandoverOptions options_;
+  ResultListener listener_;
+  std::uint64_t triggered_ = 0;
+};
+
+}  // namespace edgesim::mobility

@@ -1,0 +1,97 @@
+#include "mobility/mobility_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace edgesim::mobility {
+
+namespace {
+
+double distance(Position a, Position b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+}  // namespace
+
+MobilityModel::MobilityModel(std::vector<BaseStation> stations)
+    : stations_(std::move(stations)) {
+  ES_ASSERT_MSG(!stations_.empty(), "MobilityModel needs >= 1 base station");
+  // Precompute per-station cluster ranks: own cluster first, the rest by
+  // distance to their nearest station, name as the deterministic tiebreak.
+  ranks_.resize(stations_.size());
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    std::map<std::string, double> nearest;
+    for (const BaseStation& other : stations_) {
+      const double d = distance(stations_[s].pos, other.pos);
+      const auto it = nearest.find(other.cluster);
+      if (it == nearest.end() || d < it->second) nearest[other.cluster] = d;
+    }
+    std::vector<std::pair<double, std::string>> ordered;
+    ordered.reserve(nearest.size());
+    for (const auto& [cluster, d] : nearest) {
+      ordered.emplace_back(cluster == stations_[s].cluster ? -1.0 : d,
+                           cluster);
+    }
+    std::sort(ordered.begin(), ordered.end());
+    int rank = 0;
+    for (const auto& [d, cluster] : ordered) ranks_[s][cluster] = rank++;
+  }
+}
+
+void MobilityModel::setPath(Ipv4 client, MobilityPath path) {
+  ES_ASSERT(!path.waypoints.empty());
+  for (auto& [ip, existing] : paths_) {
+    if (ip == client) {
+      existing = std::move(path);
+      return;
+    }
+  }
+  paths_.emplace_back(client, std::move(path));
+}
+
+bool MobilityModel::hasPath(Ipv4 client) const {
+  for (const auto& [ip, path] : paths_) {
+    if (ip == client) return true;
+  }
+  return false;
+}
+
+Position MobilityModel::positionOf(Ipv4 client, SimTime t) const {
+  for (const auto& [ip, path] : paths_) {
+    if (ip == client) return path.positionAt(t);
+  }
+  ES_ASSERT_MSG(false, "positionOf: client has no mobility path");
+  return {};
+}
+
+std::size_t MobilityModel::nearestStationIndex(Position pos) const {
+  std::size_t best = 0;
+  double bestDistance = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    const double d = distance(pos, stations_[s].pos);
+    if (d < bestDistance) {
+      bestDistance = d;
+      best = s;
+    }
+  }
+  return best;
+}
+
+int MobilityModel::clusterRankFrom(std::size_t stationIndex,
+                                   const std::string& cluster) const {
+  const auto& ranks = ranks_.at(stationIndex);
+  const auto it = ranks.find(cluster);
+  return it == ranks.end() ? -1 : it->second;
+}
+
+std::vector<Ipv4> MobilityModel::clients() const {
+  std::vector<Ipv4> result;
+  result.reserve(paths_.size());
+  for (const auto& [ip, path] : paths_) result.push_back(ip);
+  return result;
+}
+
+}  // namespace edgesim::mobility

@@ -1,0 +1,75 @@
+// MobilityModel: clients moving across base stations on sim-time waypoints.
+//
+// The model is pure geometry -- it knows the base stations (position +
+// which edge cluster serves each), one movement path per client, and how to
+// answer "where is this client at time t" and "which station is nearest".
+// It holds no timers and mutates nothing after setup, so the attachment
+// manager can query it from its scan loop and tests can probe it directly.
+//
+// Cluster proximity is derived, not configured: the distance rank of a
+// cluster as seen from a station is 0 for the station's own cluster and
+// 1, 2, ... for the remaining clusters ordered by distance to their nearest
+// station (ties broken by name for determinism).  Clusters no station
+// serves -- the cloud -- get rank -1, "no opinion", which keeps the
+// adapter's static rank when the attachment manager feeds ranks into the
+// Dispatcher as a ProximityProvider.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "sim/time.hpp"
+#include "workload/mobility_paths.hpp"
+
+namespace edgesim::mobility {
+
+using workload::MobilityPath;
+using workload::Position;
+
+struct BaseStation {
+  std::string name;
+  Position pos;
+  /// Edge cluster serving this station's cell (ClusterAdapter name).
+  std::string cluster;
+};
+
+class MobilityModel {
+ public:
+  explicit MobilityModel(std::vector<BaseStation> stations);
+
+  /// Assign (or replace) `client`'s movement path.
+  void setPath(Ipv4 client, MobilityPath path);
+  bool hasPath(Ipv4 client) const;
+
+  /// Position at `t`; the client must have a path.
+  Position positionOf(Ipv4 client, SimTime t) const;
+
+  /// Nearest station to `pos`; ties break toward the lowest station index
+  /// so the answer is deterministic.
+  std::size_t nearestStationIndex(Position pos) const;
+  const BaseStation& station(std::size_t index) const {
+    return stations_.at(index);
+  }
+  const std::vector<BaseStation>& stations() const { return stations_; }
+
+  /// Distance rank of `cluster` as seen from `station` (see file comment);
+  /// -1 when no station serves the cluster.
+  int clusterRankFrom(std::size_t stationIndex,
+                      const std::string& cluster) const;
+
+  /// Clients with a path, in insertion order (deterministic scan order).
+  std::vector<Ipv4> clients() const;
+
+ private:
+  std::vector<BaseStation> stations_;
+  /// Insertion-ordered so attachment scans visit clients deterministically.
+  std::vector<std::pair<Ipv4, MobilityPath>> paths_;
+  /// Precomputed per-station cluster ranks.
+  std::vector<std::map<std::string, int>> ranks_;
+};
+
+}  // namespace edgesim::mobility

@@ -1,0 +1,122 @@
+#include "workload/mobility_paths.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace edgesim::workload {
+
+Position MobilityPath::positionAt(SimTime t) const {
+  ES_ASSERT(!waypoints.empty());
+  if (t <= waypoints.front().at) return waypoints.front().pos;
+  if (t >= waypoints.back().at) return waypoints.back().pos;
+  // First waypoint strictly after t; its predecessor exists by the clamps.
+  const auto after = std::upper_bound(
+      waypoints.begin(), waypoints.end(), t,
+      [](SimTime value, const Waypoint& wp) { return value < wp.at; });
+  const Waypoint& b = *after;
+  const Waypoint& a = *(after - 1);
+  const double span = (b.at - a.at).toSeconds();
+  if (span <= 0.0) return a.pos;
+  const double f = (t - a.at).toSeconds() / span;
+  return Position{a.pos.x + (b.pos.x - a.pos.x) * f,
+                  a.pos.y + (b.pos.y - a.pos.y) * f};
+}
+
+namespace {
+
+/// Uniform point within `radius` of `center` (rejection-free: sqrt radius).
+Position scatter(Rng& rng, Position center, double radius) {
+  const double angle = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+  const double r = radius * std::sqrt(rng.uniform01());
+  return Position{center.x + r * std::cos(angle),
+                  center.y + r * std::sin(angle)};
+}
+
+}  // namespace
+
+std::vector<MobilityPath> commuteWavePaths(const CommuteWaveParams& params) {
+  Rng rng(params.seed);
+  std::vector<MobilityPath> paths;
+  paths.reserve(params.clients);
+  for (std::size_t i = 0; i < params.clients; ++i) {
+    Rng client = rng.fork(i + 1);
+    const Position home = scatter(client, params.origin, params.scatterRadius);
+    const Position work =
+        scatter(client, params.destination, params.scatterRadius);
+    const SimTime departure =
+        params.firstDeparture +
+        SimTime::seconds(client.uniform01() *
+                         params.departureWindow.toSeconds());
+    const SimTime travel = SimTime::seconds(
+        params.travelTime.toSeconds() * client.uniform(0.8, 1.2));
+    MobilityPath path;
+    path.waypoints.push_back({SimTime::zero(), home});
+    path.waypoints.push_back({departure, home});
+    path.waypoints.push_back({departure + travel, work});
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::vector<MobilityPath> stadiumEgressPaths(
+    const StadiumEgressParams& params) {
+  Rng rng(params.seed);
+  std::vector<MobilityPath> paths;
+  paths.reserve(params.clients);
+  for (std::size_t i = 0; i < params.clients; ++i) {
+    Rng client = rng.fork(i + 1);
+    const double angle = client.uniform(0.0, 2.0 * 3.14159265358979323846);
+    const double distance =
+        client.uniform(params.minHomeDistance, params.maxHomeDistance);
+    const Position home{params.stadium.x + distance * std::cos(angle),
+                        params.stadium.y + distance * std::sin(angle)};
+    const SimTime leave =
+        params.eventEnd +
+        SimTime::seconds(client.uniform01() * params.egressWindow.toSeconds());
+    const double speed = params.speed * client.uniform(0.7, 1.3);
+    const SimTime travel = SimTime::seconds(distance / speed);
+    MobilityPath path;
+    path.waypoints.push_back({SimTime::zero(), params.stadium});
+    path.waypoints.push_back({leave, params.stadium});
+    path.waypoints.push_back({leave + travel, home});
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::vector<MobilityPath> randomWaypointPaths(
+    const RandomWaypointParams& params) {
+  ES_ASSERT(params.minSpeed > 0.0 && params.maxSpeed >= params.minSpeed);
+  Rng rng(params.seed);
+  std::vector<MobilityPath> paths;
+  paths.reserve(params.clients);
+  for (std::size_t i = 0; i < params.clients; ++i) {
+    Rng client = rng.fork(i + 1);
+    MobilityPath path;
+    Position pos{client.uniform(0.0, params.width),
+                 client.uniform(0.0, params.height)};
+    SimTime now = SimTime::zero();
+    path.waypoints.push_back({now, pos});
+    while (now < params.duration) {
+      const Position next{client.uniform(0.0, params.width),
+                          client.uniform(0.0, params.height)};
+      const double speed = client.uniform(params.minSpeed, params.maxSpeed);
+      const double distance = std::hypot(next.x - pos.x, next.y - pos.y);
+      now = now + SimTime::seconds(distance / speed);
+      path.waypoints.push_back({now, next});
+      pos = next;
+      const SimTime pause =
+          SimTime::seconds(client.uniform01() * params.maxPause.toSeconds());
+      if (pause > SimTime::zero()) {
+        now = now + pause;
+        path.waypoints.push_back({now, pos});
+      }
+    }
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace edgesim::workload

@@ -1,0 +1,97 @@
+// Deterministic, seed-driven client movement paths for mobility scenarios.
+//
+// A path is a sorted list of sim-time waypoints in a flat 2-D service area;
+// position between waypoints is linearly interpolated and clamped at both
+// ends.  Three generators cover the scenario shapes the mobility suite
+// needs:
+//
+//   * commuteWavePaths: clients clustered around an origin cell leave in a
+//     staggered wave, travel to a destination cell, and dwell there -- the
+//     morning-commute shape that drains one base station into another.
+//   * stadiumEgressPaths: everyone starts packed at one point (the stadium)
+//     and disperses radially to scattered home points after the event ends
+//     -- the moving-flash-crowd shape.
+//   * randomWaypointPaths: the classic random-waypoint model (pick a point,
+//     travel at a drawn speed, pause, repeat).
+//
+// All generators draw exclusively from a caller-forked Rng, so paths are a
+// pure function of (seed, params): the same inputs always produce the same
+// movement, which the determinism golden pins.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace edgesim::workload {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct Waypoint {
+  SimTime at;
+  Position pos;
+};
+
+/// One client's movement: waypoints sorted by time, linearly interpolated.
+struct MobilityPath {
+  std::vector<Waypoint> waypoints;
+
+  /// Position at `t`: clamped to the first/last waypoint outside the path's
+  /// time range, linear interpolation between neighbours inside it.
+  Position positionAt(SimTime t) const;
+};
+
+struct CommuteWaveParams {
+  std::uint64_t seed = 1;
+  std::size_t clients = 20;
+  Position origin;
+  Position destination{1000.0, 0.0};
+  /// Clients start scattered uniformly within this radius of origin /
+  /// destination.
+  double scatterRadius = 50.0;
+  /// First departure; subsequent departures are staggered uniformly over
+  /// `departureWindow`.
+  SimTime firstDeparture = SimTime::seconds(5.0);
+  SimTime departureWindow = SimTime::seconds(10.0);
+  /// Travel time origin -> destination, jittered per client by +-20%.
+  SimTime travelTime = SimTime::seconds(10.0);
+};
+
+struct StadiumEgressParams {
+  std::uint64_t seed = 1;
+  std::size_t clients = 20;
+  Position stadium;
+  /// Home points are drawn uniformly in an annulus [minHomeDistance,
+  /// maxHomeDistance] around the stadium.
+  double minHomeDistance = 300.0;
+  double maxHomeDistance = 1500.0;
+  /// The event ends here; clients leave staggered over `egressWindow`.
+  SimTime eventEnd = SimTime::seconds(5.0);
+  SimTime egressWindow = SimTime::seconds(20.0);
+  /// Walking speed in distance units per second, jittered per client.
+  double speed = 50.0;
+};
+
+struct RandomWaypointParams {
+  std::uint64_t seed = 1;
+  std::size_t clients = 20;
+  /// Service area [0, width] x [0, height].
+  double width = 2000.0;
+  double height = 2000.0;
+  SimTime duration = SimTime::seconds(60.0);
+  double minSpeed = 20.0;
+  double maxSpeed = 100.0;
+  SimTime maxPause = SimTime::seconds(5.0);
+};
+
+std::vector<MobilityPath> commuteWavePaths(const CommuteWaveParams& params);
+std::vector<MobilityPath> stadiumEgressPaths(const StadiumEgressParams& params);
+std::vector<MobilityPath> randomWaypointPaths(const RandomWaypointParams& params);
+
+}  // namespace edgesim::workload

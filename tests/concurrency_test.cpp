@@ -20,6 +20,10 @@
 //     are the regression tests for the formerly unguarded mutable state
 //     (`++nextRequest_`, the samples map, the failure counter): on the
 //     pre-shard code they fail under TSan and can lose updates.
+//   * EdgeController::requestHandover: a handover storm from external
+//     threads ping-ponging flows between clusters while warm-path lookups
+//     hit the same FlowMemory shards from the worker pool; every callback
+//     fires exactly once and the handover books balance exactly.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -328,6 +332,142 @@ TEST(ControllerConcurrency, MixedWarmColdStormResolvesEveryRequestOnce) {
   sim.runUntil(sim.now() + 120_s);
   EXPECT_EQ(controller.scaleDowns(), 1u);
   EXPECT_EQ(controller.flowMemory().size(), 0u);
+}
+
+// ----------------------------------------------- handover storm (TSan) ----
+//
+// Handovers mutate FlowMemory (rebind) on the sim thread while the worker
+// pool serves warm lookups on the SAME shards.  This storm ping-pongs every
+// client's flow between the EGS and the far edge from external driver
+// threads (requestHandover marshals through postExternal, the one
+// thread-safe seam) while other drivers hammer submitRequest.  Under TSan a
+// rebind/lookup race is a report; functionally, every callback must fire
+// exactly once and the accounting must balance exactly.
+
+TEST(ControllerConcurrency, HandoverStormRacesWarmLookupsSafely) {
+  TestbedOptions options;
+  options.seed = 13;
+  options.clientCount = 4;
+  options.clusterMode = ClusterMode::kDockerOnly;
+  options.farEdge = true;
+  options.controller.flowShards = 8;
+  options.controller.workers = 4;
+  options.controller.memoryIdleTimeout = 120_s;
+  options.controller.memoryScanPeriod = 1_s;
+  Testbed bed(options);
+  bed.warmImageCache("nginx");
+  ASSERT_TRUE(bed.registerCatalogService("nginx", kNginxAddr).ok());
+
+  EdgeController& controller = bed.controller();
+  Simulation& sim = bed.sim();
+
+  // Bring up instances on BOTH edge clusters so every handover is a warm
+  // re-steer (no deploys to coalesce) ...
+  bool farReady = false;
+  ASSERT_TRUE(controller
+                  .predeploy(kNginxAddr, "docker-far",
+                             [&](Result<Endpoint> r) {
+                               ASSERT_TRUE(r.ok());
+                               farReady = true;
+                             })
+                  .ok());
+  while (!farReady) sim.runUntil(sim.now() + 1_s);
+
+  // ... and memorize one flow per client (cold burst, then quiesce).
+  constexpr int kClients = 8;
+  std::atomic<int> established{0};
+  for (int c = 0; c < kClients; ++c) {
+    controller.submitRequest(clientIp(c), kNginxAddr,
+                             [&](Result<Redirect> r) {
+                               ASSERT_TRUE(r.ok());
+                               established.fetch_add(1);
+                             });
+  }
+  int setupGuard = 0;
+  while (established.load(std::memory_order_acquire) < kClients) {
+    sim.waitForExternal(std::chrono::microseconds(200));
+    sim.pump(10_ms);
+    ASSERT_LT(++setupGuard, 50000) << "setup stalled";
+  }
+
+  constexpr int kHandoverDrivers = 2;
+  constexpr int kLookupDrivers = 2;
+  constexpr int kRounds = 10;
+  constexpr int kHandoverCalls = kHandoverDrivers * kClients * kRounds;
+  constexpr int kLookupCalls = kLookupDrivers * kClients * kRounds;
+
+  std::atomic<int> handoverCallbacks{0};
+  std::atomic<int> lookupCallbacks{0};
+  std::atomic<int> lookupFailures{0};
+
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kHandoverDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Both drivers ping-pong the same clients in opposite phases, so
+        // no-op ("already-on-target"), dedupe ("handover-in-flight") and
+        // real re-steers all interleave on the same PendingKey map.
+        const bool toFar = (round + d) % 2 == 0;
+        for (int c = 0; c < kClients; ++c) {
+          controller.requestHandover(
+              clientIp(c), kNginxAddr, toFar ? "docker-far" : "docker-egs",
+              [&](const HandoverResult&) { handoverCallbacks.fetch_add(1); });
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (int d = 0; d < kLookupDrivers; ++d) {
+    drivers.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int c = 0; c < kClients; ++c) {
+          // Warm path: FlowMemory lookup on a pool worker, racing rebinds
+          // of the very same shard entries.
+          controller.submitRequest(clientIp(c), kNginxAddr,
+                                   [&](Result<Redirect> r) {
+                                     if (!r.ok()) lookupFailures.fetch_add(1);
+                                     lookupCallbacks.fetch_add(1);
+                                   });
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  int guard = 0;
+  while (handoverCallbacks.load(std::memory_order_acquire) < kHandoverCalls ||
+         lookupCallbacks.load(std::memory_order_acquire) < kLookupCalls) {
+    sim.waitForExternal(std::chrono::microseconds(200));
+    sim.pump(10_ms);
+    ASSERT_LT(++guard, 50000)
+        << "storm stalled; handovers=" << handoverCallbacks.load() << "/"
+        << kHandoverCalls << " lookups=" << lookupCallbacks.load() << "/"
+        << kLookupCalls << " started=" << controller.handoversStarted()
+        << " completed=" << controller.handoversCompleted()
+        << " aborted=" << controller.handoversAbortedToCloud();
+  }
+  for (auto& thread : drivers) thread.join();
+  controller.workerPool()->drain();
+  sim.pump(10_ms);
+
+  EXPECT_EQ(handoverCallbacks.load(), kHandoverCalls);
+  EXPECT_EQ(lookupCallbacks.load(), kLookupCalls);
+  EXPECT_EQ(lookupFailures.load(), 0);
+  EXPECT_EQ(controller.requestsFailed(), 0u);
+  // Exact books: every started handover ended exactly one way.  (No cloud
+  // aborts are expected here -- both targets stay healthy -- but the
+  // invariant is the 2-way balance, not the split.)
+  EXPECT_EQ(controller.handoversStarted(),
+            controller.handoversCompleted() +
+                controller.handoversAbortedToCloud());
+  EXPECT_GT(controller.handoversStarted(), 0u);
+  // Every client still holds exactly one consistent binding.
+  for (int c = 0; c < kClients; ++c) {
+    const auto flow = controller.flowMemory().lookup(clientIp(c), kNginxAddr);
+    ASSERT_TRUE(flow.has_value()) << "client " << c;
+    EXPECT_TRUE(flow->cluster == "docker-egs" || flow->cluster == "docker-far")
+        << flow->cluster;
+  }
 }
 
 // ------------------------------------ recorder thread-safety probes ----

@@ -10,7 +10,10 @@
 //   * under any randomized overload configuration (queue capacity, shed
 //     policy, budget, deploy cap, brownout) every submitted request is
 //     answered exactly once and the shed accounting balances:
-//     submitted == resolved + shed + failed.
+//     submitted == resolved + shed + failed,
+//   * under randomized mobility traces crossed with randomized fault plans
+//     every request is still answered exactly once and the handover books
+//     balance: started == completed + aborted_to_cloud (HandoverContinuity).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -22,8 +25,12 @@
 
 #include "core/testbed.hpp"
 #include "fault/fault_plan.hpp"
+#include "mobility/attachment.hpp"
+#include "mobility/handover.hpp"
+#include "mobility/mobility_model.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "workload/mobility_paths.hpp"
 #include "yamlite/parse.hpp"
 
 namespace edgesim {
@@ -445,6 +452,136 @@ TEST_P(OverloadAccounting, SubmittedEqualsResolvedPlusShedPlusFailed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OverloadAccounting, ::testing::Range(1, 7));
+
+// ----------------------------------------------- handover continuity ----
+//
+// Randomized mobility traces crossed with randomized fault plans: clients
+// wander between the EGS cell and the far-edge cell while the handover
+// manager re-steers their flows, and the far-edge deploy path is salted
+// with seeded faults (so handovers abort to the cloud mid-flight).
+// Invariants, whatever the trace and plan:
+//   * every issued request is answered exactly once, successfully -- a
+//     handover never strands a flow;
+//   * the handover books balance exactly:
+//     handoversStarted == handoversCompleted + handoversAbortedToCloud;
+//   * nothing dangles (no pending deployments, no in-flight handovers).
+
+class HandoverContinuity : public ::testing::TestWithParam<int> {};
+
+TEST_P(HandoverContinuity, NoRequestLostUnderMobilityAndFaults) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  TestbedOptions options;
+  options.seed = seed;
+  options.clusterMode = ClusterMode::kDockerOnly;
+  options.farEdge = true;
+  options.controller.deployRetries = 1;
+  options.controller.retryBackoff = SimTime::millis(100);
+  // Odd seeds run with the governor on: handovers into a browned-out or
+  // breaker-open cluster must degrade, never strand.
+  options.controller.overload.enabled = (seed % 2 == 1);
+  Testbed bed(options);
+
+  Rng rng(seed * 613 + 11);
+
+  // Seeded fault plan over the deploy paths a handover exercises.
+  fault::FaultPlan plan(seed * 977 + 41);
+  const std::vector<std::string> rpcTargets{
+      "docker-far", "docker-far/pull", "docker-far/create",
+      "docker-egs/scaleup"};
+  const auto specCount = rng.uniformInt(1, 4);
+  for (std::uint64_t i = 0; i < specCount; ++i) {
+    fault::FaultSpec spec;
+    if (rng.chance(0.3)) {
+      spec.site = fault::FaultSite::kRegistryPull;
+      spec.target = "far-edge";
+    } else {
+      spec.site = fault::FaultSite::kClusterRpc;
+      spec.target = rpcTargets[rng.uniformInt(0, rpcTargets.size() - 1)];
+    }
+    spec.probability = rng.uniform(0.2, 1.0);
+    spec.maxTriggers =
+        rng.chance(0.4) ? static_cast<int>(rng.uniformInt(1, 3)) : -1;
+    spec.skipFirst = static_cast<int>(rng.uniformInt(0, 2));
+    spec.stall =
+        SimTime::millis(static_cast<std::int64_t>(rng.uniformInt(0, 300)));
+    plan.add(spec);
+  }
+  bed.injectFaults(plan);
+
+  const Endpoint addr(Ipv4(203, 0, 113, 10), 80);
+  bed.warmImageCache("nginx");
+  ASSERT_TRUE(bed.registerCatalogService("nginx", addr).ok());
+
+  // Random mobility traces: each client wanders between the two cells,
+  // crossing the midpoint an arbitrary number of times within 40 s.
+  mobility::MobilityModel model(
+      {{"bs-egs", {0.0, 0.0}, "docker-egs"},
+       {"bs-far", {1000.0, 0.0}, "docker-far"}});
+  const std::size_t clientCount = 3 + seed % 3;
+  for (std::size_t c = 0; c < clientCount; ++c) {
+    workload::MobilityPath path;
+    path.waypoints.push_back(
+        {SimTime::zero(), {rng.uniform(0.0, 400.0), rng.uniform(-100.0, 100.0)}});
+    const auto hops = rng.uniformInt(1, 4);
+    double at = 0.0;
+    for (std::uint64_t h = 0; h < hops; ++h) {
+      at += rng.uniform(4.0, 12.0);
+      path.waypoints.push_back({SimTime::seconds(at),
+                                {rng.uniform(0.0, 1000.0),
+                                 rng.uniform(-100.0, 100.0)}});
+    }
+    model.setPath(Ipv4(10, 0, 2, static_cast<std::uint8_t>(c + 1)),
+                  std::move(path));
+  }
+  mobility::AttachmentManager attachments(bed.sim(), model,
+                                          {.scanPeriod = SimTime::millis(250)});
+  mobility::HandoverManager handovers(bed.controller(), attachments);
+  handovers.start();
+
+  // Scattered requests from every client across the mobile phase: some hit
+  // mid-handover, some land right after a re-steer.
+  int issued = 0;
+  int answered = 0;
+  for (std::size_t c = 0; c < clientCount; ++c) {
+    const auto requestCount = rng.uniformInt(3, 6);
+    for (std::uint64_t r = 0; r < requestCount; ++r) {
+      const double at = rng.uniform(0.5, 40.0);
+      ++issued;
+      bed.sim().scheduleAt(SimTime::seconds(at), [&bed, &answered, addr, c] {
+        bed.requestCatalog(c, "nginx", addr, "mobile",
+                           [&answered](Result<HttpExchange> result) {
+                             ASSERT_TRUE(result.ok())
+                                 << result.error().toString();
+                             ++answered;
+                           });
+      });
+    }
+  }
+
+  // Generous horizon: movement ends at ~40 s, a worst-case handover deploy
+  // is bounded by deployTimeout * (retries + 1).
+  bed.sim().runUntil(SimTime::seconds(200.0));
+
+  EXPECT_EQ(answered, issued) << "a request was lost (seed " << seed << ", "
+                              << plan.triggerCount() << " faults triggered)";
+  const core::EdgeController& controller = bed.controller();
+  EXPECT_EQ(controller.requestsFailed(), 0u);
+  EXPECT_EQ(controller.handoversStarted(),
+            controller.handoversCompleted() +
+                controller.handoversAbortedToCloud())
+      << "handover accounting out of balance (seed " << seed << ")";
+  EXPECT_EQ(bed.controller().dispatcher().pendingDeployments(), 0u);
+  // Every memorized flow that survived points at a live binding.
+  for (std::size_t c = 0; c < clientCount; ++c) {
+    const auto flow = bed.controller().flowMemory().lookup(
+        Ipv4(10, 0, 2, static_cast<std::uint8_t>(c + 1)), addr);
+    if (!flow.has_value()) continue;  // idled out, fine
+    EXPECT_FALSE(flow->cluster.empty());
+    EXPECT_NE(flow->instance.port, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HandoverContinuity, ::testing::Range(1, 9));
 
 }  // namespace
 }  // namespace edgesim

@@ -218,6 +218,35 @@ void renderOverload(const TelemetrySnapshot& snap, std::string& out) {
           : 0.0);
 }
 
+void renderHandovers(const TelemetrySnapshot& snap, std::string& out) {
+  Table table({"outcome", "handovers"});
+  for (const auto& counter : snap.counters) {
+    if (counter.name != "edgesim_handovers_total") continue;
+    table.addRow({labelValue(counter.labels, "outcome"),
+                  fmtCount(counter.value)});
+  }
+  const auto* latency = snap.findHistogram("edgesim_handover_latency_seconds");
+  const auto* gap =
+      snap.findHistogram("edgesim_handover_continuity_gap_seconds");
+  // The series register lazily on the first handover: nothing to show for
+  // a mobility-free run.
+  if (table.rowCount() == 0 && latency == nullptr && gap == nullptr) return;
+  out += "mobility handovers\n";
+  if (table.rowCount() > 0) out += table.render();
+  Table timings({"metric", "count", "p50 (ms)", "p95 (ms)"});
+  if (latency != nullptr) {
+    timings.addRow({"latency", fmtCount(latency->count),
+                    fmtQuantileMs(*latency, 0.5),
+                    fmtQuantileMs(*latency, 0.95)});
+  }
+  if (gap != nullptr) {
+    timings.addRow({"continuity gap", fmtCount(gap->count),
+                    fmtQuantileMs(*gap, 0.5), fmtQuantileMs(*gap, 0.95)});
+  }
+  if (timings.rowCount() > 0) out += timings.render();
+  out += "\n";
+}
+
 void renderSlo(const TelemetrySnapshot& snap, std::string& out) {
   Table table({"budget", "breaches"});
   for (const auto& counter : snap.counters) {
@@ -240,6 +269,7 @@ std::string renderFrame(const TelemetrySnapshot& snap,
   renderLanes(snap, out);
   renderPhases(snap, out);
   renderOverload(snap, out);
+  renderHandovers(snap, out);
   renderSlo(snap, out);
   return out;
 }
