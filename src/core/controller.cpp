@@ -717,7 +717,11 @@ void EdgeController::finishExpiry() {
     if (scaleDownsCtr_ != nullptr) scaleDownsCtr_->add();
     ES_INFO("controller", "scaling down idle service %s on %s",
             service->uniqueName.c_str(), flow.cluster.c_str());
-    adapter->scaleDown(*service, [](Status) {});
+    ClusterAdapter* adapterPtr = adapter;
+    const ServiceModel* servicePtr = service;
+    runOnCluster(sim_, *adapter, [adapterPtr, servicePtr] {
+      adapterPtr->scaleDown(*servicePtr, [](Status) {});
+    });
     scaledDownAt_[{flow.service, flow.cluster}] = sim_.now();
   }
 
@@ -744,13 +748,14 @@ void EdgeController::finishExpiry() {
       const bool deleteImages = options_.deleteImagesOnRemove;
       ClusterAdapter* adapterPtr = adapter;
       const ServiceModel* servicePtr = service;
-      adapter->removeService(*service,
-                             [deleteImages, adapterPtr, servicePtr](Status) {
-                               if (deleteImages) {
-                                 adapterPtr->deleteImages(*servicePtr,
-                                                          [](Status) {});
-                               }
-                             });
+      runOnCluster(sim_, *adapter, [deleteImages, adapterPtr, servicePtr] {
+        auto afterRemove = [deleteImages, adapterPtr, servicePtr](Status) {
+          if (deleteImages) {
+            adapterPtr->deleteImages(*servicePtr, [](Status) {});
+          }
+        };
+        adapterPtr->removeService(*servicePtr, std::move(afterRemove));
+      });
     }
     it = scaledDownAt_.erase(it);
   }
@@ -1062,7 +1067,10 @@ void EdgeController::settleHandover(const PendingKey& key,
       if (scaleDownsCtr_ != nullptr) scaleDownsCtr_->add();
       ES_INFO("controller", "scaling down vacated service %s on %s",
               servicePtr->uniqueName.c_str(), ah.oldCluster.c_str());
-      old->scaleDown(*servicePtr, [](Status) {});
+      ClusterAdapter* oldPtr = old;
+      runOnCluster(sim_, *old, [oldPtr, servicePtr] {
+        oldPtr->scaleDown(*servicePtr, [](Status) {});
+      });
       scaledDownAt_[{key.service, ah.oldCluster}] = now;
     }
   }

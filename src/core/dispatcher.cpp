@@ -545,6 +545,45 @@ void Dispatcher::onPhaseFailure(const ServiceModel& service,
   });
 }
 
+void Dispatcher::invokeOnCluster(
+    ClusterAdapter& cluster,
+    std::function<void(ClusterAdapter::Callback)> invoke,
+    ClusterAdapter::Callback done) {
+  if (cluster.domain() == sim_.activeDomainId()) {
+    invoke(std::move(done));
+    return;
+  }
+  Simulation& sim = sim_;
+  // The completion fires inside the cluster's domain; hop home before
+  // touching any dispatcher state (pending_, telemetry, traces -- all
+  // control-domain-owned).
+  auto homeward = [&sim, done = std::move(done)](Status status) {
+    sim.scheduleOn(kControlDomain, SimTime::zero(),
+                   [done, status] { done(status); });
+  };
+  sim_.scheduleOn(cluster.domain(), SimTime::zero(),
+                  [invoke = std::move(invoke),
+                   homeward = std::move(homeward)] { invoke(homeward); });
+}
+
+void Dispatcher::probeOnCluster(ClusterAdapter& cluster, Endpoint instance,
+                                ClusterAdapter::ProbeCallback done) {
+  if (cluster.domain() == sim_.activeDomainId()) {
+    cluster.probeInstance(instance, std::move(done));
+    return;
+  }
+  Simulation& sim = sim_;
+  ClusterAdapter* clusterPtr = &cluster;
+  auto homeward = [&sim, done = std::move(done)](bool open) {
+    sim.scheduleOn(kControlDomain, SimTime::zero(),
+                   [done, open] { done(open); });
+  };
+  sim_.scheduleOn(cluster.domain(), SimTime::zero(),
+                  [clusterPtr, instance, homeward = std::move(homeward)] {
+                    clusterPtr->probeInstance(instance, homeward);
+                  });
+}
+
 void Dispatcher::runPhases(const ServiceModel& service,
                            ClusterAdapter& cluster, const std::string& key,
                            int epoch) {
@@ -554,54 +593,67 @@ void Dispatcher::runPhases(const ServiceModel& service,
   const SimTime phaseStart = sim_.now();
   armPhaseTimer(service, cluster, key, epoch);
 
+  ClusterAdapter* clusterPtr = &cluster;
   if (!view.imageCached) {
     // Phase 1: Pull.
-    cluster.pullImages(service, [this, service, &cluster, key, epoch,
-                                 phaseStart](Status status) {
-      const auto pit = pending_.find(key);
-      if (pit == pending_.end() || pit->second.epoch != epoch) return;
-      recordPhase(service, cluster, "pull", sim_.now() - phaseStart);
-      tracePhase(key, "pull", phaseStart, status.ok());
-      if (!status.ok()) {
-        onPhaseFailure(service, cluster, key, epoch, status.error());
-        return;
-      }
-      runPhases(service, cluster, key, epoch);
-    });
+    invokeOnCluster(
+        cluster,
+        [clusterPtr, service](ClusterAdapter::Callback cb) {
+          clusterPtr->pullImages(service, std::move(cb));
+        },
+        [this, service, &cluster, key, epoch, phaseStart](Status status) {
+          const auto pit = pending_.find(key);
+          if (pit == pending_.end() || pit->second.epoch != epoch) return;
+          recordPhase(service, cluster, "pull", sim_.now() - phaseStart);
+          tracePhase(key, "pull", phaseStart, status.ok());
+          if (!status.ok()) {
+            onPhaseFailure(service, cluster, key, epoch, status.error());
+            return;
+          }
+          runPhases(service, cluster, key, epoch);
+        });
     return;
   }
 
   if (!view.serviceCreated) {
     // Phase 2: Create.
-    cluster.createService(service, [this, service, &cluster, key, epoch,
-                                    phaseStart](Status status) {
-      const auto pit = pending_.find(key);
-      if (pit == pending_.end() || pit->second.epoch != epoch) return;
-      recordPhase(service, cluster, "create", sim_.now() - phaseStart);
-      tracePhase(key, "create", phaseStart, status.ok());
-      if (!status.ok()) {
-        onPhaseFailure(service, cluster, key, epoch, status.error());
-        return;
-      }
-      runPhases(service, cluster, key, epoch);
-    });
+    invokeOnCluster(
+        cluster,
+        [clusterPtr, service](ClusterAdapter::Callback cb) {
+          clusterPtr->createService(service, std::move(cb));
+        },
+        [this, service, &cluster, key, epoch, phaseStart](Status status) {
+          const auto pit = pending_.find(key);
+          if (pit == pending_.end() || pit->second.epoch != epoch) return;
+          recordPhase(service, cluster, "create", sim_.now() - phaseStart);
+          tracePhase(key, "create", phaseStart, status.ok());
+          if (!status.ok()) {
+            onPhaseFailure(service, cluster, key, epoch, status.error());
+            return;
+          }
+          runPhases(service, cluster, key, epoch);
+        });
     return;
   }
 
   // Phase 3: Scale Up, then wait for the port to open.  The phase timer
   // armed above spans the scale-up command plus the wait.
-  cluster.scaleUp(service, [this, service, &cluster, key, epoch,
-                            phaseStart](Status status) {
-    const auto pit = pending_.find(key);
-    if (pit == pending_.end() || pit->second.epoch != epoch) return;
-    recordPhase(service, cluster, "scaleup-cmd", sim_.now() - phaseStart);
-    tracePhase(key, "scaleup", phaseStart, status.ok());
-    if (!status.ok()) {
-      onPhaseFailure(service, cluster, key, epoch, status.error());
-      return;
-    }
-    pollUntilReady(service, cluster, key, sim_.now(), epoch);
-  });
+  invokeOnCluster(
+      cluster,
+      [clusterPtr, service](ClusterAdapter::Callback cb) {
+        clusterPtr->scaleUp(service, std::move(cb));
+      },
+      [this, service, &cluster, key, epoch, phaseStart](Status status) {
+        const auto pit = pending_.find(key);
+        if (pit == pending_.end() || pit->second.epoch != epoch) return;
+        recordPhase(service, cluster, "scaleup-cmd", sim_.now() - phaseStart);
+        tracePhase(key, "scaleup", phaseStart, status.ok());
+        if (!status.ok()) {
+          onPhaseFailure(service, cluster, key, epoch, status.error());
+          return;
+        }
+        pollUntilReady(service, cluster, key, sim_.now(), epoch);
+      });
 }
 
 void Dispatcher::pollUntilReady(const ServiceModel& service,
@@ -616,21 +668,24 @@ void Dispatcher::pollUntilReady(const ServiceModel& service,
   const auto ready = cluster.readyInstances(service);
   if (!ready.empty()) {
     const Endpoint candidate = ready.front();
-    cluster.probeInstance(candidate, [this, service, &cluster, key, scaledUpAt,
-                                      epoch, candidate](bool open) {
-      const auto pit = pending_.find(key);
-      if (pit == pending_.end() || pit->second.epoch != epoch) return;
-      if (open) {
-        recordPhase(service, cluster, "wait", sim_.now() - scaledUpAt);
-        tracePhase(key, "wait", scaledUpAt, /*ok=*/true);
-        finishDeploy(key, candidate);
-        return;
-      }
-      sim_.schedule(options_.portPollInterval,
-                    [this, service, &cluster, key, scaledUpAt, epoch] {
-                      pollUntilReady(service, cluster, key, scaledUpAt, epoch);
-                    });
-    });
+    probeOnCluster(
+        cluster, candidate,
+        [this, service, &cluster, key, scaledUpAt, epoch,
+         candidate](bool open) {
+          const auto pit = pending_.find(key);
+          if (pit == pending_.end() || pit->second.epoch != epoch) return;
+          if (open) {
+            recordPhase(service, cluster, "wait", sim_.now() - scaledUpAt);
+            tracePhase(key, "wait", scaledUpAt, /*ok=*/true);
+            finishDeploy(key, candidate);
+            return;
+          }
+          sim_.schedule(
+              options_.portPollInterval,
+              [this, service, &cluster, key, scaledUpAt, epoch] {
+                pollUntilReady(service, cluster, key, scaledUpAt, epoch);
+              });
+        });
     return;
   }
   sim_.schedule(options_.portPollInterval,

@@ -186,6 +186,18 @@ class Dispatcher {
     EventHandle phaseTimer;     // per-phase watchdog
   };
 
+  /// Run one deployment-phase RPC (`invoke` calls the adapter method with
+  /// the callback it is given) in `cluster`'s time domain, marshalling the
+  /// completion back onto the control domain.  Clusters homed on the
+  /// control domain -- every single-domain setup -- keep the historical
+  /// direct call; cross-domain clusters pay one channel-lookahead hop each
+  /// way, the modelled management-plane round trip.
+  void invokeOnCluster(ClusterAdapter& cluster,
+                       std::function<void(ClusterAdapter::Callback)> invoke,
+                       ClusterAdapter::Callback done);
+  /// probeInstance variant (bool payload instead of Status).
+  void probeOnCluster(ClusterAdapter& cluster, Endpoint instance,
+                      ClusterAdapter::ProbeCallback done);
   void runPhases(const ServiceModel& service, ClusterAdapter& cluster,
                  const std::string& key, int epoch);
   void pollUntilReady(const ServiceModel& service, ClusterAdapter& cluster,

@@ -13,7 +13,8 @@ DockerEngine::DockerEngine(Simulation& sim,
       runtime_(runtime),
       puller_(puller),
       registry_(registry),
-      params_(params) {}
+      params_(params),
+      homeDomain_(sim.activeDomainId()) {}
 
 void DockerEngine::afterApi(std::function<void()> fn) {
   sim_.schedule(params_.apiLatency, std::move(fn));

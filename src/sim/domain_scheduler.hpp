@@ -1,0 +1,45 @@
+// Parallel driver for a multi-domain Simulation.
+//
+// runParallel(pool, until) advances every EventDomain to `until`
+// concurrently on LaneExecutor workers, barrier-free: a domain's advance
+// task re-posts itself while local work remains and re-posts its DOWNSTREAM
+// domains whenever it makes progress (their channel bounds just moved).
+// Lane = domain id, so one domain never advances on two workers at once
+// (the LaneExecutor's per-lane mutual exclusion is the only lock the
+// advance loop needs) and a domain tends to stick to one worker's cache.
+//
+// The coordinating thread is a watchdog, not a barrier: it periodically
+// re-posts every non-idle domain, which makes termination independent of
+// wake-up edge cases (a progress notification racing a task that already
+// observed an older bound).  All channel lookaheads are strictly positive,
+// so the conservative advance rule cannot deadlock: the globally earliest
+// pending event is always below every bound that gates it.
+#pragma once
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace edgesim {
+
+class LaneExecutor;
+
+class DomainScheduler {
+ public:
+  explicit DomainScheduler(Simulation& sim) : sim_(sim) {}
+
+  DomainScheduler(const DomainScheduler&) = delete;
+  DomainScheduler& operator=(const DomainScheduler&) = delete;
+
+  /// Advance every domain to `until` on `pool` workers.  Blocks until all
+  /// domains are quiescent at the horizon; afterwards every domain's clock
+  /// reads `until`, matching Simulation::runUntil's end state.  Single-
+  /// domain simulations fall back to the sequential (bit-identical) path.
+  /// Caller must be outside any event dispatch; external posts arriving
+  /// during the run are admitted into the control domain as usual.
+  void runParallel(LaneExecutor& pool, SimTime until);
+
+ private:
+  Simulation& sim_;
+};
+
+}  // namespace edgesim

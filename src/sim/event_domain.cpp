@@ -1,0 +1,189 @@
+#include "sim/event_domain.hpp"
+
+#include <algorithm>
+
+#include "sim/simulation.hpp"
+
+namespace edgesim {
+
+namespace {
+// Domain currently dispatching an event on this thread; see
+// EventDomain::current().
+thread_local EventDomain* tlsCurrentDomain = nullptr;
+
+// RAII guard so nested dispatch (the sequential multi-domain driver runs
+// several domains on one thread) restores the outer domain.
+class CurrentDomainScope {
+ public:
+  explicit CurrentDomainScope(EventDomain* domain)
+      : saved_(tlsCurrentDomain) {
+    tlsCurrentDomain = domain;
+  }
+  ~CurrentDomainScope() { tlsCurrentDomain = saved_; }
+  CurrentDomainScope(const CurrentDomainScope&) = delete;
+  CurrentDomainScope& operator=(const CurrentDomainScope&) = delete;
+
+ private:
+  EventDomain* saved_;
+};
+}  // namespace
+
+// ---- DomainChannel ---------------------------------------------------------
+
+DomainChannel::DomainChannel(EventDomain& from, EventDomain& to,
+                             SimTime lookahead)
+    : from_(from), to_(to), lookaheadNanos_(lookahead.toNanos()) {
+  ES_ASSERT_MSG(lookahead > SimTime::zero(),
+                "cross-domain lookahead must be positive");
+  ES_ASSERT_MSG(&from != &to, "channel endpoints must differ");
+}
+
+void DomainChannel::tighten(SimTime lookahead) {
+  ES_ASSERT_MSG(lookahead > SimTime::zero(),
+                "cross-domain lookahead must be positive");
+  std::int64_t observed = lookaheadNanos_.load(std::memory_order_relaxed);
+  while (lookahead.toNanos() < observed &&
+         !lookaheadNanos_.compare_exchange_weak(observed, lookahead.toNanos(),
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+void DomainChannel::push(SimTime when, std::function<void()> fn) {
+  ES_ASSERT(fn != nullptr);
+  {
+    std::lock_guard lock(mutex_);
+    pending_.push_back(Message{when, nextSeq_++, std::move(fn)});
+    nonEmpty_.store(true, std::memory_order_release);
+  }
+}
+
+SimTime DomainChannel::safeBound() const {
+  return SimTime::nanos(from_.nowNanosAtomic()) + lookahead();
+}
+
+std::size_t DomainChannel::drainInto(EventDomain& target) {
+  ES_ASSERT(&target == &to_);
+  if (!nonEmpty_.load(std::memory_order_acquire)) return 0;
+  std::vector<Message> batch;
+  {
+    std::lock_guard lock(mutex_);
+    batch.swap(pending_);
+    nonEmpty_.store(false, std::memory_order_release);
+  }
+  // Senders push in their own execution order, but stamps are send-time plus
+  // a per-message latency, so a later push may carry an earlier stamp.
+  // Restore (when, push order) so admission into the receiver's queue -- and
+  // therefore the receiver's tie-break sequence numbers -- is deterministic.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Message& a, const Message& b) {
+                     if (a.when != b.when) return a.when < b.when;
+                     return a.seq < b.seq;
+                   });
+  for (auto& message : batch) {
+    target.scheduleAt(message.when, std::move(message.fn));
+  }
+  return batch.size();
+}
+
+// ---- EventDomain -----------------------------------------------------------
+
+EventDomain::EventDomain(Simulation& sim, DomainId id, std::string name,
+                         Rng* sharedRng, std::uint64_t rngSeed)
+    : sim_(sim), id_(id), name_(std::move(name)) {
+  if (sharedRng != nullptr) {
+    rng_ = sharedRng;
+  } else {
+    ownedRng_ = std::make_unique<Rng>(rngSeed);
+    rng_ = ownedRng_.get();
+  }
+}
+
+EventDomain* EventDomain::current() { return tlsCurrentDomain; }
+
+EventHandle EventDomain::schedule(SimTime delay, std::function<void()> fn) {
+  ES_ASSERT_MSG(delay >= SimTime::zero(), "negative delay");
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle EventDomain::scheduleAt(SimTime when, std::function<void()> fn) {
+  ES_ASSERT_MSG(when >= now_, "scheduling into the past");
+  ES_ASSERT(fn != nullptr);
+  auto alive = std::make_shared<bool>(true);
+  EventHandle handle{std::weak_ptr<bool>(alive)};
+  queue_.push(Event{when, nextSeq_++, std::move(fn), std::move(alive)});
+  ++queueSize_;
+  return handle;
+}
+
+void EventDomain::dispatch(Event event) {
+  setNow(event.when);
+  if (*event.alive) {
+    *event.alive = false;
+    ++processed_;
+    CurrentDomainScope scope(this);
+    event.fn();
+  }
+}
+
+bool EventDomain::step() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    --queueSize_;
+    if (!*event.alive) continue;  // cancelled; skip without advancing
+    dispatch(std::move(event));
+    return true;
+  }
+  return false;
+}
+
+SimTime EventDomain::nextEventTime() {
+  while (!queue_.empty()) {
+    if (*queue_.top().alive) return queue_.top().when;
+    queue_.pop();  // prune cancelled front entries
+    --queueSize_;
+  }
+  return SimTime::max();
+}
+
+std::size_t EventDomain::advance(SimTime horizon) {
+  idleAtHorizon_.store(false, std::memory_order_relaxed);
+  std::size_t dispatched = 0;
+  for (;;) {
+    // Bound BEFORE drain: a message pushed after this read was sent at a
+    // sender clock >= the one folded into `bound`, so its stamp is >= bound
+    // and the strict `when < bound` cut below cannot miss it.
+    SimTime bound = SimTime::max();
+    for (const DomainChannel* channel : inbound_) {
+      bound = std::min(bound, channel->safeBound());
+    }
+    for (DomainChannel* channel : inbound_) channel->drainInto(*this);
+
+    bool progressed = false;
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (top.when > horizon || top.when >= bound) break;
+      Event event = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      --queueSize_;
+      if (!*event.alive) continue;
+      dispatch(std::move(event));
+      ++dispatched;
+      progressed = true;
+    }
+
+    // Null-message progress: lift the commit clock to everything proven
+    // safe, so downstream domains' bounds advance even when we ran nothing.
+    const SimTime target = std::min(horizon, bound);
+    if (target > now_) {
+      setNow(target);
+      progressed = true;
+    }
+    if (!progressed) break;
+  }
+  idleAtHorizon_.store(now_ >= horizon && !hasEventAtOrBefore(horizon),
+                       std::memory_order_release);
+  return dispatched;
+}
+
+}  // namespace edgesim

@@ -1,0 +1,254 @@
+// Time domains: the unit of parallelism in the discrete-event core.
+//
+// An EventDomain is one independently-advancing slice of the simulation: it
+// owns its OWN priority queue, clock, sequence counter, and RNG stream.  A
+// Simulation always has at least domain 0 (the control domain); partitioned
+// setups add one domain per cluster/region and wire DomainChannels between
+// them.  Events within a domain execute in (timestamp, sequence) order
+// exactly like the historical single-queue engine -- a single-domain
+// Simulation IS the historical engine, bit for bit.
+//
+// Cross-domain events travel through latency-stamped DomainChannels.  Each
+// channel declares a LOOKAHEAD bound L > 0 (in the network partition this is
+// the inter-cluster link latency): the sender guarantees that a message
+// pushed while its clock reads t is stamped no earlier than t + L.  The
+// receiver may therefore safely execute every local event strictly earlier
+// than
+//
+//     min over inbound channels of (sender clock + channel lookahead)
+//
+// -- the classic conservative (null-message) advance rule, with the sender
+// clock published through a shared atomic instead of explicit null messages.
+// Equal-timestamp events within one domain keep deterministic order; ties
+// BETWEEN domains arriving over different channels have unspecified relative
+// order in parallel runs (use the sequential multi-domain driver for a
+// canonical order; workloads keep outcomes order-independent).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace edgesim {
+
+class Simulation;
+class EventDomain;
+class DomainChannel;
+
+/// Identifies one time domain within a Simulation.  Domain 0 always exists
+/// and hosts the control plane (controller, dispatcher, switch) plus
+/// everything that never opted into a partition.
+using DomainId = std::uint32_t;
+inline constexpr DomainId kControlDomain = 0;
+
+/// Handle for cancelling a scheduled event.  Cheap to copy; cancelling an
+/// already-fired or already-cancelled event is a no-op.  Cross-domain
+/// deliveries return an inert handle: their liveness flag would be shared
+/// between threads, so they cannot be cancelled once sent.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() {
+    if (const auto alive = alive_.lock()) *alive = false;
+  }
+  bool pending() const {
+    const auto alive = alive_.lock();
+    return alive && *alive;
+  }
+
+ private:
+  friend class EventDomain;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+/// One direction of cross-domain delivery.  The sender (any phase, any
+/// thread owning the `from` domain) pushes latency-stamped closures; the
+/// receiver drains them into its local queue from its own advancing thread.
+///
+/// Safety protocol (see EventDomain::advance): the receiver reads
+/// `safeBound()` BEFORE draining.  Any message pushed after the drain was
+/// sent at a sender clock >= the bound that was read, so its stamp is >=
+/// bound and cannot be missed by processing strictly below the bound.
+class DomainChannel {
+ public:
+  DomainChannel(EventDomain& from, EventDomain& to, SimTime lookahead);
+
+  DomainChannel(const DomainChannel&) = delete;
+  DomainChannel& operator=(const DomainChannel&) = delete;
+
+  EventDomain& from() const { return from_; }
+  EventDomain& to() const { return to_; }
+
+  SimTime lookahead() const {
+    return SimTime::nanos(lookaheadNanos_.load(std::memory_order_relaxed));
+  }
+  /// Lower the lookahead bound (multiple links between the same domain pair
+  /// keep the tightest latency).  Setup phase only.
+  void tighten(SimTime lookahead);
+
+  /// Sender side: enqueue a closure for delivery at absolute time `when`
+  /// (>= sender clock + lookahead; asserted by the caller, who knows the
+  /// sender clock).  Thread-safe.
+  void push(SimTime when, std::function<void()> fn);
+
+  /// Receiver side: sender clock + lookahead -- no future message can be
+  /// stamped earlier than this.
+  SimTime safeBound() const;
+
+  bool empty() const { return !nonEmpty_.load(std::memory_order_acquire); }
+
+  /// Receiver side: move pending messages into `target`'s local queue
+  /// (stamped at their delivery time, ordered by (when, push sequence)).
+  /// Returns the number of messages admitted.
+  std::size_t drainInto(EventDomain& target);
+
+ private:
+  struct Message {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+
+  EventDomain& from_;
+  EventDomain& to_;
+  std::atomic<std::int64_t> lookaheadNanos_;
+  mutable std::mutex mutex_;
+  std::vector<Message> pending_;
+  std::uint64_t nextSeq_ = 0;  // guarded by mutex_
+  std::atomic<bool> nonEmpty_{false};
+};
+
+class EventDomain {
+ public:
+  /// `sharedRng` non-null aliases an external stream (domain 0 shares the
+  /// Simulation's master RNG); otherwise the domain owns an `rngSeed` fork.
+  EventDomain(Simulation& sim, DomainId id, std::string name, Rng* sharedRng,
+              std::uint64_t rngSeed);
+
+  EventDomain(const EventDomain&) = delete;
+  EventDomain& operator=(const EventDomain&) = delete;
+
+  Simulation& sim() const { return sim_; }
+  DomainId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  SimTime now() const { return now_; }
+  /// Thread-safe clock read (acquire): the commit clock other domains use
+  /// to compute channel bounds, published on every event dispatch.
+  std::int64_t nowNanosAtomic() const {
+    return nowNanos_.load(std::memory_order_acquire);
+  }
+  /// Per-domain RNG stream (forked deterministically from the simulation
+  /// seed at addDomain time); domain 0 shares the Simulation's master RNG.
+  Rng& rng() { return *rng_; }
+
+  /// Schedule `fn` in THIS domain, `delay` after this domain's now.
+  EventHandle schedule(SimTime delay, std::function<void()> fn);
+  /// Schedule `fn` in THIS domain at an absolute time (>= this domain's now).
+  EventHandle scheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Execute at most one event; returns false if the queue was empty.
+  /// (Skips cancelled entries, then runs the first live one -- identical to
+  /// the historical Simulation::step.)
+  bool step();
+
+  /// Raw earliest queue entry (cancelled entries included), SimTime::max()
+  /// when empty -- bug-compatible with the historical runUntil loop, which
+  /// peeks without pruning.
+  SimTime peekWhenRaw() const {
+    return queue_.empty() ? SimTime::max() : queue_.top().when;
+  }
+  bool queueEmpty() const { return queue_.empty(); }
+  /// Earliest LIVE event time (prunes cancelled front entries); max() when
+  /// none.  Owning thread only (mutates the queue).
+  SimTime nextEventTime();
+  bool hasEventAtOrBefore(SimTime when) { return nextEventTime() <= when; }
+
+  /// Conservative advance toward `horizon` (parallel driver): repeatedly
+  /// [read channel bounds -> drain channels -> run every local event with
+  /// when <= horizon and when < bound -> lift the clock to min(horizon,
+  /// bound)] until no further progress is possible right now.  Returns the
+  /// number of events dispatched.  Must be called by exactly one thread at
+  /// a time (the LaneExecutor lane provides that).
+  std::size_t advance(SimTime horizon);
+
+  /// Published by advance(): true when the domain reached `horizon` with no
+  /// live local event left at or before it.  Cleared at the start of every
+  /// advance call; safe to poll from the coordinating thread.
+  bool idleAtHorizon() const {
+    return idleAtHorizon_.load(std::memory_order_acquire);
+  }
+
+  /// Lift the clock to at least `when` (end-of-run normalisation, the
+  /// historical `now() == min(until, drain time)` contract).
+  void finishAt(SimTime when) {
+    if (now_ < when) setNow(when);
+  }
+
+  std::size_t pendingEvents() const { return queueSize_; }
+  std::uint64_t processedEvents() const { return processed_; }
+
+  const std::vector<DomainChannel*>& inbound() const { return inbound_; }
+  const std::vector<DomainChannel*>& outbound() const { return outbound_; }
+
+  /// The domain currently dispatching an event on THIS thread (nullptr
+  /// outside event execution).  Routes Simulation::schedule()/now() so that
+  /// events a component schedules from inside its own handlers stay in the
+  /// component's domain -- k8s reconcile loops, Docker engine operations,
+  /// and link deliveries are domain-local without any call-site changes.
+  static EventDomain* current();
+
+ private:
+  friend class Simulation;
+  friend class DomainChannel;
+
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event event);
+  void setNow(SimTime when) {
+    now_ = when;
+    nowNanos_.store(when.toNanos(), std::memory_order_release);
+  }
+  void addInbound(DomainChannel* channel) { inbound_.push_back(channel); }
+  void addOutbound(DomainChannel* channel) { outbound_.push_back(channel); }
+
+  Simulation& sim_;
+  DomainId id_;
+  std::string name_;
+  SimTime now_ = SimTime::zero();
+  std::atomic<std::int64_t> nowNanos_{0};  // commit clock (and approxNow)
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::size_t queueSize_ = 0;
+  /// Domain 0 aliases the Simulation's master RNG; others own a fork.
+  Rng* rng_ = nullptr;
+  std::unique_ptr<Rng> ownedRng_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<DomainChannel*> inbound_;
+  std::vector<DomainChannel*> outbound_;
+  std::atomic<bool> idleAtHorizon_{false};
+};
+
+}  // namespace edgesim

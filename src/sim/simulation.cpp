@@ -1,64 +1,139 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace edgesim {
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+namespace {
+// splitmix64 finalizer: spreads (seed, domain id) into an independent
+// per-domain stream seed without consuming draws from the master RNG, so
+// adding domains never perturbs the domain-0 stream the goldens depend on.
+std::uint64_t domainSeed(std::uint64_t seed, DomainId id) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (id + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Simulation::Simulation(std::uint64_t seed) : seed_(seed), rng_(seed) {
+  domains_.push_back(
+      std::make_unique<EventDomain>(*this, kControlDomain, "main", &rng_, 0));
+}
 
 Simulation::~Simulation() = default;
 
+SimTime Simulation::now() const {
+  if (EventDomain* d = EventDomain::current();
+      d != nullptr && &d->sim() == this) {
+    return d->now();
+  }
+  return domains_[setupDomain_]->now();
+}
+
+Rng& Simulation::rng() { return activeDomain().rng(); }
+
+EventDomain& Simulation::activeDomain() {
+  if (EventDomain* d = EventDomain::current();
+      d != nullptr && &d->sim() == this) {
+    return *d;
+  }
+  return *domains_[setupDomain_];
+}
+
 EventHandle Simulation::schedule(SimTime delay, std::function<void()> fn) {
-  ES_ASSERT_MSG(delay >= SimTime::zero(), "negative delay");
-  return scheduleAt(now_ + delay, std::move(fn));
+  return activeDomain().schedule(delay, std::move(fn));
 }
 
 EventHandle Simulation::scheduleAt(SimTime when, std::function<void()> fn) {
-  ES_ASSERT_MSG(when >= now_, "scheduling into the past");
-  ES_ASSERT(fn != nullptr);
-  auto alive = std::make_shared<bool>(true);
-  EventHandle handle{std::weak_ptr<bool>(alive)};
-  queue_.push(Event{when, nextSeq_++, std::move(fn), std::move(alive)});
-  ++queueSize_;
-  return handle;
+  return activeDomain().scheduleAt(when, std::move(fn));
 }
 
-void Simulation::dispatch(Event event) {
-  setNow(event.when);
-  if (*event.alive) {
-    *event.alive = false;
-    ++processed_;
-    event.fn();
+DomainId Simulation::addDomain(const std::string& name) {
+  ES_ASSERT_MSG(!parallelPhase(), "addDomain during a parallel phase");
+  ES_ASSERT_MSG(EventDomain::current() == nullptr,
+                "addDomain from inside an event");
+  const auto id = static_cast<DomainId>(domains_.size());
+  domains_.push_back(std::make_unique<EventDomain>(*this, id, name, nullptr,
+                                                   domainSeed(seed_, id)));
+  return id;
+}
+
+void Simulation::connectDomains(DomainId a, DomainId b, SimTime lookahead) {
+  ES_ASSERT_MSG(!parallelPhase(), "connectDomains during a parallel phase");
+  ES_ASSERT_MSG(a != b, "connectDomains endpoints must differ");
+  ES_ASSERT(a < domains_.size() && b < domains_.size());
+  for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    if (DomainChannel* existing = channelBetween(from, to)) {
+      existing->tighten(lookahead);
+      continue;
+    }
+    auto channel = std::make_unique<DomainChannel>(*domains_[from],
+                                                   *domains_[to], lookahead);
+    domains_[from]->addOutbound(channel.get());
+    domains_[to]->addInbound(channel.get());
+    channelIndex_.emplace(std::pair{from, to}, channel.get());
+    channels_.push_back(std::move(channel));
   }
 }
 
-bool Simulation::step() {
-  while (!queue_.empty()) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    --queueSize_;
-    if (!*event.alive) continue;  // cancelled; skip without advancing
-    dispatch(std::move(event));
-    return true;
-  }
-  return false;
+SimTime Simulation::domainLookahead(DomainId from, DomainId to) const {
+  const DomainChannel* channel = channelBetween(from, to);
+  return channel != nullptr ? channel->lookahead() : SimTime::max();
 }
 
-void Simulation::run() {
-  stopped_ = false;
-  while (!stopped_ && step()) {
-  }
+DomainChannel* Simulation::channelBetween(DomainId from, DomainId to) const {
+  const auto it = channelIndex_.find(std::pair{from, to});
+  return it != channelIndex_.end() ? it->second : nullptr;
 }
 
-void Simulation::runUntil(SimTime until) {
-  stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    if (queue_.top().when > until) break;
-    step();
+EventHandle Simulation::scheduleOn(DomainId target, SimTime delay,
+                                   std::function<void()> fn) {
+  ES_ASSERT_MSG(delay >= SimTime::zero(), "negative delay");
+  EventDomain& active = activeDomain();
+  if (target != active.id()) {
+    // Cross-domain sends pay at least the channel lookahead: the modelled
+    // management-plane latency, and (in parallel runs) the bound that keeps
+    // the conservative advance rule sound.
+    const SimTime lookahead = domainLookahead(active.id(), target);
+    if (lookahead != SimTime::max() && delay < lookahead) delay = lookahead;
   }
-  if (now_ < until) setNow(until);
+  return scheduleOnAt(target, active.now() + delay, std::move(fn));
 }
+
+EventHandle Simulation::scheduleOnAt(DomainId target, SimTime when,
+                                     std::function<void()> fn) {
+  ES_ASSERT(target < domains_.size());
+  EventDomain& active = activeDomain();
+  EventDomain& dst = *domains_[target];
+  if (&dst == &active) return dst.scheduleAt(when, std::move(fn));
+  if (!parallelPhase()) {
+    // Sequential: direct admission into the target queue keeps the single
+    // canonical global order the determinism suites compare against.
+    dst.scheduleAt(when, std::move(fn));
+    return EventHandle{};  // cross-domain sends are not cancellable
+  }
+  DomainChannel* channel = channelBetween(active.id(), target);
+  ES_ASSERT_MSG(channel != nullptr,
+                "cross-domain event without a connecting channel");
+  ES_ASSERT_MSG(when >= active.now() + channel->lookahead(),
+                "cross-domain event violates the lookahead bound");
+  channel->push(when, std::move(fn));
+  return EventHandle{};
+}
+
+Simulation::DomainScope::DomainScope(Simulation& sim, DomainId id)
+    : sim_(sim), saved_(sim.setupDomain_) {
+  ES_ASSERT(id < sim.domains_.size());
+  ES_ASSERT_MSG(EventDomain::current() == nullptr,
+                "DomainScope is setup-only; events already run in a domain");
+  sim.setupDomain_ = id;
+}
+
+Simulation::DomainScope::~DomainScope() { sim_.setupDomain_ = saved_; }
 
 void Simulation::postExternal(std::function<void()> fn) {
   ES_ASSERT(fn != nullptr);
@@ -78,15 +153,17 @@ std::size_t Simulation::drainExternal() {
     batch.swap(inbox_);
     inboxNonEmpty_.store(false, std::memory_order_release);
   }
-  // Admission at now(): posting order defines execution order, exactly as
-  // if each closure had been scheduled with delay zero on arrival.
-  for (auto& fn : batch) scheduleAt(now_, std::move(fn));
+  // Admission at the control domain's now(): posting order defines execution
+  // order, exactly as if each closure had been scheduled with delay zero on
+  // arrival.
+  EventDomain& control = *domains_.front();
+  for (auto& fn : batch) control.scheduleAt(control.now(), std::move(fn));
   return batch.size();
 }
 
 std::size_t Simulation::pump(SimTime slice) {
   const std::size_t admitted = drainExternal();
-  runUntil(now_ + slice);
+  runUntil(domains_.front()->now() + slice);
   return admitted;
 }
 
@@ -95,8 +172,95 @@ bool Simulation::waitForExternal(std::chrono::microseconds timeout) {
   return inboxCv_.wait_for(lock, timeout, [this] { return !inbox_.empty(); });
 }
 
+void Simulation::drainAllChannels() {
+  for (const auto& channel : channels_) channel->drainInto(channel->to());
+}
+
+EventDomain* Simulation::earliestDomain(SimTime* when) {
+  EventDomain* next = nullptr;
+  SimTime best = SimTime::max();
+  for (const auto& domain : domains_) {
+    const SimTime t = domain->nextEventTime();
+    if (t < best) {
+      best = t;
+      next = domain.get();
+    }
+  }
+  if (when != nullptr) *when = best;
+  return next;
+}
+
+void Simulation::run() {
+  stopped_ = false;
+  if (domains_.size() == 1) {
+    while (!stopped_ && domains_.front()->step()) {
+    }
+    return;
+  }
+  while (!stopped_) {
+    drainAllChannels();
+    EventDomain* next = earliestDomain(nullptr);
+    if (next == nullptr) break;
+    next->step();
+  }
+}
+
+void Simulation::runUntil(SimTime until) {
+  stopped_ = false;
+  if (domains_.size() == 1) {
+    // Historical single-queue loop, verbatim (peeks the raw heap top, so a
+    // cancelled front entry at <= until still admits the next live event
+    // even when that event lies beyond `until` -- goldens depend on it).
+    EventDomain& d = *domains_.front();
+    while (!stopped_ && !d.queueEmpty()) {
+      if (d.peekWhenRaw() > until) break;
+      d.step();
+    }
+    d.finishAt(until);
+    return;
+  }
+  // Sequential multi-domain: one thread, globally earliest live event first
+  // -- the canonical total order parallel runs are validated against.
+  while (!stopped_) {
+    drainAllChannels();
+    SimTime best = SimTime::max();
+    EventDomain* next = earliestDomain(&best);
+    if (next == nullptr || best > until) break;
+    next->step();
+  }
+  for (const auto& domain : domains_) domain->finishAt(until);
+}
+
+bool Simulation::step() {
+  if (domains_.size() == 1) return domains_.front()->step();
+  drainAllChannels();
+  EventDomain* next = earliestDomain(nullptr);
+  return next != nullptr && next->step();
+}
+
+void Simulation::beginParallel() {
+  ES_ASSERT_MSG(!parallel_.exchange(true, std::memory_order_acq_rel),
+                "nested parallel phase");
+}
+
+void Simulation::endParallel() {
+  parallel_.store(false, std::memory_order_release);
+}
+
+std::size_t Simulation::pendingEvents() const {
+  std::size_t total = 0;
+  for (const auto& domain : domains_) total += domain->pendingEvents();
+  return total;
+}
+
+std::uint64_t Simulation::processedEvents() const {
+  std::uint64_t total = 0;
+  for (const auto& domain : domains_) total += domain->processedEvents();
+  return total;
+}
+
 std::string Simulation::timePrefix() const {
-  return strprintf("[t=%11.6fs] ", now_.toSeconds());
+  return strprintf("[t=%11.6fs] ", domains_.front()->now().toSeconds());
 }
 
 Simulation::LogScope::LogScope(Simulation& sim) {

@@ -1,19 +1,30 @@
-// Deterministic discrete-event simulation engine.
+// Deterministic discrete-event simulation engine, partitioned into time
+// domains (see sim/event_domain.hpp).
 //
-// Single-threaded by design: determinism is a core requirement (the tests
-// assert bit-identical reruns).  Events with equal timestamps execute in
-// scheduling order (a monotonically increasing sequence number breaks ties),
-// so component registration order -- not heap internals -- defines the
-// semantics.  Parallelism belongs one level up: run many Simulations on a
-// ThreadPool, one per experiment repetition.
+// A Simulation is a set of EventDomains sharing one logical experiment.  The
+// default configuration has exactly ONE domain, and then the engine is the
+// historical single-queue machine, bit for bit: determinism goldens assert
+// identical output.  Partitioned setups call addDomain()/connectDomains()
+// during construction; domains then advance either
+//
+//   * sequentially (run/runUntil/step): one thread executes the globally
+//     earliest event across all domains -- a canonical total order, used by
+//     determinism tests as the reference for parallel runs; or
+//   * in parallel (DomainScheduler::runParallel): each domain advances on a
+//     LaneExecutor worker under the conservative lookahead rule.
+//
+// Ordinary components never name domains: schedule()/now()/rng() route to
+// the ACTIVE domain -- the one dispatching the current event, or the
+// DomainScope-selected domain during setup.  An event scheduled from inside
+// a handler therefore stays in its component's domain automatically.
+// Cross-domain posting is explicit (scheduleOn/scheduleOnAt) and pays at
+// least the channel's lookahead latency.
 //
 // Concurrent deployments (the controller's worker-pool hot path) interact
 // with the engine through ONE narrow, thread-safe seam: postExternal()
 // enqueues a closure from any thread into a mutex-guarded inbox; the
-// simulation thread alone moves inbox entries into the event queue
-// (drainExternal / serviceLoop) and executes them.  All other members stay
-// single-threaded, so deterministic runs pay nothing beyond one relaxed
-// atomic load per drain check.
+// control domain alone admits inbox entries (drainExternal / pump) and
+// executes them.
 #pragma once
 
 #include <atomic>
@@ -21,37 +32,21 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/event_domain.hpp"
 #include "sim/time.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace edgesim {
 
-/// Handle for cancelling a scheduled event.  Cheap to copy; cancelling an
-/// already-fired or already-cancelled event is a no-op.
-class EventHandle {
- public:
-  EventHandle() = default;
-
-  void cancel() {
-    if (const auto alive = alive_.lock()) *alive = false;
-  }
-  bool pending() const {
-    const auto alive = alive_.lock();
-    return alive && *alive;
-  }
-
- private:
-  friend class Simulation;
-  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::weak_ptr<bool> alive_;
-};
+class DomainScheduler;
 
 class Simulation {
  public:
@@ -61,27 +56,78 @@ class Simulation {
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  SimTime now() const { return now_; }
+  /// Clock of the active domain (single-domain: THE clock).
+  SimTime now() const;
   /// Thread-safe approximation of now() for worker threads (stamping
-  /// trace/metrics events while the sim thread advances time).  Exact
-  /// whenever the simulation thread is quiescent.
+  /// trace/metrics events while the sim thread advances time).  Reads the
+  /// control domain's commit clock; exact whenever that domain is quiescent.
   SimTime approxNow() const {
-    return SimTime::nanos(nowNanos_.load(std::memory_order_relaxed));
+    return SimTime::nanos(domains_.front()->nowNanosAtomic());
   }
-  Rng& rng() { return rng_; }
+  /// RNG stream of the active domain (single-domain: the master stream).
+  Rng& rng();
 
-  /// Schedule `fn` to run `delay` after now (delay >= 0).
+  /// Schedule `fn` in the active domain, `delay` after its now (delay >= 0).
   EventHandle schedule(SimTime delay, std::function<void()> fn);
-  /// Schedule `fn` at an absolute time (>= now).
+  /// Schedule `fn` in the active domain at an absolute time (>= its now).
   EventHandle scheduleAt(SimTime when, std::function<void()> fn);
 
+  // ---- time domains --------------------------------------------------------
+  /// Create a new domain (setup phase only).  Its RNG stream is derived
+  /// deterministically from the simulation seed and the domain id, so adding
+  /// domains never perturbs the master stream.
+  DomainId addDomain(const std::string& name);
+  std::size_t domainCount() const { return domains_.size(); }
+  EventDomain& domain(DomainId id) {
+    ES_ASSERT(id < domains_.size());
+    return *domains_[id];
+  }
+  /// Domain dispatching the current event on this thread, else the
+  /// DomainScope-selected setup domain (default: the control domain).
+  EventDomain& activeDomain();
+  DomainId activeDomainId() { return activeDomain().id(); }
+
+  /// Declare (or tighten) the bidirectional lookahead bound between two
+  /// domains -- the minimum model latency any cross-domain event pays.
+  /// Links crossing domains call this with their latency (setup phase only).
+  void connectDomains(DomainId a, DomainId b, SimTime lookahead);
+  /// Lookahead of the from->to channel; SimTime::max() when unconnected.
+  SimTime domainLookahead(DomainId from, DomainId to) const;
+
+  /// Schedule `fn` on `target`, at least max(delay, channel lookahead) after
+  /// the active domain's now.  Same-domain calls degrade to schedule().
+  /// Cross-domain sends return an inert (non-cancellable) handle.
+  EventHandle scheduleOn(DomainId target, SimTime delay,
+                         std::function<void()> fn);
+  /// Schedule `fn` on `target` at an absolute time.  Cross-domain, `when`
+  /// must be >= the active domain's now + channel lookahead (parallel runs
+  /// enforce this; it is what makes the conservative advance rule sound).
+  EventHandle scheduleOnAt(DomainId target, SimTime when,
+                           std::function<void()> fn);
+
+  /// Route setup-phase schedule()/now()/rng() calls to a chosen domain for
+  /// the scope's lifetime, so component constructors (stores, engines,
+  /// kubelets, reconcile timers) land their events cluster-locally without
+  /// threading DomainIds through every signature.  Setup only (asserts no
+  /// event is dispatching); scopes nest.
+  class DomainScope {
+   public:
+    DomainScope(Simulation& sim, DomainId id);
+    ~DomainScope();
+    DomainScope(const DomainScope&) = delete;
+    DomainScope& operator=(const DomainScope&) = delete;
+
+   private:
+    Simulation& sim_;
+    DomainId saved_;
+  };
+
   // ---- cross-thread injection (concurrent controller front-end) -----------
-  /// Enqueue `fn` from ANY thread; it runs on the simulation thread at the
-  /// current sim time once the inbox is drained.  The only thread-safe
-  /// entry point of the engine.
+  /// Enqueue `fn` from ANY thread; it runs on the control domain at the
+  /// current sim time once the inbox is drained.
   void postExternal(std::function<void()> fn);
-  /// Move externally posted closures into the event queue (at now()).
-  /// Simulation thread only.  Returns the number of closures admitted.
+  /// Move externally posted closures into the control domain's queue (at its
+  /// now()).  Control-domain thread only.  Returns the number admitted.
   std::size_t drainExternal();
   /// Concurrent-phase pump: admit external posts, then advance the clock by
   /// at most `slice`, running everything that becomes due.  The caller
@@ -92,22 +138,28 @@ class Simulation {
   /// Block up to `timeout` for a postExternal() to arrive; false on
   /// timeout.  Lets pump loops idle without spinning the clock forward.
   bool waitForExternal(std::chrono::microseconds timeout);
+  bool externalPending() const {
+    return inboxNonEmpty_.load(std::memory_order_acquire);
+  }
 
-  /// Run until the event queue drains or `stop()` is called.
+  /// Run until every domain's queue drains or `stop()` is called.
+  /// Sequential: multi-domain setups execute the globally earliest event.
   void run();
-  /// Run while events exist and their time is <= `until`; afterwards,
-  /// now() == min(until, drain time).
+  /// Run while events exist at time <= `until`; afterwards every domain's
+  /// now() == until (or beyond, matching the historical engine's behaviour
+  /// when the last executed event overshoots).
   void runUntil(SimTime until);
-  /// Execute at most one event; returns false if the queue was empty.
+  /// Execute at most one event (globally earliest across domains); returns
+  /// false if all queues were empty.
   bool step();
 
   void stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
 
-  std::size_t pendingEvents() const { return queueSize_; }
-  std::uint64_t processedEvents() const { return processed_; }
+  std::size_t pendingEvents() const;
+  std::uint64_t processedEvents() const;
 
-  /// "[t=...] " prefix for the logger.
+  /// "[t=...] " prefix for the logger (control-domain clock).
   std::string timePrefix() const;
 
   /// Route the global logger's time prefix to this simulation for the
@@ -121,36 +173,28 @@ class Simulation {
   };
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;  // min-heap
-      return a.seq > b.seq;
-    }
-  };
+  friend class DomainScheduler;
 
-  void dispatch(Event event);
-
-  void setNow(SimTime when) {
-    now_ = when;
-    nowNanos_.store(when.toNanos(), std::memory_order_relaxed);
+  DomainChannel* channelBetween(DomainId from, DomainId to) const;
+  void drainAllChannels();
+  /// Globally earliest live event across domains (sequential drivers).
+  EventDomain* earliestDomain(SimTime* when);
+  void beginParallel();
+  void endParallel();
+  bool parallelPhase() const {
+    return parallel_.load(std::memory_order_relaxed);
   }
 
-  SimTime now_ = SimTime::zero();
-  std::atomic<std::int64_t> nowNanos_{0};  // mirror of now_ for approxNow()
-  std::uint64_t nextSeq_ = 0;
-  std::uint64_t processed_ = 0;
-  std::size_t queueSize_ = 0;
+  std::uint64_t seed_;
+  Rng rng_;  // master stream, aliased by domain 0
+  std::vector<std::unique_ptr<EventDomain>> domains_;
+  std::vector<std::unique_ptr<DomainChannel>> channels_;
+  std::map<std::pair<DomainId, DomainId>, DomainChannel*> channelIndex_;
+  DomainId setupDomain_ = kControlDomain;
+  std::atomic<bool> parallel_{false};
   bool stopped_ = false;
-  Rng rng_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
 
-  // External inbox: the one mutex-guarded seam (see header comment).
+  // External inbox: the one cross-thread seam (see header comment).
   std::mutex inboxMutex_;
   std::condition_variable inboxCv_;
   std::vector<std::function<void()>> inbox_;
@@ -160,6 +204,9 @@ class Simulation {
 /// Periodic callback helper; fires every `period` until cancelled or the
 /// callback returns false.  Safe to cancel or even destroy from within its
 /// own tick callback (common when a tick tears down the owning object).
+/// Ticks re-arm through Simulation::schedule, so a timer started while a
+/// domain is active (via DomainScope or from one of its events) stays in
+/// that domain.
 class PeriodicTimer {
  public:
   PeriodicTimer() = default;

@@ -1,0 +1,142 @@
+#include "workload/cluster_trace.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace edgesim::workload {
+
+namespace {
+
+// Per-cluster stream seed: mixes the trace seed with the cluster index
+// through the splitmix64 finalizer.  Depends on (seed, cluster) only --
+// NOT on the domain count -- so re-partitioning clusters over domains
+// cannot change a single draw.
+std::uint64_t clusterSeed(std::uint64_t seed, std::uint32_t cluster) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (cluster + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ClusterTraceRunner::ClusterTraceRunner(Simulation& sim,
+                                       ClusterTraceParams params,
+                                       std::uint32_t domainCount,
+                                       EventWork work)
+    : sim_(sim), params_(params), work_(std::move(work)) {
+  ES_ASSERT(params_.clusters > 0);
+  ES_ASSERT(domainCount > 0);
+  ES_ASSERT(params_.interClusterLatency > SimTime::zero());
+  ES_ASSERT(params_.crossClusterProbability >= 0.0 &&
+            params_.crossClusterProbability <= 1.0);
+  // Cap domains at clusters: an empty domain would only add idle channels.
+  domainCount = std::min(domainCount, params_.clusters);
+
+  domainIds_.push_back(kControlDomain);
+  for (std::uint32_t d = 1; d < domainCount; ++d) {
+    domainIds_.push_back(sim_.addDomain(strprintf("trace-%u", d)));
+  }
+  for (std::size_t a = 0; a < domainIds_.size(); ++a) {
+    for (std::size_t b = a + 1; b < domainIds_.size(); ++b) {
+      sim_.connectDomains(domainIds_[a], domainIds_[b],
+                          params_.interClusterLatency);
+    }
+  }
+
+  // Draw the whole trace now, one independent stream per cluster.
+  plan_.resize(params_.clusters);
+  recorded_.resize(params_.clusters);
+  const double meanNanos =
+      static_cast<double>(params_.meanInterarrival.toNanos());
+  for (std::uint32_t c = 0; c < params_.clusters; ++c) {
+    Rng rng(clusterSeed(params_.seed, c));
+    auto& requests = plan_[c];
+    requests.reserve(params_.requestsPerCluster);
+    SimTime at = SimTime::zero();
+    for (std::uint32_t i = 0; i < params_.requestsPerCluster; ++i) {
+      at += SimTime::nanos(
+          1 + static_cast<std::int64_t>(rng.exponential(meanNanos)));
+      std::uint32_t target = c;
+      if (params_.clusters > 1 && rng.chance(params_.crossClusterProbability)) {
+        // Uniform over the OTHER clusters.
+        target = static_cast<std::uint32_t>(
+            rng.uniformInt(0, params_.clusters - 2));
+        if (target >= c) ++target;
+      }
+      const PlannedRequest request{
+          static_cast<std::uint64_t>(c) * params_.requestsPerCluster + i, c,
+          target, at};
+      requests.push_back(request);
+
+      const bool remote = target != c;
+      const SimTime done = at +
+                           (remote ? params_.interClusterLatency
+                                   : SimTime::zero()) +
+                           params_.serviceTime;
+      horizon_ = std::max(horizon_, done);
+      expectedEvents_ += 3;  // arrival + service start + completion
+    }
+    recorded_[c].reserve(params_.requestsPerCluster);
+  }
+  horizon_ += SimTime::millis(1);
+}
+
+void ClusterTraceRunner::arm() {
+  ES_ASSERT_MSG(!armed_, "ClusterTraceRunner::arm called twice");
+  armed_ = true;
+  for (std::uint32_t c = 0; c < params_.clusters; ++c) {
+    const DomainId origin = domainOf(c);
+    for (const PlannedRequest& request : plan_[c]) {
+      // Arrival runs in the origin cluster's domain.
+      sim_.scheduleOnAt(origin, request.arrival, [this, request] {
+        if (work_) work_();
+        auto serve = [this, request] {
+          // Service start in the SERVING cluster's domain; completion
+          // records there too, so all outcome writes stay domain-local.
+          if (work_) work_();
+          sim_.schedule(params_.serviceTime, [this, request] {
+            if (work_) work_();
+            const std::uint32_t hops = request.target != request.origin ? 1 : 0;
+            recorded_[request.target].push_back(
+                RequestOutcome{request.id, request.origin, request.target,
+                               sim_.now().toNanos(), hops});
+          });
+        };
+        if (request.target == request.origin) {
+          // Local service: a zero-delay event keeps the per-request event
+          // count uniform (arrival + service start + completion).
+          sim_.schedule(SimTime::zero(), std::move(serve));
+        } else {
+          // Remote hop: one inter-cluster link traversal.  The delay
+          // equals the channels' lookahead, so the conservative bound
+          // always admits it.
+          sim_.scheduleOn(domainOf(request.target), params_.interClusterLatency,
+                          std::move(serve));
+        }
+      });
+    }
+  }
+}
+
+std::vector<RequestOutcome> ClusterTraceRunner::outcomes() const {
+  std::vector<RequestOutcome> merged;
+  merged.reserve(static_cast<std::size_t>(params_.clusters) *
+                 params_.requestsPerCluster);
+  for (const auto& perCluster : recorded_) {
+    merged.insert(merged.end(), perCluster.begin(), perCluster.end());
+  }
+  ES_ASSERT_MSG(merged.size() == static_cast<std::size_t>(params_.clusters) *
+                                     params_.requestsPerCluster,
+                "cluster trace finished with unserved requests");
+  std::sort(merged.begin(), merged.end(),
+            [](const RequestOutcome& a, const RequestOutcome& b) {
+              return a.id < b.id;
+            });
+  return merged;
+}
+
+}  // namespace edgesim::workload

@@ -1,0 +1,117 @@
+// Synthetic multi-cluster request trace for the time-domain scheduler.
+//
+// Models a fleet of edge clusters (default 16), each receiving its own
+// Poisson request stream.  Most requests are served locally; a fraction
+// hops to a uniformly-chosen remote cluster over an inter-cluster link
+// whose latency doubles as the conservative lookahead between the
+// clusters' time domains.  Service is infinite-server (no shared queueing
+// state), so every request's outcome is a pure function of the trace
+// parameters: outcomes are identical no matter how clusters are packed
+// into domains or whether the run is sequential or parallel.  That makes
+// the trace both the scaling benchmark workload (bench_domain_scaling)
+// and the cross-domain determinism oracle (DomainDeterminism tests).
+//
+// All randomness is drawn UP FRONT from one Rng stream per cluster
+// (seeded from params.seed and the cluster index only), never at event
+// time -- domain count and event interleaving cannot perturb the trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace edgesim::workload {
+
+struct ClusterTraceParams {
+  std::uint64_t seed = 1;
+  std::uint32_t clusters = 16;
+  std::uint32_t requestsPerCluster = 1000;
+  /// Mean of the per-cluster exponential interarrival distribution.
+  SimTime meanInterarrival = SimTime::millis(5);
+  /// Probability a request is served by a remote cluster.
+  double crossClusterProbability = 0.15;
+  /// Latency of every inter-cluster link; also the lookahead declared on
+  /// every cross-domain channel, so remote hops always clear the
+  /// conservative bound.
+  SimTime interClusterLatency = SimTime::millis(5);
+  /// Fixed per-request service time (infinite-server: requests never
+  /// contend, keeping outcomes order-independent).
+  SimTime serviceTime = SimTime::millis(2);
+};
+
+/// What happened to one request; fully determined by the parameters.
+struct RequestOutcome {
+  std::uint64_t id = 0;        // origin * requestsPerCluster + index
+  std::uint32_t origin = 0;    // cluster the request arrived at
+  std::uint32_t served = 0;    // cluster that ran the service
+  std::int64_t completedNanos = 0;  // sim time the service finished
+  std::uint32_t hops = 0;      // 0 = local, 1 = remote
+
+  friend bool operator==(const RequestOutcome&,
+                         const RequestOutcome&) = default;
+};
+
+/// Builds the trace over `domainCount` time domains and runs it through
+/// the simulation's event engine.
+///
+///   Simulation sim(seed);
+///   ClusterTraceRunner trace(sim, params, /*domainCount=*/8);
+///   trace.arm();
+///   sim.runUntil(trace.horizon());          // or DomainScheduler::runParallel
+///   auto outcomes = trace.outcomes();       // sorted by id, same for any
+///                                           // domainCount / driver
+///
+/// The constructor adds `domainCount - 1` domains to `sim` (cluster c
+/// lives on domain c % domainCount; domain 0 is the existing control
+/// domain) and connects every domain pair with interClusterLatency
+/// lookahead.  `work`, when set, runs once inside every trace event --
+/// benches pass a short sleep to model per-event computation that the
+/// parallel driver can overlap.
+class ClusterTraceRunner {
+ public:
+  using EventWork = std::function<void()>;
+
+  ClusterTraceRunner(Simulation& sim, ClusterTraceParams params,
+                     std::uint32_t domainCount, EventWork work = nullptr);
+
+  /// Schedules every arrival into its cluster's domain.  Call once,
+  /// before running (and before DomainScheduler::runParallel).
+  void arm();
+
+  /// A time by which every request has completed.
+  SimTime horizon() const { return horizon_; }
+
+  /// Number of events arm() commits the engine to dispatch
+  /// (arrival + optional remote hop + completion per request).
+  std::uint64_t expectedEvents() const { return expectedEvents_; }
+
+  /// Merged outcomes, sorted by id.  Call after the run; asserts every
+  /// request completed.
+  std::vector<RequestOutcome> outcomes() const;
+
+  DomainId domainOf(std::uint32_t cluster) const {
+    return static_cast<DomainId>(domainIds_[cluster % domainIds_.size()]);
+  }
+
+ private:
+  struct PlannedRequest {
+    std::uint64_t id;
+    std::uint32_t origin;
+    std::uint32_t target;
+    SimTime arrival;
+  };
+
+  Simulation& sim_;
+  ClusterTraceParams params_;
+  EventWork work_;
+  std::vector<DomainId> domainIds_;  // one per domain slot used
+  std::vector<std::vector<PlannedRequest>> plan_;      // per origin cluster
+  std::vector<std::vector<RequestOutcome>> recorded_;  // per SERVING cluster
+  SimTime horizon_ = SimTime::zero();
+  std::uint64_t expectedEvents_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace edgesim::workload
