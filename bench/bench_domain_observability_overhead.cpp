@@ -1,0 +1,141 @@
+// Cost of observing the parallel core: the acceptance gate for the
+// DomainProbe design is < 3% wall-clock overhead on a parallel run.
+//
+// Protocol: the same 16-cluster trace runs at 8 domains twice per rep --
+// once bare (null DomainObserver: the zero-instrumentation fast path) and
+// once with a full telemetry::DomainProbe attached (MetricsRegistry AND
+// TraceRecorder, i.e. counters + histograms + gaugeFns + track spans +
+// flow stamps -- the most expensive configuration).  Arms interleave
+// within a rep so frequency drift hits both equally; the best (min) rep
+// per arm cancels scheduler noise, and the whole measurement retries a
+// few times before declaring failure, because a 3% gate on wall time is
+// inherently jitter-prone on shared CI hosts.
+//
+// Output: BENCH_domain_observability_overhead.json -- the committed
+// baseline keeps run/sec_per_kevent/{observed,bare} (lower-is-better;
+// gated loosely, the binary itself enforces the ratio).
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <thread>
+
+#include "bench_output.hpp"
+#include "sim/domain_scheduler.hpp"
+#include "telemetry/domain_probe.hpp"
+#include "trace/trace_recorder.hpp"
+#include "util/lane_executor.hpp"
+#include "workload/cluster_trace.hpp"
+
+using namespace edgesim;
+using namespace edgesim::bench;
+using namespace edgesim::workload;
+
+namespace {
+
+constexpr std::uint32_t kClusters = 16;
+constexpr std::uint32_t kRequestsPerCluster = 200;
+constexpr std::uint32_t kDomains = 8;
+constexpr std::size_t kWorkers = 8;
+constexpr auto kEventWork = std::chrono::microseconds(20);
+constexpr int kReps = 3;
+constexpr int kAttempts = 5;
+constexpr double kMaxOverhead = 1.03;
+
+struct RunStats {
+  double wallSeconds = 0.0;
+  std::uint64_t events = 0;
+};
+
+RunStats runOnce(bool observed) {
+  Simulation sim(/*seed=*/1);
+  ClusterTraceParams params;
+  params.clusters = kClusters;
+  params.requestsPerCluster = kRequestsPerCluster;
+  ClusterTraceRunner trace(sim, params, kDomains,
+                           [] { std::this_thread::sleep_for(kEventWork); });
+  // The probe lives outside the timed region; only the per-event observer
+  // callbacks land inside it.
+  telemetry::MetricsRegistry registry;
+  trace::TraceRecorder recorder;
+  std::optional<telemetry::DomainProbe> probe;
+  if (observed) probe.emplace(sim, &registry, &recorder);
+  trace.arm();
+
+  LaneExecutor pool(kWorkers);
+  DomainScheduler scheduler(sim);
+  const auto wallStart = std::chrono::steady_clock::now();
+  scheduler.runParallel(pool, trace.horizon());
+  RunStats stats;
+  stats.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wallStart)
+                          .count();
+  stats.events = sim.processedEvents();
+  ES_ASSERT(trace.outcomes().size() ==
+            static_cast<std::size_t>(kClusters) * kRequestsPerCluster);
+  return stats;
+}
+
+struct Measurement {
+  double observedSeconds = 0.0;  // best rep, probe attached
+  double bareSeconds = 0.0;      // best rep, no observer
+  std::uint64_t events = 0;
+  double ratio() const { return observedSeconds / bareSeconds; }
+};
+
+Measurement measure() {
+  // One warmup pair primes the thread pool and the page cache.
+  runOnce(false);
+  runOnce(true);
+  Measurement m;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const RunStats bare = runOnce(false);
+    const RunStats observed = runOnce(true);
+    m.events = bare.events;
+    if (rep == 0 || bare.wallSeconds < m.bareSeconds) {
+      m.bareSeconds = bare.wallSeconds;
+    }
+    if (rep == 0 || observed.wallSeconds < m.observedSeconds) {
+      m.observedSeconds = observed.wallSeconds;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  Measurement best;
+  for (int attempt = 1; attempt <= kAttempts; ++attempt) {
+    const Measurement m = measure();
+    std::printf("attempt %d: %u-domain run %.3f s observed, %.3f s bare "
+                "(ratio %.4f)\n",
+                attempt, kDomains, m.observedSeconds, m.bareSeconds,
+                m.ratio());
+    if (attempt == 1 || m.ratio() < best.ratio()) best = m;
+    if (best.ratio() <= kMaxOverhead) break;
+  }
+
+  metrics::BenchReport report("domain_observability_overhead");
+  report.setMeta("clusters", std::to_string(kClusters));
+  report.setMeta("requests_per_cluster", std::to_string(kRequestsPerCluster));
+  report.setMeta("domains", std::to_string(kDomains));
+  report.setMeta("event_work_us", "20");
+  report.setMeta("reps", std::to_string(kReps));
+  const double kEvents = static_cast<double>(best.events) / 1000.0;
+  report.addScalar("run/sec_per_kevent/observed",
+                   best.observedSeconds / kEvents);
+  report.addScalar("run/sec_per_kevent/bare", best.bareSeconds / kEvents);
+  report.addScalar("run/overhead_ratio", best.ratio());
+  writeBenchReport(report);
+
+  if (best.ratio() > kMaxOverhead) {
+    std::fprintf(stderr,
+                 "FAIL: domain observability overhead is %.2f%% "
+                 "(gate: %.0f%%)\n",
+                 (best.ratio() - 1.0) * 100.0, (kMaxOverhead - 1.0) * 100.0);
+    return 1;
+  }
+  std::printf("overhead check: %.2f%% <= %.0f%% gate\n",
+              (best.ratio() - 1.0) * 100.0, (kMaxOverhead - 1.0) * 100.0);
+  return 0;
+}

@@ -25,8 +25,10 @@ Network::LinkPorts Network::connect(NetNode& a, NetNode& b, SimTime latency,
       HalfLink{&b, portB, &a, portA, latency, bandwidth, SimTime::zero()}));
   if (a.domain() != b.domain()) {
     // This link's propagation delay is the conservative lookahead bound
-    // between the two domains (tightened to the minimum across links).
-    sim_.connectDomains(a.domain(), b.domain(), latency);
+    // between the two domains (tightened to the minimum across links); the
+    // link name identifies the channel for stall attribution.
+    sim_.connectDomains(a.domain(), b.domain(), latency,
+                        a.name() + "<->" + b.name());
   }
   return LinkPorts{portA, portB};
 }

@@ -1,0 +1,86 @@
+// Observation seam for the parallel discrete-event core.
+//
+// The sim module sits at the bottom of the dependency graph (sim DEPS util)
+// and cannot include telemetry or trace headers.  DomainObserver inverts the
+// dependency: EventDomain / Simulation / DomainScheduler call OUT through
+// this abstract interface, and telemetry::DomainProbe (which may depend on
+// everything) implements it.  With no observer attached (the default), every
+// hook site is a single null-pointer test -- the engine's behaviour, event
+// order and RNG streams are untouched, so determinism goldens stay bytewise
+// identical.
+//
+// Threading contract: onAdvance() is invoked on the domain's advancing
+// thread (one thread at a time per domain -- the LaneExecutor lane
+// serializes it), so per-domain observer state needs no locking as long as
+// it is keyed by domain id.  onCrossSend() runs on the SENDING domain's
+// thread, onCrossReceive() on the RECEIVING domain's thread; watchdog hooks
+// run on the coordinating thread.  Attach/detach only while no run is in
+// flight.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace edgesim {
+
+using DomainId = std::uint32_t;
+
+/// Sentinel for "no domain" (e.g. an advance that was not bounded by any
+/// inbound channel).
+inline constexpr DomainId kNoDomainId = 0xFFFFFFFFu;
+
+class EventDomain;
+
+class DomainObserver {
+ public:
+  virtual ~DomainObserver() = default;
+
+  /// One completed EventDomain::advance() call (parallel driver slice).
+  struct AdvanceInfo {
+    DomainId domain = 0;
+    /// Events dispatched during this slice.
+    std::size_t dispatched = 0;
+    /// Iterations that lifted the clock on null-message progress alone
+    /// (no event ran in that iteration).
+    std::size_t lifts = 0;
+    /// The domain clock moved during this slice (events or lifts).
+    bool clockMoved = false;
+    /// The domain reached the horizon with no live local event left at or
+    /// before it (same value advance() publishes via idleAtHorizon()).
+    bool idleAtHorizon = false;
+    /// When not idle: the inbound channel whose safeBound() gates further
+    /// progress, identified by its source domain; kNoDomainId otherwise.
+    DomainId boundedBy = kNoDomainId;
+    /// Domain clock at the end of the slice.
+    SimTime now;
+    /// Wall-clock interval the slice occupied.
+    std::chrono::steady_clock::time_point wallStart;
+    std::chrono::steady_clock::time_point wallEnd;
+  };
+
+  /// Called at the end of every advance() slice, on the advancing thread.
+  virtual void onAdvance(const AdvanceInfo& info) = 0;
+
+  /// A cross-domain send is being committed (Simulation::scheduleOnAt after
+  /// the same-domain short-circuit).  Runs on the sending domain's thread.
+  /// Return a non-zero flow id to have the matching receive reported via
+  /// onCrossReceive (the engine wraps the closure); return 0 to only count.
+  virtual std::uint64_t onCrossSend(DomainId from, DomainId to,
+                                    SimTime when) = 0;
+  /// The closure of a cross-domain send with a non-zero flow id is about to
+  /// execute in the target domain.  Runs on the receiving domain's thread.
+  virtual void onCrossReceive(std::uint64_t flow, DomainId from, DomainId to,
+                              SimTime when) = 0;
+
+  /// One watchdog sweep over all domains (coordinating thread).
+  virtual void onWatchdogPass() = 0;
+  /// A watchdog re-post was admitted for `domain` and its advance slice has
+  /// finished; `productive` = the slice dispatched events or moved the
+  /// clock (a redundant wake found nothing to do).  Advancing thread.
+  virtual void onWatchdogWake(DomainId domain, bool productive) = 0;
+};
+
+}  // namespace edgesim

@@ -8,16 +8,24 @@
 #include <mutex>
 #include <vector>
 
+#include "sim/domain_observer.hpp"
 #include "util/lane_executor.hpp"
 
 namespace edgesim {
 
 void DomainScheduler::runParallel(LaneExecutor& pool, SimTime until) {
   const std::size_t domainCount = sim_.domainCount();
+  advanceTasks_.store(0, std::memory_order_relaxed);
+  notifyWakes_.store(0, std::memory_order_relaxed);
+  watchdogPasses_.store(0, std::memory_order_relaxed);
+  watchdogWakes_.store(0, std::memory_order_relaxed);
+  watchdogProductive_.store(0, std::memory_order_relaxed);
+  watchdogRedundant_.store(0, std::memory_order_relaxed);
   if (domainCount <= 1) {
     sim_.runUntil(until);
     return;
   }
+  DomainObserver* const observer = sim_.domainObserver();
   sim_.beginParallel();
 
   // One queued-flag per domain: collapses redundant re-posts so a domain has
@@ -38,21 +46,31 @@ void DomainScheduler::runParallel(LaneExecutor& pool, SimTime until) {
   // Recursive: advance tasks re-post themselves and their downstream
   // domains.  Safe to capture by reference -- pool.drain() below guarantees
   // every task (and everything tasks post transitively) finishes before
-  // these locals go out of scope.
-  std::function<void(DomainId)> enqueue = [&](DomainId id) {
+  // these locals go out of scope.  `fromWatchdog` tags the task so its
+  // outcome can be classified productive vs redundant -- the lost-wakeup
+  // detector the domain-scaling test bounds.
+  std::function<void(DomainId, bool)> enqueue = [&](DomainId id,
+                                                    bool fromWatchdog) {
     if (states[id]->queued.exchange(true, std::memory_order_acq_rel)) return;
     const bool admitted = pool.post(id, [this, &states, &enqueue, &doneCv, id,
-                                         until] {
+                                         until, fromWatchdog, observer] {
       states[id]->queued.store(false, std::memory_order_release);
+      advanceTasks_.fetch_add(1, std::memory_order_relaxed);
       EventDomain& domain = sim_.domain(id);
       if (id == kControlDomain) sim_.drainExternal();
       const SimTime clockBefore = domain.now();
       const std::size_t dispatched = domain.advance(until);
-      if (dispatched > 0 || domain.now() > clockBefore) {
+      const bool productive = dispatched > 0 || domain.now() > clockBefore;
+      if (fromWatchdog) {
+        (productive ? watchdogProductive_ : watchdogRedundant_)
+            .fetch_add(1, std::memory_order_relaxed);
+        if (observer != nullptr) observer->onWatchdogWake(id, productive);
+      }
+      if (productive) {
         // Progress moved this domain's commit clock: downstream bounds grew,
         // so their domains may be able to advance further.
         for (const DomainChannel* channel : domain.outbound()) {
-          enqueue(channel->to().id());
+          enqueue(channel->to().id(), false);
         }
       }
       // No self-repost: advance() only returns once no further progress is
@@ -61,9 +79,14 @@ void DomainScheduler::runParallel(LaneExecutor& pool, SimTime until) {
       // progress (the loop above, run by ITS task) or from the watchdog.
       doneCv.notify_one();
     });
-    // A bounded pool may shed the task; clear the flag so the watchdog can
-    // retry instead of believing an advance is pending forever.
-    if (!admitted) states[id]->queued.store(false, std::memory_order_release);
+    if (admitted) {
+      (fromWatchdog ? watchdogWakes_ : notifyWakes_)
+          .fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // A bounded pool may shed the task; clear the flag so the watchdog can
+      // retry instead of believing an advance is pending forever.
+      states[id]->queued.store(false, std::memory_order_release);
+    }
   };
 
   const auto allIdle = [&] {
@@ -78,7 +101,7 @@ void DomainScheduler::runParallel(LaneExecutor& pool, SimTime until) {
     return true;
   };
 
-  for (DomainId id = 0; id < domainCount; ++id) enqueue(id);
+  for (DomainId id = 0; id < domainCount; ++id) enqueue(id, false);
   {
     std::unique_lock lock(doneMutex);
     while (!allIdle()) {
@@ -86,6 +109,8 @@ void DomainScheduler::runParallel(LaneExecutor& pool, SimTime until) {
       // Watchdog: wake anything not yet at the horizon.  Redundant posts
       // are collapsed by the queued flags; an idle domain whose inbound
       // channel is non-empty gets re-posted to drain it.
+      watchdogPasses_.fetch_add(1, std::memory_order_relaxed);
+      if (observer != nullptr) observer->onWatchdogPass();
       for (DomainId id = 0; id < domainCount; ++id) {
         EventDomain& domain = sim_.domain(id);
         bool inboundPending = false;
@@ -94,7 +119,7 @@ void DomainScheduler::runParallel(LaneExecutor& pool, SimTime until) {
         }
         if (!domain.idleAtHorizon() || inboundPending ||
             (id == kControlDomain && sim_.externalPending())) {
-          enqueue(id);
+          enqueue(id, true);
         }
       }
     }

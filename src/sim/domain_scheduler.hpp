@@ -16,6 +16,9 @@
 // pending event is always below every bound that gates it.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
@@ -38,8 +41,43 @@ class DomainScheduler {
   /// during the run are admitted into the control domain as usual.
   void runParallel(LaneExecutor& pool, SimTime until);
 
+  /// Wake/task accounting of the most recent runParallel() call (always on
+  /// -- a handful of relaxed counters).  `watchdogWakes` counts ADMITTED
+  /// watchdog re-posts (the queued flags collapse the rest) and splits into
+  /// productive (the slice dispatched events or moved the clock -- i.e. the
+  /// notification edge really was lost) and redundant (nothing to do; the
+  /// safety net spun).  A lost-wakeup regression shows up as productive
+  /// wakes growing with run size; redundant wakes are bounded by passes x
+  /// domains.
+  struct RunStats {
+    std::uint64_t advanceTasks = 0;      // advance slices executed
+    std::uint64_t notifyWakes = 0;       // admitted progress-notification posts
+    std::uint64_t watchdogPasses = 0;    // coordinator sweeps over all domains
+    std::uint64_t watchdogWakes = 0;     // admitted watchdog posts
+    std::uint64_t watchdogProductive = 0;
+    std::uint64_t watchdogRedundant = 0;
+  };
+  RunStats lastRunStats() const {
+    RunStats stats;
+    stats.advanceTasks = advanceTasks_.load(std::memory_order_relaxed);
+    stats.notifyWakes = notifyWakes_.load(std::memory_order_relaxed);
+    stats.watchdogPasses = watchdogPasses_.load(std::memory_order_relaxed);
+    stats.watchdogWakes = watchdogWakes_.load(std::memory_order_relaxed);
+    stats.watchdogProductive =
+        watchdogProductive_.load(std::memory_order_relaxed);
+    stats.watchdogRedundant =
+        watchdogRedundant_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
  private:
   Simulation& sim_;
+  std::atomic<std::uint64_t> advanceTasks_{0};
+  std::atomic<std::uint64_t> notifyWakes_{0};
+  std::atomic<std::uint64_t> watchdogPasses_{0};
+  std::atomic<std::uint64_t> watchdogWakes_{0};
+  std::atomic<std::uint64_t> watchdogProductive_{0};
+  std::atomic<std::uint64_t> watchdogRedundant_{0};
 };
 
 }  // namespace edgesim

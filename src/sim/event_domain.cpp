@@ -1,7 +1,9 @@
 #include "sim/event_domain.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "sim/domain_observer.hpp"
 #include "sim/simulation.hpp"
 
 namespace edgesim {
@@ -31,14 +33,17 @@ class CurrentDomainScope {
 // ---- DomainChannel ---------------------------------------------------------
 
 DomainChannel::DomainChannel(EventDomain& from, EventDomain& to,
-                             SimTime lookahead)
-    : from_(from), to_(to), lookaheadNanos_(lookahead.toNanos()) {
+                             SimTime lookahead, std::string via)
+    : from_(from),
+      to_(to),
+      lookaheadNanos_(lookahead.toNanos()),
+      via_(std::move(via)) {
   ES_ASSERT_MSG(lookahead > SimTime::zero(),
                 "cross-domain lookahead must be positive");
   ES_ASSERT_MSG(&from != &to, "channel endpoints must differ");
 }
 
-void DomainChannel::tighten(SimTime lookahead) {
+void DomainChannel::tighten(SimTime lookahead, const std::string& via) {
   ES_ASSERT_MSG(lookahead > SimTime::zero(),
                 "cross-domain lookahead must be positive");
   std::int64_t observed = lookaheadNanos_.load(std::memory_order_relaxed);
@@ -46,6 +51,9 @@ void DomainChannel::tighten(SimTime lookahead) {
          !lookaheadNanos_.compare_exchange_weak(observed, lookahead.toNanos(),
                                                 std::memory_order_relaxed)) {
   }
+  // The tightest latency defines the bound, so the link that set it owns the
+  // channel's identity for attribution (setup phase: single-threaded).
+  if (!via.empty() && lookahead.toNanos() <= observed) via_ = via;
 }
 
 void DomainChannel::push(SimTime when, std::function<void()> fn) {
@@ -53,6 +61,7 @@ void DomainChannel::push(SimTime when, std::function<void()> fn) {
   {
     std::lock_guard lock(mutex_);
     pending_.push_back(Message{when, nextSeq_++, std::move(fn)});
+    pendingCount_.store(pending_.size(), std::memory_order_relaxed);
     nonEmpty_.store(true, std::memory_order_release);
   }
 }
@@ -68,6 +77,7 @@ std::size_t DomainChannel::drainInto(EventDomain& target) {
   {
     std::lock_guard lock(mutex_);
     batch.swap(pending_);
+    pendingCount_.store(0, std::memory_order_relaxed);
     nonEmpty_.store(false, std::memory_order_release);
   }
   // Senders push in their own execution order, but stamps are send-time plus
@@ -111,7 +121,7 @@ EventHandle EventDomain::scheduleAt(SimTime when, std::function<void()> fn) {
   auto alive = std::make_shared<bool>(true);
   EventHandle handle{std::weak_ptr<bool>(alive)};
   queue_.push(Event{when, nextSeq_++, std::move(fn), std::move(alive)});
-  ++queueSize_;
+  queueSize_.fetch_add(1, std::memory_order_relaxed);
   return handle;
 }
 
@@ -119,7 +129,7 @@ void EventDomain::dispatch(Event event) {
   setNow(event.when);
   if (*event.alive) {
     *event.alive = false;
-    ++processed_;
+    processed_.fetch_add(1, std::memory_order_relaxed);
     CurrentDomainScope scope(this);
     event.fn();
   }
@@ -129,7 +139,7 @@ bool EventDomain::step() {
   while (!queue_.empty()) {
     Event event = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    --queueSize_;
+    queueSize_.fetch_sub(1, std::memory_order_relaxed);
     if (!*event.alive) continue;  // cancelled; skip without advancing
     dispatch(std::move(event));
     return true;
@@ -141,34 +151,47 @@ SimTime EventDomain::nextEventTime() {
   while (!queue_.empty()) {
     if (*queue_.top().alive) return queue_.top().when;
     queue_.pop();  // prune cancelled front entries
-    --queueSize_;
+    queueSize_.fetch_sub(1, std::memory_order_relaxed);
   }
   return SimTime::max();
 }
 
 std::size_t EventDomain::advance(SimTime horizon) {
+  DomainObserver* const observer = observer_;
+  std::chrono::steady_clock::time_point wallStart;
+  if (observer != nullptr) wallStart = std::chrono::steady_clock::now();
+  const SimTime clockBefore = now_;
   idleAtHorizon_.store(false, std::memory_order_relaxed);
   std::size_t dispatched = 0;
+  std::size_t lifts = 0;
+  const DomainChannel* gating = nullptr;  // argmin channel of the last bound
   for (;;) {
     // Bound BEFORE drain: a message pushed after this read was sent at a
     // sender clock >= the one folded into `bound`, so its stamp is >= bound
     // and the strict `when < bound` cut below cannot miss it.
     SimTime bound = SimTime::max();
+    gating = nullptr;
     for (const DomainChannel* channel : inbound_) {
-      bound = std::min(bound, channel->safeBound());
+      const SimTime b = channel->safeBound();
+      if (b < bound) {
+        bound = b;
+        gating = channel;
+      }
     }
     for (DomainChannel* channel : inbound_) channel->drainInto(*this);
 
     bool progressed = false;
+    std::size_t ranThisRound = 0;
     while (!queue_.empty()) {
       const Event& top = queue_.top();
       if (top.when > horizon || top.when >= bound) break;
       Event event = std::move(const_cast<Event&>(queue_.top()));
       queue_.pop();
-      --queueSize_;
+      queueSize_.fetch_sub(1, std::memory_order_relaxed);
       if (!*event.alive) continue;
       dispatch(std::move(event));
       ++dispatched;
+      ++ranThisRound;
       progressed = true;
     }
 
@@ -176,13 +199,28 @@ std::size_t EventDomain::advance(SimTime horizon) {
     // safe, so downstream domains' bounds advance even when we ran nothing.
     const SimTime target = std::min(horizon, bound);
     if (target > now_) {
+      if (ranThisRound == 0) ++lifts;
       setNow(target);
       progressed = true;
     }
     if (!progressed) break;
   }
-  idleAtHorizon_.store(now_ >= horizon && !hasEventAtOrBefore(horizon),
-                       std::memory_order_release);
+  const bool idle = now_ >= horizon && !hasEventAtOrBefore(horizon);
+  idleAtHorizon_.store(idle, std::memory_order_release);
+  if (observer != nullptr) {
+    DomainObserver::AdvanceInfo info;
+    info.domain = id_;
+    info.dispatched = dispatched;
+    info.lifts = lifts;
+    info.clockMoved = now_ > clockBefore;
+    info.idleAtHorizon = idle;
+    info.boundedBy =
+        (!idle && gating != nullptr) ? gating->from().id() : kNoDomainId;
+    info.now = now_;
+    info.wallStart = wallStart;
+    info.wallEnd = std::chrono::steady_clock::now();
+    observer->onAdvance(info);
+  }
   return dispatched;
 }
 

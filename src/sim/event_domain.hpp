@@ -43,6 +43,7 @@ namespace edgesim {
 class Simulation;
 class EventDomain;
 class DomainChannel;
+class DomainObserver;
 
 /// Identifies one time domain within a Simulation.  Domain 0 always exists
 /// and hosts the control plane (controller, dispatcher, switch) plus
@@ -82,20 +83,33 @@ class EventHandle {
 /// bound and cannot be missed by processing strictly below the bound.
 class DomainChannel {
  public:
-  DomainChannel(EventDomain& from, EventDomain& to, SimTime lookahead);
+  DomainChannel(EventDomain& from, EventDomain& to, SimTime lookahead,
+                std::string via = {});
 
   DomainChannel(const DomainChannel&) = delete;
   DomainChannel& operator=(const DomainChannel&) = delete;
 
   EventDomain& from() const { return from_; }
   EventDomain& to() const { return to_; }
+  /// Identity of the link whose latency set the current (tightest) lookahead
+  /// -- e.g. "edge-3<->edge-7" for a network link -- for stall attribution.
+  /// Empty when the channel was declared without one.  Setup phase writes,
+  /// observers read after setup.
+  const std::string& via() const { return via_; }
 
   SimTime lookahead() const {
     return SimTime::nanos(lookaheadNanos_.load(std::memory_order_relaxed));
   }
   /// Lower the lookahead bound (multiple links between the same domain pair
-  /// keep the tightest latency).  Setup phase only.
-  void tighten(SimTime lookahead);
+  /// keep the tightest latency); a non-empty `via` that tightens the bound
+  /// takes over the channel's identity.  Setup phase only.
+  void tighten(SimTime lookahead, const std::string& via = {});
+
+  /// Approximate number of undelivered messages (relaxed; exact at
+  /// quiescence).  Safe from any thread -- feeds the inbox-depth gauge.
+  std::size_t pendingCount() const {
+    return pendingCount_.load(std::memory_order_relaxed);
+  }
 
   /// Sender side: enqueue a closure for delivery at absolute time `when`
   /// (>= sender clock + lookahead; asserted by the caller, who knows the
@@ -123,10 +137,12 @@ class DomainChannel {
   EventDomain& from_;
   EventDomain& to_;
   std::atomic<std::int64_t> lookaheadNanos_;
+  std::string via_;  // setup-phase writes only
   mutable std::mutex mutex_;
   std::vector<Message> pending_;
   std::uint64_t nextSeq_ = 0;  // guarded by mutex_
   std::atomic<bool> nonEmpty_{false};
+  std::atomic<std::size_t> pendingCount_{0};
 };
 
 class EventDomain {
@@ -196,8 +212,15 @@ class EventDomain {
     if (now_ < when) setNow(when);
   }
 
-  std::size_t pendingEvents() const { return queueSize_; }
-  std::uint64_t processedEvents() const { return processed_; }
+  /// Live heap depth / dispatched-event count.  Relaxed atomics: exact on
+  /// the owning thread, a moment-in-time approximation from any other
+  /// (feeds the heap-depth gauge polled at snapshot time).
+  std::size_t pendingEvents() const {
+    return queueSize_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t processedEvents() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
 
   const std::vector<DomainChannel*>& inbound() const { return inbound_; }
   const std::vector<DomainChannel*>& outbound() const { return outbound_; }
@@ -240,8 +263,11 @@ class EventDomain {
   SimTime now_ = SimTime::zero();
   std::atomic<std::int64_t> nowNanos_{0};  // commit clock (and approxNow)
   std::uint64_t nextSeq_ = 0;
-  std::uint64_t processed_ = 0;
-  std::size_t queueSize_ = 0;
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::size_t> queueSize_{0};
+  /// Set by Simulation::setDomainObserver (setup phase only); advance()
+  /// reports slices through it.  Null = zero-instrumentation fast path.
+  DomainObserver* observer_ = nullptr;
   /// Domain 0 aliases the Simulation's master RNG; others own a fork.
   Rng* rng_ = nullptr;
   std::unique_ptr<Rng> ownedRng_;

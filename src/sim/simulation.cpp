@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/domain_observer.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -59,25 +60,35 @@ DomainId Simulation::addDomain(const std::string& name) {
   const auto id = static_cast<DomainId>(domains_.size());
   domains_.push_back(std::make_unique<EventDomain>(*this, id, name, nullptr,
                                                    domainSeed(seed_, id)));
+  domains_.back()->observer_ = observer_;
   return id;
 }
 
-void Simulation::connectDomains(DomainId a, DomainId b, SimTime lookahead) {
+void Simulation::connectDomains(DomainId a, DomainId b, SimTime lookahead,
+                                const std::string& via) {
   ES_ASSERT_MSG(!parallelPhase(), "connectDomains during a parallel phase");
   ES_ASSERT_MSG(a != b, "connectDomains endpoints must differ");
   ES_ASSERT(a < domains_.size() && b < domains_.size());
   for (const auto& [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
     if (DomainChannel* existing = channelBetween(from, to)) {
-      existing->tighten(lookahead);
+      existing->tighten(lookahead, via);
       continue;
     }
-    auto channel = std::make_unique<DomainChannel>(*domains_[from],
-                                                   *domains_[to], lookahead);
+    auto channel = std::make_unique<DomainChannel>(
+        *domains_[from], *domains_[to], lookahead, via);
     domains_[from]->addOutbound(channel.get());
     domains_[to]->addInbound(channel.get());
     channelIndex_.emplace(std::pair{from, to}, channel.get());
     channels_.push_back(std::move(channel));
   }
+}
+
+void Simulation::setDomainObserver(DomainObserver* observer) {
+  ES_ASSERT_MSG(!parallelPhase(), "setDomainObserver during a parallel phase");
+  ES_ASSERT_MSG(EventDomain::current() == nullptr,
+                "setDomainObserver from inside an event");
+  observer_ = observer;
+  for (const auto& domain : domains_) domain->observer_ = observer;
 }
 
 SimTime Simulation::domainLookahead(DomainId from, DomainId to) const {
@@ -110,6 +121,19 @@ EventHandle Simulation::scheduleOnAt(DomainId target, SimTime when,
   EventDomain& active = activeDomain();
   EventDomain& dst = *domains_[target];
   if (&dst == &active) return dst.scheduleAt(when, std::move(fn));
+  if (DomainObserver* observer = observer_) {
+    // Causality stamp: the observer pairs this send with the receive.  A
+    // zero flow id means "count only" -- the closure stays unwrapped and the
+    // execution path is untouched.
+    const std::uint64_t flow = observer->onCrossSend(active.id(), target, when);
+    if (flow != 0) {
+      fn = [observer, flow, from = active.id(), target, when,
+            inner = std::move(fn)]() {
+        observer->onCrossReceive(flow, from, target, when);
+        inner();
+      };
+    }
+  }
   if (!parallelPhase()) {
     // Sequential: direct admission into the target queue keeps the single
     // canonical global order the determinism suites compare against.
@@ -170,6 +194,11 @@ std::size_t Simulation::pump(SimTime slice) {
 bool Simulation::waitForExternal(std::chrono::microseconds timeout) {
   std::unique_lock lock(inboxMutex_);
   return inboxCv_.wait_for(lock, timeout, [this] { return !inbox_.empty(); });
+}
+
+std::size_t Simulation::externalQueueDepth() const {
+  std::lock_guard lock(inboxMutex_);
+  return inbox_.size();
 }
 
 void Simulation::drainAllChannels() {

@@ -90,9 +90,26 @@ class Simulation {
   /// Declare (or tighten) the bidirectional lookahead bound between two
   /// domains -- the minimum model latency any cross-domain event pays.
   /// Links crossing domains call this with their latency (setup phase only).
-  void connectDomains(DomainId a, DomainId b, SimTime lookahead);
+  /// `via` names the link for stall attribution (e.g. "edge-3<->edge-7");
+  /// the tightest link owns the channel identity.
+  void connectDomains(DomainId a, DomainId b, SimTime lookahead,
+                      const std::string& via = {});
   /// Lookahead of the from->to channel; SimTime::max() when unconnected.
   SimTime domainLookahead(DomainId from, DomainId to) const;
+  /// The from->to channel, nullptr when unconnected.  Observers use this to
+  /// enumerate channel identities; the engine's own callers go through
+  /// scheduleOn/scheduleOnAt.
+  const DomainChannel* domainChannel(DomainId from, DomainId to) const {
+    return channelBetween(from, to);
+  }
+
+  /// Attach (or detach, with nullptr) a DomainObserver: every domain's
+  /// advance() slices, cross-domain sends, and the parallel driver's
+  /// watchdog report through it.  Setup phase only -- never while a run is
+  /// in flight.  Null observer (the default) keeps the engine on its
+  /// zero-instrumentation path.
+  void setDomainObserver(DomainObserver* observer);
+  DomainObserver* domainObserver() const { return observer_; }
 
   /// Schedule `fn` on `target`, at least max(delay, channel lookahead) after
   /// the active domain's now.  Same-domain calls degrade to schedule().
@@ -141,6 +158,9 @@ class Simulation {
   bool externalPending() const {
     return inboxNonEmpty_.load(std::memory_order_acquire);
   }
+  /// Number of externally posted closures not yet admitted (mutex-guarded;
+  /// safe from any thread -- feeds the external-inbox-depth gauge).
+  std::size_t externalQueueDepth() const;
 
   /// Run until every domain's queue drains or `stop()` is called.
   /// Sequential: multi-domain setups execute the globally earliest event.
@@ -192,10 +212,11 @@ class Simulation {
   std::map<std::pair<DomainId, DomainId>, DomainChannel*> channelIndex_;
   DomainId setupDomain_ = kControlDomain;
   std::atomic<bool> parallel_{false};
+  DomainObserver* observer_ = nullptr;  // setup-phase writes only
   bool stopped_ = false;
 
   // External inbox: the one cross-thread seam (see header comment).
-  std::mutex inboxMutex_;
+  mutable std::mutex inboxMutex_;
   std::condition_variable inboxCv_;
   std::vector<std::function<void()>> inbox_;
   std::atomic<bool> inboxNonEmpty_{false};

@@ -1,0 +1,297 @@
+#include "trace/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "util/strings.hpp"
+
+namespace edgesim::trace {
+
+namespace {
+
+std::int64_t tidOf(const JsonValue& event) {
+  const JsonValue* tid = event.find("tid");
+  return (tid != nullptr && tid->isNumber())
+             ? static_cast<std::int64_t>(tid->asNumber())
+             : -1;
+}
+
+std::uint64_t parseCount(const JsonValue* args, const std::string& key) {
+  if (args == nullptr) return 0;
+  const JsonValue* value = args->find(key);
+  if (value == nullptr) return 0;
+  if (value->isNumber()) return static_cast<std::uint64_t>(value->asNumber());
+  if (value->isString()) {
+    return std::strtoull(value->asString().c_str(), nullptr, 10);
+  }
+  return 0;
+}
+
+}  // namespace
+
+const DomainBreakdown* CriticalPathReport::domainByTrack(
+    std::int64_t track) const {
+  for (const auto& domain : domains) {
+    if (domain.track == track) return &domain;
+  }
+  return nullptr;
+}
+
+std::string CriticalPathReport::domainName(std::int64_t track) const {
+  const DomainBreakdown* domain = domainByTrack(track);
+  if (domain != nullptr && !domain->name.empty()) return domain->name;
+  return strprintf("domain %lld", static_cast<long long>(track));
+}
+
+Result<CriticalPathReport> analyzeDomainTrace(const JsonValue& doc) {
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->isArray()) {
+    return makeError(Errc::kInvalidArgument,
+                     "not a Chrome trace document (no traceEvents array)");
+  }
+
+  struct Accum {
+    std::string name;
+    double busy = 0.0;
+    double stall = 0.0;
+    std::uint64_t events = 0;
+    std::uint64_t sends = 0;
+    std::uint64_t stalls = 0;
+  };
+  std::map<std::int64_t, Accum> byTrack;
+  // (boundBy, stalledDomain) -> (seconds, count)
+  std::map<std::pair<std::int64_t, std::int64_t>, std::pair<double, std::uint64_t>>
+      byChannel;
+  double minTs = 0.0, maxTs = 0.0;
+  bool sawSpan = false;
+
+  for (const JsonValue& event : events->items()) {
+    if (!event.isObject()) continue;
+    const JsonValue* pid = event.find("pid");
+    if (pid == nullptr || !pid->isNumber() || pid->asNumber() != 2.0) continue;
+    const std::string ph = event.stringOr("ph", "");
+    const std::int64_t track = tidOf(event);
+    if (ph == "M") {
+      if (event.stringOr("name", "") == "thread_name") {
+        const JsonValue* args = event.find("args");
+        if (args != nullptr) byTrack[track].name = args->stringOr("name", "");
+      }
+      continue;
+    }
+    if (ph != "X") continue;
+    const double ts = event.numberOr("ts", 0.0);        // microseconds
+    const double dur = event.numberOr("dur", 0.0);
+    const double seconds = dur / 1e6;
+    if (!sawSpan) {
+      minTs = ts;
+      maxTs = ts + dur;
+      sawSpan = true;
+    } else {
+      minTs = std::min(minTs, ts);
+      maxTs = std::max(maxTs, ts + dur);
+    }
+    Accum& accum = byTrack[track];
+    const std::string name = event.stringOr("name", "");
+    const JsonValue* args = event.find("args");
+    if (name == "advance") {
+      accum.busy += seconds;
+      accum.events += parseCount(args, "dispatched");
+    } else if (name == "stall") {
+      accum.stall += seconds;
+      accum.stalls += 1;
+      std::int64_t boundBy = -1;
+      if (args != nullptr) {
+        boundBy = static_cast<std::int64_t>(
+            std::strtoll(args->stringOr("bound_by", "-1").c_str(), nullptr,
+                         10));
+      }
+      auto& channel = byChannel[{boundBy, track}];
+      channel.first += seconds;
+      channel.second += 1;
+    } else if (name == "xdom-send") {
+      accum.sends += 1;
+    }
+  }
+
+  if (!sawSpan) {
+    return makeError(Errc::kNotFound,
+                     "no domain spans in trace (pid 2) -- was domain tracing "
+                     "enabled when the trace was exported?");
+  }
+
+  CriticalPathReport report;
+  report.makespanSeconds = std::max((maxTs - minTs) / 1e6, 0.0);
+  for (const auto& [track, accum] : byTrack) {
+    DomainBreakdown domain;
+    domain.track = track;
+    domain.name = accum.name;
+    domain.busySeconds = accum.busy;
+    domain.stallSeconds = accum.stall;
+    domain.idleSeconds =
+        std::max(report.makespanSeconds - accum.busy - accum.stall, 0.0);
+    domain.events = accum.events;
+    domain.sends = accum.sends;
+    domain.stalls = accum.stalls;
+    report.totalBusySeconds += accum.busy;
+    report.domains.push_back(std::move(domain));
+  }
+  std::stable_sort(report.domains.begin(), report.domains.end(),
+                   [](const DomainBreakdown& a, const DomainBreakdown& b) {
+                     return a.busySeconds > b.busySeconds;
+                   });
+  if (!report.domains.empty() && report.makespanSeconds > 0.0) {
+    report.straggler = report.domains.front().track;
+    report.effectiveParallelism =
+        report.totalBusySeconds / report.makespanSeconds;
+    report.parallelEfficiency =
+        report.effectiveParallelism /
+        static_cast<double>(report.domains.size());
+  }
+
+  for (const auto& [key, value] : byChannel) {
+    ChannelStall channel;
+    channel.boundBy = key.first;
+    channel.domain = key.second;
+    channel.stallSeconds = value.first;
+    channel.count = value.second;
+    report.channels.push_back(channel);
+  }
+  std::stable_sort(report.channels.begin(), report.channels.end(),
+                   [](const ChannelStall& a, const ChannelStall& b) {
+                     return a.stallSeconds > b.stallSeconds;
+                   });
+
+  // Stall chain: start at the most-stalled domain, hop along each domain's
+  // dominant bound_by link.  Cycles terminate at the first repeat.
+  const DomainBreakdown* start = nullptr;
+  for (const auto& domain : report.domains) {
+    if (start == nullptr || domain.stallSeconds > start->stallSeconds) {
+      start = &domain;
+    }
+  }
+  if (start != nullptr && start->stallSeconds > 0.0) {
+    std::int64_t current = start->track;
+    while (true) {
+      if (std::find(report.stallChain.begin(), report.stallChain.end(),
+                    current) != report.stallChain.end()) {
+        break;
+      }
+      report.stallChain.push_back(current);
+      const ChannelStall* dominant = nullptr;
+      for (const auto& channel : report.channels) {
+        if (channel.domain != current) continue;
+        if (dominant == nullptr ||
+            channel.stallSeconds > dominant->stallSeconds) {
+          dominant = &channel;
+        }
+      }
+      if (dominant == nullptr || dominant->boundBy < 0) break;
+      current = dominant->boundBy;
+    }
+  }
+
+  return report;
+}
+
+Table CriticalPathReport::domainTable() const {
+  Table table({"domain", "busy [s]", "busy%", "stall [s]", "stall%", "idle%",
+               "events", "sends", "stalls"});
+  const double makespan = makespanSeconds > 0.0 ? makespanSeconds : 1.0;
+  for (const auto& domain : domains) {
+    table.addRow({domainName(domain.track),
+                  strprintf("%.4f", domain.busySeconds),
+                  strprintf("%.1f", 100.0 * domain.busySeconds / makespan),
+                  strprintf("%.4f", domain.stallSeconds),
+                  strprintf("%.1f", 100.0 * domain.stallSeconds / makespan),
+                  strprintf("%.1f", 100.0 * domain.idleSeconds / makespan),
+                  strprintf("%llu", static_cast<unsigned long long>(
+                                        domain.events)),
+                  strprintf("%llu", static_cast<unsigned long long>(
+                                        domain.sends)),
+                  strprintf("%llu", static_cast<unsigned long long>(
+                                        domain.stalls))});
+  }
+  return table;
+}
+
+std::string CriticalPathReport::render() const {
+  std::string out;
+  out += strprintf(
+      "critical path report -- %zu domains, makespan %.4f s\n"
+      "parallel efficiency %.3f (effective parallelism %.2f of %zu)\n\n",
+      domains.size(), makespanSeconds, parallelEfficiency,
+      effectiveParallelism, domains.size());
+  out += domainTable().render();
+  if (!channels.empty()) {
+    out += "\ntop stall-causing channels (bound_by -> stalled domain):\n";
+    const std::size_t limit = std::min<std::size_t>(channels.size(), 8);
+    for (std::size_t i = 0; i < limit; ++i) {
+      const ChannelStall& channel = channels[i];
+      out += strprintf("  %s -> %s  %.4f s over %llu stalls\n",
+                       domainName(channel.boundBy).c_str(),
+                       domainName(channel.domain).c_str(),
+                       channel.stallSeconds,
+                       static_cast<unsigned long long>(channel.count));
+    }
+  }
+  if (straggler >= 0) {
+    const DomainBreakdown* domain = domainByTrack(straggler);
+    const double busyShare =
+        (domain != nullptr && makespanSeconds > 0.0)
+            ? 100.0 * domain->busySeconds / makespanSeconds
+            : 0.0;
+    out += strprintf("\nstraggler: %s (busy %.1f%% of makespan)\n",
+                     domainName(straggler).c_str(), busyShare);
+  }
+  if (!stallChain.empty()) {
+    out += "stall chain (most stalled -> root cause): ";
+    for (std::size_t i = 0; i < stallChain.size(); ++i) {
+      if (i > 0) out += " -> ";
+      out += domainName(stallChain[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+JsonValue CriticalPathReport::toJson() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "edgesim-critical-path");
+  doc.set("schema_version", 1);
+  doc.set("makespan_seconds", makespanSeconds);
+  doc.set("total_busy_seconds", totalBusySeconds);
+  doc.set("parallel_efficiency", parallelEfficiency);
+  doc.set("effective_parallelism", effectiveParallelism);
+  doc.set("straggler", straggler);
+  JsonValue chain = JsonValue::array();
+  for (const std::int64_t track : stallChain) chain.push(track);
+  doc.set("stall_chain", std::move(chain));
+  JsonValue domainArray = JsonValue::array();
+  for (const auto& domain : domains) {
+    JsonValue entry = JsonValue::object();
+    entry.set("track", domain.track);
+    entry.set("name", domain.name);
+    entry.set("busy_seconds", domain.busySeconds);
+    entry.set("stall_seconds", domain.stallSeconds);
+    entry.set("idle_seconds", domain.idleSeconds);
+    entry.set("events", domain.events);
+    entry.set("sends", domain.sends);
+    entry.set("stalls", domain.stalls);
+    domainArray.push(std::move(entry));
+  }
+  doc.set("domains", std::move(domainArray));
+  JsonValue channelArray = JsonValue::array();
+  for (const auto& channel : channels) {
+    JsonValue entry = JsonValue::object();
+    entry.set("bound_by", channel.boundBy);
+    entry.set("domain", channel.domain);
+    entry.set("stall_seconds", channel.stallSeconds);
+    entry.set("count", channel.count);
+    channelArray.push(std::move(entry));
+  }
+  doc.set("channels", std::move(channelArray));
+  return doc;
+}
+
+}  // namespace edgesim::trace

@@ -1,0 +1,80 @@
+// Straggler analysis over an exported parallel-core domain trace.
+//
+// analyzeDomainTrace() consumes the Chrome trace_event document a
+// telemetry::DomainProbe records (pid 2, one track per EventDomain,
+// wall-clock "advance"/"stall"/"xdom-*" spans) and answers the question the
+// raw timeline makes you squint for: WHERE does the gap between measured
+// speedup and ideal N x go?
+//
+//   * per-domain busy / stalled / idle breakdown of the run's makespan
+//     (busy = sum of "advance" slices that dispatched events, stalled =
+//     closed "stall" spans, idle = the remainder);
+//   * the top stall-causing channels, aggregated from each stall span's
+//     `bound_by` attribution;
+//   * the straggler (busiest domain) and the stall CHAIN: starting from the
+//     most-stalled domain, follow each domain's dominant bound_by link
+//     until it terminates -- the tail of the chain is the root cause;
+//   * parallel efficiency = sum(busy) / (domains x makespan), the same
+//     figure bench_domain_scaling emits, and effective parallelism =
+//     sum(busy) / makespan.
+//
+// tools/critical_path is the CLI wrapper; the domain-observability test
+// feeds a deliberately skewed run through this analyzer and asserts the
+// slowed domain is named the straggler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/result.hpp"
+#include "util/table.hpp"
+
+namespace edgesim::trace {
+
+struct DomainBreakdown {
+  std::int64_t track = 0;     // domain id
+  std::string name;           // "3:trace-2" from track metadata
+  double busySeconds = 0.0;
+  double stallSeconds = 0.0;
+  double idleSeconds = 0.0;   // makespan - busy - stall, floored at 0
+  std::uint64_t events = 0;   // sum of "advance" dispatched counts
+  std::uint64_t sends = 0;    // xdom-send spans originating here
+  std::uint64_t stalls = 0;   // closed stall spans
+};
+
+struct ChannelStall {
+  std::int64_t boundBy = 0;   // source domain whose bound gated `domain`
+  std::int64_t domain = 0;    // the stalled domain
+  double stallSeconds = 0.0;
+  std::uint64_t count = 0;
+};
+
+struct CriticalPathReport {
+  double makespanSeconds = 0.0;
+  double totalBusySeconds = 0.0;
+  double parallelEfficiency = 0.0;   // totalBusy / (domains x makespan)
+  double effectiveParallelism = 0.0; // totalBusy / makespan
+  std::int64_t straggler = -1;       // busiest domain's track
+  /// Most-stalled domain first, then each hop's dominant bound_by source;
+  /// the last entry is the chain's root cause.  Empty when nothing stalled.
+  std::vector<std::int64_t> stallChain;
+  std::vector<DomainBreakdown> domains;   // sorted busiest first
+  std::vector<ChannelStall> channels;     // sorted most stall seconds first
+
+  const DomainBreakdown* domainByTrack(std::int64_t track) const;
+  std::string domainName(std::int64_t track) const;
+
+  Table domainTable() const;
+  /// Full human-readable report (tables + straggler/chain/efficiency).
+  std::string render() const;
+  JsonValue toJson() const;
+};
+
+/// Analyze a Chrome trace document (the parsed {"traceEvents": [...]}
+/// object).  Errors when the document is malformed or contains no pid-2
+/// domain spans (domain tracing was off).
+Result<CriticalPathReport> analyzeDomainTrace(const JsonValue& doc);
+
+}  // namespace edgesim::trace

@@ -179,6 +179,72 @@ ColdRunResult runColdRequest() {
   return result;
 }
 
+TEST(TraceRecorder, RequestOnlyExportHasNoDomainProcess) {
+  // Golden byte-safety: an export without track events must not grow the
+  // pid-2 domain process -- the determinism goldens compare bytewise.
+  TraceRecorder recorder;
+  const RequestId rid = recorder.newRequest();
+  const SpanId root = recorder.beginSpan(rid, "request", "client", 0_s);
+  recorder.endSpan(root, 500_ms);
+  const JsonValue doc = recorder.chromeTrace();
+  for (const JsonValue& event : doc.find("traceEvents")->items()) {
+    const JsonValue* pid = event.find("pid");
+    ASSERT_NE(pid, nullptr);
+    EXPECT_NE(pid->asNumber(), 2.0);
+  }
+}
+
+TEST(TraceRecorder, TrackSpansExportOnDomainProcess) {
+  TraceRecorder recorder;
+  recorder.nameTrack(0, "0:main");
+  recorder.nameTrack(1, "1:edge");
+  recorder.completeTrackSpan(0, "advance", "domain", 1_ms, 2_ms,
+                             {{"dispatched", "3"}});
+  recorder.completeTrackSpan(1, "stall", "domain", 2_ms, 3_ms,
+                             {{"bound_by", "0"}});
+  recorder.flowBegin(42, 0, "xdom", "domain", 1_ms);
+  recorder.flowEnd(42, 1, "xdom", "domain", 2_ms);
+
+  const JsonValue doc = recorder.chromeTrace();
+  std::set<std::string> trackNames;
+  int domainSpans = 0, flowBegins = 0, flowEnds = 0;
+  bool sawDomainProcessName = false;
+  for (const JsonValue& event : doc.find("traceEvents")->items()) {
+    if (event.numberOr("pid", 0.0) != 2.0) continue;
+    const std::string phase = event.stringOr("ph", "");
+    if (phase == "M") {
+      const std::string name = event.stringOr("name", "");
+      if (name == "process_name") {
+        sawDomainProcessName =
+            event.find("args")->stringOr("name", "") == "edgesim-domains";
+      } else if (name == "thread_name") {
+        trackNames.insert(event.find("args")->stringOr("name", ""));
+      }
+    } else if (phase == "X") {
+      ++domainSpans;
+      EXPECT_TRUE(event.has("tid"));
+    } else if (phase == "s") {
+      ++flowBegins;
+      EXPECT_EQ(event.numberOr("id", -1.0), 42.0);
+    } else if (phase == "f") {
+      ++flowEnds;
+      EXPECT_EQ(event.numberOr("id", -1.0), 42.0);
+      EXPECT_EQ(event.stringOr("bp", ""), "e");
+    }
+  }
+  EXPECT_TRUE(sawDomainProcessName);
+  EXPECT_EQ(trackNames, (std::set<std::string>{"0:main", "1:edge"}));
+  EXPECT_EQ(domainSpans, 2);
+  EXPECT_EQ(flowBegins, 1);
+  EXPECT_EQ(flowEnds, 1);
+
+  // Track events do not leak into the request process.
+  for (const JsonValue& event : doc.find("traceEvents")->items()) {
+    if (event.numberOr("pid", 0.0) != 1.0) continue;
+    EXPECT_NE(event.stringOr("cat", ""), "domain");
+  }
+}
+
 TEST(TraceTestbed, ColdRequestBreakdownPartitionsTimeTotal) {
   const ColdRunResult run = runColdRequest();
   EXPECT_GT(run.timeTotal, 0.0);

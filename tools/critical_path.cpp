@@ -1,0 +1,80 @@
+// critical_path: straggler analysis for an exported domain trace.
+//
+// Usage:
+//   critical_path <trace.json> [--json <out.json>]
+//
+// Reads a Chrome trace_event document that was exported with domain tracing
+// enabled (telemetry::DomainProbe attached with a TraceRecorder -- the pid-2
+// "edgesim-domains" process), runs trace::analyzeDomainTrace over it and
+// prints the per-domain busy/stall/idle breakdown, the top stall-causing
+// channels, the straggler and the stall chain.  `--json` additionally dumps
+// the machine-readable report for CI to archive next to the trace.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/critical_path.hpp"
+#include "util/json.hpp"
+
+using namespace edgesim;
+
+namespace {
+
+std::string readFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string traceFile;
+  std::string jsonOut;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      jsonOut = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: critical_path <trace.json> [--json <out.json>]\n");
+      return 0;
+    } else {
+      traceFile = arg;
+    }
+  }
+  if (traceFile.empty()) {
+    std::fprintf(stderr, "critical_path: no trace file given (--help)\n");
+    return 2;
+  }
+  if (!std::filesystem::exists(traceFile)) {
+    std::fprintf(stderr, "%s: no such file\n", traceFile.c_str());
+    return 1;
+  }
+  const auto doc = JsonValue::parse(readFile(traceFile));
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s: %s\n", traceFile.c_str(),
+                 doc.error().toString().c_str());
+    return 1;
+  }
+  const auto report = trace::analyzeDomainTrace(doc.value());
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s: %s\n", traceFile.c_str(),
+                 report.error().toString().c_str());
+    return 1;
+  }
+  std::fputs(report.value().render().c_str(), stdout);
+  if (!jsonOut.empty()) {
+    std::ofstream out(jsonOut);
+    out << report.value().toJson().dump(2) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "critical_path: failed to write %s\n",
+                   jsonOut.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", jsonOut.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,279 @@
+// domain_top: terminal viewer for the parallel core's per-domain telemetry.
+//
+// Usage:
+//   domain_top [dir] [--interval <seconds>] [--once]
+//
+// Tails a snapshot directory exactly like telemetry_top (highest-sequence
+// snapshot_*.json wins) but renders only the `edgesim_domain_*` series a
+// telemetry::DomainProbe emits: a per-domain table (events, clock lifts,
+// heap depth, clock lag, advance-slice latency, stall time), a per-channel
+// table (messages, lookahead, inbox depth, via link), stall attribution
+// (who blocked whom, how often) and the watchdog productive/redundant wake
+// split.  `--once` renders a single frame and exits -- the nightly CI smoke
+// uses it to prove a bench-produced snapshot carries the domain series.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/snapshot.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace edgesim;
+using namespace edgesim::telemetry;
+
+namespace {
+
+std::string readFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string labelValue(const Labels& labels, const std::string& key) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return std::string();
+}
+
+std::string fmtQuantileMs(const SnapshotHistogram& hist, double q) {
+  const double value = hist.quantile(q);
+  if (std::isnan(value)) return "-";
+  return strprintf("%.2f", value * 1e3);
+}
+
+std::string fmtCount(std::uint64_t value) {
+  return std::to_string(static_cast<unsigned long long>(value));
+}
+
+std::optional<std::filesystem::path> findLatest(const std::string& dir) {
+  std::optional<std::filesystem::path> best;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("snapshot_") || !name.ends_with(".json")) continue;
+    if (!best || best->filename().string() < name) best = entry.path();
+  }
+  return best;
+}
+
+void renderDomains(const TelemetrySnapshot& snap, std::string& out) {
+  struct DomainRow {
+    std::string name;
+    std::uint64_t events = 0, lifts = 0;
+    double heap = 0.0, lagSeconds = 0.0;
+    const SnapshotHistogram* advance = nullptr;
+    const SnapshotHistogram* stallWall = nullptr;
+  };
+  std::map<int, DomainRow> rows;  // ordered by numeric domain id
+  const auto domainKey = [](const Labels& labels) {
+    return std::atoi(labelValue(labels, "domain").c_str());
+  };
+  for (const auto& counter : snap.counters) {
+    if (counter.name == "edgesim_domain_events_total") {
+      auto& row = rows[domainKey(counter.labels)];
+      row.events += counter.value;
+      row.name = labelValue(counter.labels, "name");
+    } else if (counter.name == "edgesim_domain_clock_lifts_total") {
+      rows[domainKey(counter.labels)].lifts += counter.value;
+    }
+  }
+  for (const auto& gauge : snap.gauges) {
+    if (gauge.name == "edgesim_domain_heap_depth") {
+      rows[domainKey(gauge.labels)].heap = gauge.value;
+    } else if (gauge.name == "edgesim_domain_clock_lag_seconds") {
+      rows[domainKey(gauge.labels)].lagSeconds = gauge.value;
+    }
+  }
+  for (const auto& hist : snap.histograms) {
+    if (hist.name == "edgesim_domain_advance_seconds") {
+      rows[domainKey(hist.labels)].advance = &hist;
+    } else if (hist.name == "edgesim_domain_stall_wall_seconds") {
+      rows[domainKey(hist.labels)].stallWall = &hist;
+    }
+  }
+  if (rows.empty()) return;
+  Table table({"domain", "events", "lifts", "heap", "lag (ms)", "slices",
+               "advance p95 (ms)", "stalls", "stall p95 (ms)",
+               "stall wall (s)"});
+  for (const auto& [id, row] : rows) {
+    const std::string label =
+        row.name.empty() ? strprintf("%d", id)
+                         : strprintf("%d:%s", id, row.name.c_str());
+    table.addRow(
+        {label, fmtCount(row.events), fmtCount(row.lifts),
+         strprintf("%.0f", row.heap), strprintf("%.2f", row.lagSeconds * 1e3),
+         row.advance != nullptr ? fmtCount(row.advance->count) : "-",
+         row.advance != nullptr ? fmtQuantileMs(*row.advance, 0.95) : "-",
+         row.stallWall != nullptr ? fmtCount(row.stallWall->count) : "-",
+         row.stallWall != nullptr ? fmtQuantileMs(*row.stallWall, 0.95) : "-",
+         row.stallWall != nullptr ? strprintf("%.4f", row.stallWall->sum)
+                                  : "-"});
+  }
+  out += "domains\n" + table.render() + "\n";
+}
+
+void renderChannels(const TelemetrySnapshot& snap, std::string& out) {
+  struct ChannelRow {
+    std::uint64_t messages = 0;
+    double lookaheadSeconds = std::nan("");
+    double inboxDepth = std::nan("");
+    std::string via;
+  };
+  std::map<std::pair<int, int>, ChannelRow> rows;
+  const auto pair = [](const Labels& labels) {
+    return std::make_pair(std::atoi(labelValue(labels, "from").c_str()),
+                          std::atoi(labelValue(labels, "to").c_str()));
+  };
+  for (const auto& counter : snap.counters) {
+    if (counter.name != "edgesim_domain_channel_messages_total") continue;
+    rows[pair(counter.labels)].messages += counter.value;
+  }
+  for (const auto& gauge : snap.gauges) {
+    if (gauge.name == "edgesim_domain_channel_lookahead_seconds") {
+      auto& row = rows[pair(gauge.labels)];
+      row.lookaheadSeconds = gauge.value;
+      row.via = labelValue(gauge.labels, "via");
+    } else if (gauge.name == "edgesim_domain_channel_inbox_depth") {
+      rows[pair(gauge.labels)].inboxDepth = gauge.value;
+    }
+  }
+  if (rows.empty()) return;
+  Table table({"channel", "messages", "lookahead (ms)", "inbox", "via"});
+  for (const auto& [key, row] : rows) {
+    table.addRow({strprintf("%d -> %d", key.first, key.second),
+                  fmtCount(row.messages),
+                  std::isnan(row.lookaheadSeconds)
+                      ? "-"
+                      : strprintf("%.3f", row.lookaheadSeconds * 1e3),
+                  std::isnan(row.inboxDepth)
+                      ? "-"
+                      : strprintf("%.0f", row.inboxDepth),
+                  row.via.empty() ? "-" : row.via});
+  }
+  out += "cross-domain channels\n" + table.render() + "\n";
+}
+
+void renderStalls(const TelemetrySnapshot& snap, std::string& out) {
+  Table table({"stalled domain", "bound by", "stalls"});
+  for (const auto& counter : snap.counters) {
+    if (counter.name != "edgesim_domain_stalls_total") continue;
+    table.addRow({labelValue(counter.labels, "domain"),
+                  labelValue(counter.labels, "bound_by"),
+                  fmtCount(counter.value)});
+  }
+  if (table.rowCount() == 0) return;
+  out += "stall attribution (bound_by = source domain of the gating "
+         "channel)\n" +
+         table.render() + "\n";
+}
+
+void renderWatchdog(const TelemetrySnapshot& snap, std::string& out) {
+  const std::uint64_t passes =
+      snap.counterTotal("edgesim_domain_watchdog_passes_total");
+  const std::uint64_t productive = snap.counterValue(
+      "edgesim_domain_watchdog_wakes_total", {{"result", "productive"}});
+  const std::uint64_t redundant = snap.counterValue(
+      "edgesim_domain_watchdog_wakes_total", {{"result", "redundant"}});
+  const auto* external = snap.findGauge("edgesim_domain_external_inbox_depth");
+  if (passes + productive + redundant == 0 && external == nullptr) return;
+  out += strprintf(
+      "watchdog passes %llu  wakes productive %llu / redundant %llu  "
+      "external inbox %.0f\n\n",
+      static_cast<unsigned long long>(passes),
+      static_cast<unsigned long long>(productive),
+      static_cast<unsigned long long>(redundant),
+      external != nullptr ? external->value : 0.0);
+}
+
+std::string renderFrame(const TelemetrySnapshot& snap,
+                        const std::filesystem::path& path) {
+  std::string out = strprintf("domain_top -- %s  (seq %llu, sim t=%.1fs)\n\n",
+                              path.string().c_str(),
+                              static_cast<unsigned long long>(snap.sequence),
+                              snap.simTimeSeconds);
+  const std::size_t before = out.size();
+  renderDomains(snap, out);
+  renderChannels(snap, out);
+  renderStalls(snap, out);
+  renderWatchdog(snap, out);
+  if (out.size() == before) {
+    out += "no edgesim_domain_* series in this snapshot -- was a "
+           "DomainProbe attached?\n";
+  }
+  return out;
+}
+
+int runTop(const std::string& dir, double intervalSeconds, bool once) {
+  std::uint64_t shownSequence = 0;
+  bool shownAny = false;
+  while (true) {
+    const auto latest = findLatest(dir);
+    if (!latest) {
+      if (once) {
+        std::fprintf(stderr, "domain_top: no snapshot_*.json in %s\n",
+                     dir.c_str());
+        return 1;
+      }
+    } else {
+      const auto doc = JsonValue::parse(readFile(*latest));
+      if (!doc.ok()) {
+        // A writer may be mid-flight; skip this refresh and retry.
+        if (once) {
+          std::fprintf(stderr, "%s: %s\n", latest->string().c_str(),
+                       doc.error().toString().c_str());
+          return 1;
+        }
+      } else {
+        const auto snap = TelemetrySnapshot::fromJson(doc.value());
+        if (!snap.ok()) {
+          std::fprintf(stderr, "%s: %s\n", latest->string().c_str(),
+                       snap.error().toString().c_str());
+          if (once) return 1;
+        } else if (!shownAny || snap.value().sequence != shownSequence) {
+          shownSequence = snap.value().sequence;
+          shownAny = true;
+          if (!once) std::printf("\033[H\033[2J");  // clear + home
+          std::fputs(renderFrame(snap.value(), *latest).c_str(), stdout);
+          std::fflush(stdout);
+        }
+      }
+    }
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(intervalSeconds));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "telemetry-out";
+  double intervalSeconds = 1.0;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--interval" && i + 1 < argc) {
+      intervalSeconds = std::max(0.1, std::atof(argv[++i]));
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: domain_top [dir] [--interval <seconds>] [--once]\n");
+      return 0;
+    } else {
+      dir = arg;
+    }
+  }
+  return runTop(dir, intervalSeconds, once);
+}
