@@ -1,8 +1,10 @@
 #include "core/controller.hpp"
 
+#include <algorithm>
 #include <set>
 #include <utility>
 
+#include "core/rule_reconciler.hpp"
 #include "util/log.hpp"
 
 namespace edgesim::core {
@@ -60,6 +62,25 @@ ControllerOptions ControllerOptions::fromConfig(const Config& config) {
   options.workers = static_cast<std::size_t>(
       config.getIntOr("workers", static_cast<long long>(options.workers)));
   options.overload = overload::OverloadOptions::fromConfig(config);
+  options.reliableFlowMods =
+      config.getBoolOr("reliable_flow_mods", options.reliableFlowMods);
+  options.flowModAckTimeout = SimTime::millis(
+      config.getIntOr("flow_mod_ack_timeout_ms",
+                      options.flowModAckTimeout.toNanos() / 1000000));
+  options.flowModRetries = static_cast<int>(
+      config.getIntOr("flow_mod_retries", options.flowModRetries));
+  // Reconciliation is keyed twice: `reconcile_enabled: true` turns it on at
+  // the default 1s period, `reconcile_period_ms` sets (and implies) it.
+  options.reconcilePeriod = SimTime::millis(
+      config.getIntOr("reconcile_period_ms",
+                      options.reconcilePeriod.toNanos() / 1000000));
+  if (config.getBoolOr("reconcile_enabled", false) &&
+      options.reconcilePeriod == SimTime::zero()) {
+    options.reconcilePeriod = SimTime::seconds(1.0);
+  }
+  options.reconcileSweepTimeout = SimTime::millis(
+      config.getIntOr("reconcile_sweep_timeout_ms",
+                      options.reconcileSweepTimeout.toNanos() / 1000000));
   return options;
 }
 
@@ -163,11 +184,21 @@ EdgeController::EdgeController(Simulation& sim, ControllerOptions options,
       pool_->setTaskObserver(std::move(observer));
     }
   }
+
+  if (options_.reconcilePeriod > SimTime::zero()) {
+    ReconcilerOptions reconcilerOptions;
+    reconcilerOptions.period = options_.reconcilePeriod;
+    reconcilerOptions.sweepTimeout = options_.reconcileSweepTimeout;
+    reconciler_ = std::make_unique<RuleReconciler>(
+        sim_, *this, reconcilerOptions, telemetry_, trace_);
+    reconciler_->start();
+  }
 }
 
 EdgeController::~EdgeController() {
   // Join the workers before any member they touch is destroyed.
   pool_.reset();
+  reconciler_.reset();
 }
 
 void EdgeController::submitRequest(Ipv4 client, Endpoint serviceAddress,
@@ -603,41 +634,232 @@ void EdgeController::handleRegisteredService(OpenFlowSwitch& sw,
       rid, deadline);
 }
 
-std::uint64_t EdgeController::installRedirectFlows(OpenFlowSwitch& sw,
-                                                   Ipv4 client,
-                                                   const ServiceModel& service,
-                                                   Endpoint instance) {
+std::vector<FlowEntry> EdgeController::redirectEntries(
+    OpenFlowSwitch& sw, Ipv4 client, const ServiceModel& service,
+    Endpoint instance) const {
   const SwitchTopology& topo = switches_.at(&sw);
-  const std::uint64_t cookie = cookieCounter_++;
+  std::vector<FlowEntry> entries;
 
   // Forward: client -> registered address, rewritten toward the instance.
   FlowEntry fwd;
-  fwd.priority = 100;
+  fwd.priority = kRedirectPriority;
   fwd.match = FlowMatch::anyToService(service.address);
   fwd.match.ipSrc = client;
   fwd.idleTimeout = options_.switchIdleTimeout;
-  fwd.cookie = cookie;
   fwd.notifyOnRemoval = true;
   fwd.actions = redirectActions(sw, service, instance);
-  sw.sendFlowMod(fwd);
+  entries.push_back(std::move(fwd));
 
   // Reverse: instance -> client, source rewritten back to the registered
   // address so the redirect stays invisible (fig. 2).
   if (instance != service.address) {
     FlowEntry rev;
-    rev.priority = 100;
+    rev.priority = kRedirectPriority;
     rev.match.ipSrc = instance.ip;
     rev.match.tcpSrc = instance.port;
     rev.match.ipDst = client;
     rev.match.ipProto = IpProto::kTcp;
     rev.idleTimeout = options_.switchIdleTimeout;
-    rev.cookie = cookie;
     rev.actions = {SetFieldAction::ipSrc(service.address.ip),
                    SetFieldAction::tcpSrc(service.address.port),
                    OutputAction{topo.portFor(client)}};
-    sw.sendFlowMod(rev);
+    entries.push_back(std::move(rev));
   }
+  return entries;
+}
+
+std::uint64_t EdgeController::installRedirectFlows(OpenFlowSwitch& sw,
+                                                   Ipv4 client,
+                                                   const ServiceModel& service,
+                                                   Endpoint instance) {
+  const std::uint64_t cookie = cookieCounter_++;
+  std::vector<FlowEntry> entries = redirectEntries(sw, client, service,
+                                                   instance);
+  for (FlowEntry& entry : entries) entry.cookie = cookie;
+  believedInstalled_[{&sw, client, service.address}] = cookie;
+
+  if (!options_.reliableFlowMods) {
+    for (FlowEntry& entry : entries) sw.sendFlowMod(std::move(entry));
+    return cookie;
+  }
+
+  PendingInstall install;
+  install.sw = &sw;
+  install.client = client;
+  install.service = service.address;
+  install.instance = instance;
+  install.entries = std::move(entries);
+  pendingInstalls_.emplace(cookie, std::move(install));
+  sendTrackedInstall(cookie);
   return cookie;
+}
+
+void EdgeController::sendTrackedInstall(std::uint64_t cookie) {
+  const auto it = pendingInstalls_.find(cookie);
+  if (it == pendingInstalls_.end()) return;
+  PendingInstall& install = it->second;
+  ++install.attempts;
+  const std::uint64_t epoch = ++install.epoch;
+  install.outstanding = static_cast<int>(install.entries.size());
+  flowModsSent_.fetch_add(install.entries.size(), std::memory_order_relaxed);
+  for (const FlowEntry& entry : install.entries) {
+    // Resends are safe because FlowMod is install-or-replace: a duplicate
+    // upsert of the identical entry is a no-op apart from refreshed stats.
+    install.sw->sendFlowMod(
+        entry, [this, cookie, epoch] { onFlowModAck(cookie, epoch); });
+  }
+  install.deadline = sim_.schedule(
+      options_.flowModAckTimeout, [this, cookie] { onFlowModDeadline(cookie); });
+}
+
+void EdgeController::onFlowModAck(std::uint64_t cookie, std::uint64_t epoch) {
+  const auto it = pendingInstalls_.find(cookie);
+  if (it == pendingInstalls_.end() || it->second.epoch != epoch) {
+    // Ack of a superseded attempt (it already counted as timed out) or of
+    // an install that settled; discarding keeps the accounting exact.
+    return;
+  }
+  flowModsAcked_.fetch_add(1, std::memory_order_relaxed);
+  if (ctrlAckedCtr_ != nullptr) ctrlAckedCtr_->add();
+  if (--it->second.outstanding > 0) return;
+  it->second.deadline.cancel();
+  pendingInstalls_.erase(it);
+}
+
+void EdgeController::onFlowModDeadline(std::uint64_t cookie) {
+  const auto it = pendingInstalls_.find(cookie);
+  if (it == pendingInstalls_.end()) return;
+  PendingInstall& install = it->second;
+  // Every ack still missing is a timeout; bump the epoch immediately so a
+  // late (stalled) ack of this attempt cannot also decrement the count.
+  ++install.epoch;
+  ensureCtrlChannelTelemetry();
+  flowModsTimedOut_.fetch_add(install.outstanding, std::memory_order_relaxed);
+  if (ctrlTimeoutCtr_ != nullptr) ctrlTimeoutCtr_->add(install.outstanding);
+  if (install.attempts <= options_.flowModRetries) {
+    flowModResends_.fetch_add(1, std::memory_order_relaxed);
+    if (ctrlRetriesCtr_ != nullptr) ctrlRetriesCtr_->add();
+    RetryPolicy policy;
+    policy.maxRetries = options_.flowModRetries;
+    policy.initialBackoff = options_.retryBackoff;
+    const SimTime backoff = policy.backoff(install.attempts - 1);
+    ES_WARN("controller",
+            "flow-mod ack timeout (cookie %llu, attempt %d); resending in "
+            "%.0f ms",
+            static_cast<unsigned long long>(cookie), install.attempts,
+            backoff.toSeconds() * 1e3);
+    if (trace_ != nullptr) {
+      trace_->instant(0, "flowmod_retry", "controller", sim_.now(),
+                      {{"cookie", std::to_string(cookie)},
+                       {"attempt", std::to_string(install.attempts)}});
+    }
+    install.deadline =
+        sim_.schedule(backoff, [this, cookie] { sendTrackedInstall(cookie); });
+    return;
+  }
+  failOverInstall(cookie);
+}
+
+void EdgeController::failOverInstall(std::uint64_t cookie) {
+  const auto it = pendingInstalls_.find(cookie);
+  if (it == pendingInstalls_.end()) return;
+  const PendingInstall install = std::move(it->second);
+  pendingInstalls_.erase(it);
+  flowModFailovers_.fetch_add(1, std::memory_order_relaxed);
+  if (ctrlFailoversCtr_ != nullptr) ctrlFailoversCtr_->add();
+  if (trace_ != nullptr) {
+    trace_->instant(0, "flowmod_failover", "controller", sim_.now(),
+                    {{"cookie", std::to_string(cookie)},
+                     {"service", install.service.toString()}});
+  }
+  const auto cloudIt = cloudRedirects_.find(install.service);
+  const ServiceModel* service = serviceAt(install.service);
+  if (cloudIt == cloudRedirects_.end() || service == nullptr) {
+    // No cloud instance to degrade to: the memorized binding stays; the
+    // client's TCP retransmissions re-trigger packet-in once the channel
+    // heals, so the flow still is not permanently blackholed.
+    ES_WARN("controller",
+            "install %llu exhausted retries and no cloud redirect exists "
+            "for %s",
+            static_cast<unsigned long long>(cookie),
+            install.service.toString().c_str());
+    return;
+  }
+  const Redirect& cloud = cloudIt->second;
+  ES_WARN("controller",
+          "install %llu exhausted retries; degrading %s to cloud instance %s",
+          static_cast<unsigned long long>(cookie),
+          install.service.toString().c_str(),
+          cloud.instance.toString().c_str());
+  // Re-point FlowMemory so every later resolve answers from the cloud, and
+  // push the cloud entries best-effort (untracked: during an outage these
+  // die too, but the memorized cloud binding + TCP retransmission recover
+  // the flow as soon as the channel heals).
+  if (!memory_.rebind(install.client, install.service, cloud.instance,
+                      cloud.cluster, sim_.now())) {
+    memory_.upsert(install.client, install.service, cloud.instance,
+                   cloud.cluster, sim_.now());
+  }
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  if (degradedCtr_ != nullptr) degradedCtr_->add();
+  std::vector<FlowEntry> entries =
+      redirectEntries(*install.sw, install.client, *service, cloud.instance);
+  for (FlowEntry& entry : entries) {
+    entry.cookie = cookie;
+    install.sw->sendFlowMod(std::move(entry));
+  }
+}
+
+void EdgeController::ensureCtrlChannelTelemetry() {
+  if (telemetry_ == nullptr || ctrlTimeoutCtr_ != nullptr) return;
+  ctrlAckedCtr_ = &telemetry_->counter("edgesim_ctrl_channel_acks_total",
+                                       {{"result", "acked"}});
+  ctrlTimeoutCtr_ = &telemetry_->counter("edgesim_ctrl_channel_acks_total",
+                                         {{"result", "timeout"}});
+  ctrlRetriesCtr_ = &telemetry_->counter("edgesim_ctrl_channel_retries_total");
+  ctrlFailoversCtr_ =
+      &telemetry_->counter("edgesim_ctrl_channel_failovers_total");
+  // Seed the acked series with the acks that arrived before the first
+  // timeout registered it, so acked+timeout reconciles with the atomics.
+  ctrlAckedCtr_->add(flowModsAcked_.load(std::memory_order_relaxed));
+}
+
+std::vector<EdgeController::IntendedFlow> EdgeController::intendedFlows(
+    OpenFlowSwitch& sw) const {
+  std::vector<IntendedFlow> intended;
+  for (const MemorizedFlow& flow : memory_.snapshot()) {
+    const ServiceModel* service = serviceAt(flow.service);
+    if (service == nullptr) continue;
+    // Only flows believed to be on the switch count as intended: a flow
+    // whose entry aged out with a delivered FlowRemoved lives on in memory
+    // (warm resolution, §V) but is NOT missing switch state.
+    if (believedInstalled_.count({&sw, flow.client.ip, flow.service}) == 0) {
+      continue;
+    }
+    IntendedFlow item;
+    item.client = flow.client.ip;
+    item.service = flow.service;
+    item.instance = flow.instance;
+    item.entries = redirectEntries(sw, item.client, *service, item.instance);
+    intended.push_back(std::move(item));
+  }
+  // snapshot() walks unordered shards; sort so sweep order (and therefore
+  // repair traffic) is deterministic for a given memory state.
+  std::sort(intended.begin(), intended.end(),
+            [](const IntendedFlow& a, const IntendedFlow& b) {
+              if (a.client != b.client) return a.client < b.client;
+              return a.service < b.service;
+            });
+  return intended;
+}
+
+bool EdgeController::reinstallRedirect(OpenFlowSwitch& sw, Ipv4 client,
+                                       Endpoint serviceAddress,
+                                       Endpoint instance) {
+  const ServiceModel* service = serviceAt(serviceAddress);
+  if (service == nullptr || switches_.count(&sw) == 0) return false;
+  installRedirectFlows(sw, client, *service, instance);
+  return true;
 }
 
 void EdgeController::releaseBuffered(OpenFlowSwitch& sw, const PendingKey& key,
@@ -658,7 +880,7 @@ void EdgeController::dropBuffered(const PendingKey& key) {
   // client's timeout) handles the rest.
 }
 
-void EdgeController::onFlowRemoved(OpenFlowSwitch& /*sw*/,
+void EdgeController::onFlowRemoved(OpenFlowSwitch& sw,
                                    const openflow::FlowRemoved& event) {
   // A removed forward flow whose entry saw recent traffic refreshes the
   // memorized flow: the client is still active, only the switch entry aged
@@ -667,6 +889,16 @@ void EdgeController::onFlowRemoved(OpenFlowSwitch& /*sw*/,
   if (!match.ipSrc || !match.ipDst || !match.tcpDst) return;
   const Endpoint serviceAddress(*match.ipDst, *match.tcpDst);
   if (services_.count(serviceAddress) == 0) return;
+  // The switch told us the entry is gone: this is orderly expiry, not
+  // drift, so stop treating the redirect as installed.  The cookie guard
+  // keeps a late notification for a superseded entry from clearing the
+  // belief about its replacement.
+  const auto believedIt = believedInstalled_.find(
+      {&sw, *match.ipSrc, serviceAddress});
+  if (believedIt != believedInstalled_.end() &&
+      believedIt->second == event.entry.cookie) {
+    believedInstalled_.erase(believedIt);
+  }
   if (event.reason == openflow::RemovalReason::kIdleTimeout &&
       event.entry.stats.packets > 0) {
     memory_.touch(*match.ipSrc, serviceAddress, event.entry.stats.lastUsed);
@@ -701,6 +933,14 @@ void EdgeController::expireMemory() {
 
 void EdgeController::finishExpiry() {
   const auto expired = memory_.expire(sim_.now());
+  // A flow evicted from memory is no longer intended anywhere: drop the
+  // believed-installed marks so any leftover switch entries surface as
+  // orphans for the reconciler instead of lingering as stale beliefs.
+  for (const auto& flow : expired) {
+    for (const auto& [sw, topo] : switches_) {
+      believedInstalled_.erase({sw, flow.client.ip, flow.service});
+    }
+  }
   if (!options_.scaleDownIdleServices) return;
   // One scale-down per (service, cluster) per sweep: when many flows of the
   // same instance expire in a single scan they ALL see flowsFor() == 0, and

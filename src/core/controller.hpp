@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -91,9 +92,35 @@ struct ControllerOptions {
   /// tokens, per-cluster circuit breakers, brownout.  Disabled by default
   /// -- nothing is constructed and every hot-path hook is a null check.
   overload::OverloadOptions overload;
+  /// Reliable FlowMods: every redirect install carries a barrier-style ack
+  /// (openflow::OpenFlowSwitch::FlowModAck); un-acked installs are retried
+  /// with the capped backoff below, and after exhausting the retries the
+  /// flow fails over to the service's degraded cloud redirect so requests
+  /// are never blackholed.  On a fault-free channel every ack arrives
+  /// before its deadline, so this only arms-and-cancels inert timers and
+  /// the determinism goldens stay bytewise identical.
+  bool reliableFlowMods = true;
+  /// Ack deadline for one FlowMod round trip (must exceed 2x the switch
+  /// channel latency plus any stall faults you want tolerated in-band).
+  SimTime flowModAckTimeout = SimTime::millis(50);
+  /// Resend budget for un-acked installs; resend N waits
+  /// retryBackoff * 2^(N-1), capped at 10s (the dispatcher's RetryPolicy).
+  int flowModRetries = 3;
+  /// Anti-entropy rule reconciliation sweep period; zero = off (default).
+  /// See core::RuleReconciler.
+  SimTime reconcilePeriod = SimTime::zero();
+  /// Give up on a reconcile sweep's flow-stats round trips after this long
+  /// (a lossy channel can eat the request or the reply).
+  SimTime reconcileSweepTimeout = SimTime::millis(250);
 
   static ControllerOptions fromConfig(const Config& config);
 };
+
+/// Priority of the per-client redirect rewrite entries (fig. 2); the
+/// RuleReconciler scopes its diff to entries at or above this priority so
+/// background routing (priority 1) and coarse uplink flows (priority 10)
+/// are never treated as drift.
+inline constexpr std::uint16_t kRedirectPriority = 100;
 
 /// Outcome of one transparent handover (EdgeController::requestHandover).
 struct HandoverResult {
@@ -133,6 +160,8 @@ struct SwitchTopology {
     return it == hostPorts.end() ? uplinkPort : it->second;
   }
 };
+
+class RuleReconciler;
 
 class EdgeController : public openflow::ControllerApp {
  public:
@@ -280,6 +309,63 @@ class EdgeController : public openflow::ControllerApp {
     return warmHits_.load(std::memory_order_relaxed);
   }
 
+  // ---- reliable installs (acked FlowMods) ---------------------------------
+  /// Tracked FlowMods sent, counting every entry of every (re)send attempt.
+  /// At quiescence the control-channel accounting invariant holds:
+  ///   flowModsSent() == flowModsAcked() + flowModsTimedOut()
+  std::uint64_t flowModsSent() const {
+    return flowModsSent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t flowModsAcked() const {
+    return flowModsAcked_.load(std::memory_order_relaxed);
+  }
+  /// Tracked FlowMods whose ack missed its deadline (each is then retried
+  /// or failed over; late acks of a timed-out attempt are discarded by
+  /// epoch, never double-counted).
+  std::uint64_t flowModsTimedOut() const {
+    return flowModsTimedOut_.load(std::memory_order_relaxed);
+  }
+  /// Resend rounds triggered by ack timeouts.
+  std::uint64_t flowModResends() const {
+    return flowModResends_.load(std::memory_order_relaxed);
+  }
+  /// Installs that exhausted their resend budget and failed over to the
+  /// degraded cloud redirect.
+  std::uint64_t flowModFailovers() const {
+    return flowModFailovers_.load(std::memory_order_relaxed);
+  }
+  /// Install transactions still waiting for acks (0 at quiescence).
+  std::size_t pendingInstallCount() const { return pendingInstalls_.size(); }
+
+  // ---- rule reconciliation ------------------------------------------------
+  /// The anti-entropy reconciler, or nullptr when reconcilePeriod was zero.
+  RuleReconciler* reconciler() { return reconciler_.get(); }
+
+  /// Switches this controller programs (reconciler sweep set).
+  const std::map<openflow::OpenFlowSwitch*, SwitchTopology>& attachedSwitches()
+      const {
+    return switches_;
+  }
+
+  /// One memorized flow with the exact switch entries (cookie 0) the
+  /// controller would install for it on `sw` -- FlowMemory's *intended*
+  /// steering state, which the RuleReconciler diffs against the switch's
+  /// actual table.
+  struct IntendedFlow {
+    Ipv4 client;
+    Endpoint service;
+    Endpoint instance;
+    std::vector<openflow::FlowEntry> entries;
+  };
+  /// Intended flows for `sw`, sorted by (client, service) so sweep order is
+  /// deterministic regardless of FlowMemory's shard iteration order.
+  std::vector<IntendedFlow> intendedFlows(openflow::OpenFlowSwitch& sw) const;
+
+  /// Re-install the redirect entries for a memorized flow the reconciler
+  /// found missing; no-op (returns false) if the service is unknown.
+  bool reinstallRedirect(openflow::OpenFlowSwitch& sw, Ipv4 client,
+                         Endpoint serviceAddress, Endpoint instance);
+
   /// Attach an SLO watchdog; cold resolve completions are reported to it
   /// (service tag, sim-time latency, trace request ID) so breaches can name
   /// their worst offender.  Called from the sim thread before traffic.
@@ -324,17 +410,50 @@ class EdgeController : public openflow::ControllerApp {
     HandoverCallback cb;
   };
 
+  /// One tracked install transaction (reliable FlowMods): the entries to
+  /// (re)send, the acks still outstanding, and the deadline timer.  Keyed
+  /// by the install cookie in pendingInstalls_; sim thread only.
+  struct PendingInstall {
+    openflow::OpenFlowSwitch* sw = nullptr;
+    Ipv4 client;
+    Endpoint service;
+    Endpoint instance;
+    std::vector<openflow::FlowEntry> entries;
+    int outstanding = 0;  // acks missing from the current attempt
+    int attempts = 0;     // send attempts so far (1 = initial send)
+    std::uint64_t epoch = 0;  // bumped per attempt; stale acks are ignored
+    EventHandle deadline;
+  };
+
   void handleRegisteredService(openflow::OpenFlowSwitch& sw,
                                const openflow::PacketIn& event,
                                const ServiceModel& service);
   void handleUnregistered(openflow::OpenFlowSwitch& sw,
                           const openflow::PacketIn& event);
+  /// The forward (+ reverse) redirect entries for (client, service ->
+  /// instance) on `sw`, cookie 0: the canonical shape shared by the
+  /// install path and the reconciler's intended-state diff.
+  std::vector<openflow::FlowEntry> redirectEntries(
+      openflow::OpenFlowSwitch& sw, Ipv4 client, const ServiceModel& service,
+      Endpoint instance) const;
   /// Install (or atomically replace) the forward + reverse redirect flows
   /// for (client, service) -> instance; returns the cookie stamped on both
   /// entries so callers can confirm the install in a flow-stats snapshot.
+  /// With reliableFlowMods the entries are sent tracked (ack deadline,
+  /// capped-backoff resends, cloud failover on exhaustion).
   std::uint64_t installRedirectFlows(openflow::OpenFlowSwitch& sw, Ipv4 client,
                                      const ServiceModel& service,
                                      Endpoint instance);
+  // ---- reliable-install state machine (sim thread) ------------------------
+  void sendTrackedInstall(std::uint64_t cookie);
+  void onFlowModAck(std::uint64_t cookie, std::uint64_t epoch);
+  void onFlowModDeadline(std::uint64_t cookie);
+  /// Resend budget exhausted: re-point FlowMemory (and, best-effort, the
+  /// switch) at the degraded cloud redirect so the flow is never blackholed.
+  void failOverInstall(std::uint64_t cookie);
+  /// Lazily register the edgesim_ctrl_channel_* series on the first ack
+  /// timeout so fault-free runs export exactly the pre-existing series set.
+  void ensureCtrlChannelTelemetry();
   // ---- handover state machine (sim thread) --------------------------------
   void startHandover(Ipv4 client, Endpoint serviceAddress,
                      const std::string& targetCluster, HandoverCallback cb);
@@ -416,6 +535,29 @@ class EdgeController : public openflow::ControllerApp {
   std::map<openflow::OpenFlowSwitch*, SwitchTopology> switches_;
   std::map<PendingKey, PendingRequest> pendingRequests_;
   std::map<PendingKey, ActiveHandover> handovers_;
+  /// In-flight tracked installs by cookie (sim thread only).
+  std::map<std::uint64_t, PendingInstall> pendingInstalls_;
+  /// Redirects the controller believes are live on each switch, keyed by
+  /// (switch, client, service) and valued with the latest install cookie.
+  /// Set when redirect flows are (re)sent, erased when the switch's
+  /// FlowRemoved for that cookie is delivered or the memorized flow
+  /// expires.  FlowMemory deliberately outlives switch idle expiry (warm
+  /// resolution after the entry aged out, §V), so the reconciler must not
+  /// treat every memorized flow as intended switch state: only entries in
+  /// this map count.  An entry that vanished *without* a delivered
+  /// FlowRemoved (restart wipe, lost notification) stays believed-installed
+  /// and is therefore detected as drift.  Sim thread only.
+  std::map<std::tuple<const openflow::OpenFlowSwitch*, Ipv4, Endpoint>,
+           std::uint64_t>
+      believedInstalled_;
+  /// Anti-entropy sweeper (options.reconcilePeriod > 0), started in the
+  /// constructor; declared after switches_/memory_ so it tears down first.
+  std::unique_ptr<RuleReconciler> reconciler_;
+  // Control-channel telemetry, registered lazily on the first ack timeout.
+  telemetry::Counter* ctrlAckedCtr_ = nullptr;
+  telemetry::Counter* ctrlTimeoutCtr_ = nullptr;
+  telemetry::Counter* ctrlRetriesCtr_ = nullptr;
+  telemetry::Counter* ctrlFailoversCtr_ = nullptr;
   // Handover telemetry, registered lazily on the first handover (sim
   // thread; registration is mutex-guarded but not hot-path safe).
   telemetry::Counter* hoStartedCtr_ = nullptr;
@@ -446,6 +588,11 @@ class EdgeController : public openflow::ControllerApp {
   std::atomic<std::uint64_t> handoversCompleted_{0};
   std::atomic<std::uint64_t> handoversAborted_{0};
   std::atomic<std::uint64_t> cookieCounter_{1};
+  std::atomic<std::uint64_t> flowModsSent_{0};
+  std::atomic<std::uint64_t> flowModsAcked_{0};
+  std::atomic<std::uint64_t> flowModsTimedOut_{0};
+  std::atomic<std::uint64_t> flowModResends_{0};
+  std::atomic<std::uint64_t> flowModFailovers_{0};
 };
 
 }  // namespace edgesim::core

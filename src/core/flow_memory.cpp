@@ -93,6 +93,19 @@ std::vector<MemorizedFlow> FlowMemory::flowsForClient(Ipv4 client) const {
   return flows;
 }
 
+std::vector<MemorizedFlow> FlowMemory::snapshot() const {
+  std::vector<MemorizedFlow> flows;
+  flows.reserve(size());
+  for (const auto& shardPtr : shards_) {
+    const Shard& shard = *shardPtr;
+    std::shared_lock lock(shard.mutex);
+    for (const auto& [key, flow] : shard.flows) {
+      flows.push_back(flow.snapshot());
+    }
+  }
+  return flows;
+}
+
 std::optional<MemorizedFlow> FlowMemory::lookup(Ipv4 client,
                                                 Endpoint service) const {
   const Key key{client, service};

@@ -90,6 +90,11 @@ class FlowMemory {
   /// handover trigger enumerates these when the client's attachment moves.
   std::vector<MemorizedFlow> flowsForClient(Ipv4 client) const;
 
+  /// Snapshot of EVERY memorized flow, in shard order: the controller's
+  /// intended steering state, which the RuleReconciler diffs against the
+  /// switch tables.  Shared lock per shard, one shard at a time.
+  std::vector<MemorizedFlow> snapshot() const;
+
   /// Forget all flows pointing at `instance` (e.g. instance scaled down).
   void forgetInstance(Endpoint instance);
 

@@ -55,6 +55,7 @@ Testbed::Testbed(TestbedOptions options)
   cloud_ = std::make_unique<Host>(*net_, "cloud", Ipv4(198, 51, 100, 1),
                                   Mac(0xC0));
   switch_ = std::make_unique<openflow::OpenFlowSwitch>(*net_, "ovs");
+  switch_->setTelemetry(options_.telemetry ? &telemetry_ : nullptr, &trace_);
 
   // ---- links ---------------------------------------------------------------
   SwitchTopology topo;
@@ -207,6 +208,7 @@ void Testbed::warmImageCache(const std::string& key) {
 
 void Testbed::injectFaults(fault::FaultPlan& plan) {
   for (auto& adapter : adapters_) adapter->setFaultPlan(&plan);
+  if (switch_ != nullptr) switch_->setFaultPlan(&plan);
   if (egsPuller_ != nullptr) egsPuller_->setFaultPlan(&plan, "egs");
   if (farPuller_ != nullptr) farPuller_->setFaultPlan(&plan, "far-edge");
   if (dockerEngine_ != nullptr) dockerEngine_->setFaultPlan(&plan);

@@ -9,8 +9,17 @@ const char* faultSiteName(FaultSite site) {
     case FaultSite::kContainerStart: return "container-start";
     case FaultSite::kClusterRpc: return "cluster-rpc";
     case FaultSite::kLinkDown: return "link-down";
+    case FaultSite::kControlChannelLoss: return "control-channel-loss";
+    case FaultSite::kControlChannelOutage: return "control-channel-outage";
+    case FaultSite::kSwitchRestart: return "switch-restart";
   }
   return "unknown";
+}
+
+bool isTimeScripted(FaultSite site) {
+  return site == FaultSite::kLinkDown ||
+         site == FaultSite::kControlChannelOutage ||
+         site == FaultSite::kSwitchRestart;
 }
 
 FaultPlan::FaultPlan(std::uint64_t seed) : seed_(seed) {}
@@ -43,7 +52,7 @@ std::optional<InjectedFault> FaultPlan::evaluate(FaultSite site,
   for (std::size_t index = 0; index < specs_.size(); ++index) {
     SpecState& state = specs_[index];
     const FaultSpec& spec = state.spec;
-    if (spec.site != site || spec.site == FaultSite::kLinkDown) continue;
+    if (spec.site != site || isTimeScripted(spec.site)) continue;
     if (!matches(spec.target, target)) continue;
     ++state.seen;
     // Always draw, so trigger decisions of later occurrences never depend
@@ -71,9 +80,14 @@ std::optional<InjectedFault> FaultPlan::evaluate(FaultSite site,
 
 std::vector<const FaultSpec*> FaultPlan::linkFaults(
     const std::string& target) const {
+  return timedFaults(FaultSite::kLinkDown, target);
+}
+
+std::vector<const FaultSpec*> FaultPlan::timedFaults(
+    FaultSite site, const std::string& target) const {
   std::vector<const FaultSpec*> out;
   for (const auto& state : specs_) {
-    if (state.spec.site != FaultSite::kLinkDown) continue;
+    if (state.spec.site != site) continue;
     if (!matches(state.spec.target, target)) continue;
     out.push_back(&state.spec);
   }

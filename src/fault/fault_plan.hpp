@@ -18,6 +18,25 @@
 //   kLinkDown         Network::scheduleLinkFaults (target: link label);
 //                     time-scripted via FaultSpec::at/duration instead of
 //                     occurrence counting.
+//   kControlChannelLoss
+//                     openflow::OpenFlowSwitch, per control message; target
+//                     "<switch>/c2s" (controller->switch: FlowMod,
+//                     FlowRemove, PacketOut, stats request) or
+//                     "<switch>/s2c" (switch->controller: PacketIn,
+//                     FlowRemoved, stats reply, FlowMod ack).  A bare
+//                     "<switch>" target hits both directions.  A failing
+//                     spec drops the message; a stall-only spec (code ==
+//                     kOk) delays it.
+//   kControlChannelOutage
+//                     openflow::OpenFlowSwitch (target: switch name);
+//                     time-scripted via at/duration: every control message
+//                     in either direction is dropped inside the window.
+//   kSwitchRestart    openflow::OpenFlowSwitch (target: switch name);
+//                     time-scripted: at `at` the flow table and packet
+//                     buffers are wiped (no FlowRemoved notifications --
+//                     the crash loses them) and the switch stays down for
+//                     `duration` (the table-restore delay; zero = the
+//                     switch comes back immediately, empty).
 //
 // Target matching: an empty spec target matches everything; otherwise the
 // spec matches an exact target or any "<target>/<suffix>" refinement, so
@@ -42,9 +61,16 @@ enum class FaultSite {
   kContainerStart,
   kClusterRpc,
   kLinkDown,
+  kControlChannelLoss,
+  kControlChannelOutage,
+  kSwitchRestart,
 };
 
-inline constexpr std::size_t kFaultSiteCount = 5;
+inline constexpr std::size_t kFaultSiteCount = 8;
+
+/// Sites scripted by FaultSpec::at/duration and queried via timedFaults()
+/// instead of per-occurrence evaluate() draws.
+bool isTimeScripted(FaultSite site);
 
 const char* faultSiteName(FaultSite site);
 
@@ -64,7 +90,8 @@ struct FaultSpec {
   /// operation is delayed by `stall` but still succeeds).
   Errc code = Errc::kUnavailable;
   std::string message = "injected fault";
-  /// kLinkDown only: the link goes down at `at` for `duration`.
+  /// Time-scripted sites only (kLinkDown, kControlChannelOutage,
+  /// kSwitchRestart): the fault starts at `at` and lasts `duration`.
   SimTime at = SimTime::zero();
   SimTime duration = SimTime::zero();
 };
@@ -101,6 +128,12 @@ class FaultPlan {
 
   /// kLinkDown specs matching `target` (for Network::scheduleLinkFaults).
   std::vector<const FaultSpec*> linkFaults(const std::string& target) const;
+
+  /// Time-scripted specs of `site` matching `target` (for components that
+  /// schedule outage windows / restarts up front instead of drawing per
+  /// occurrence).
+  std::vector<const FaultSpec*> timedFaults(FaultSite site,
+                                            const std::string& target) const;
 
   std::uint64_t seed() const { return seed_; }
   std::size_t specCount() const { return specs_.size(); }

@@ -64,6 +64,11 @@ class FlowTable {
   /// Expire entries whose idle/hard timeout elapsed at `now`.
   void expire(SimTime now);
 
+  /// Wipe every entry WITHOUT firing removal notifications: models a switch
+  /// crash/restart, where pending FlowRemoved messages die with the switch
+  /// (the controller must reconcile to discover the loss).
+  void clear() { entries_.clear(); }
+
   void setRemovalListener(RemovalListener listener) {
     removalListener_ = std::move(listener);
   }

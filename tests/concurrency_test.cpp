@@ -352,7 +352,17 @@ TEST(ControllerConcurrency, HandoverStormRacesWarmLookupsSafely) {
   options.farEdge = true;
   options.controller.flowShards = 8;
   options.controller.workers = 4;
-  options.controller.memoryIdleTimeout = 120_s;
+  // Effectively never: each stalled pump() below advances sim time 10 ms,
+  // so a slow wall-clock interleaving can rack up hundreds of sim seconds
+  // and expiry would race the final one-binding-per-client check.
+  options.controller.memoryIdleTimeout = 86400_s;
+  // The storm ping-pongs every client between the two clusters, so there
+  // are moments one cluster holds zero flows; vacated-instance scale-down
+  // would then force a real (re-)deploy whose phase timeout can fire under
+  // pump-driven sim time, quarantine the cluster, and abort handovers to
+  // the cloud.  The test is about warm re-steers racing lookups, so keep
+  // both predeployed instances up.
+  options.controller.scaleDownIdleServices = false;
   options.controller.memoryScanPeriod = 1_s;
   Testbed bed(options);
   bed.warmImageCache("nginx");

@@ -171,8 +171,11 @@ TEST(DomainObservability, WatchdogWakeAccounting) {
   // The lost-wakeup tripwire: with the notification path healthy, the
   // watchdog contributes a bounded trickle of PRODUCTIVE wakes (races
   // where it won against an in-flight notify), not a steady share of all
-  // advances.  A lost wakeup turns this into O(advanceTasks).
-  EXPECT_LE(stats.watchdogProductive, stats.advanceTasks / 4 + 64);
+  // advances.  A lost wakeup turns this into O(advanceTasks) -- every
+  // advance watchdog-driven -- so half of them (plus slack) still trips;
+  // the slack absorbs sanitizer slowdown, which legitimately shifts more
+  // race wins toward the watchdog.
+  EXPECT_LE(stats.watchdogProductive, stats.advanceTasks / 2 + 128);
 
   // The probe's counters mirror the scheduler's always-on stats.
   const TelemetrySnapshot snap = registry.snapshot(0.0);

@@ -501,6 +501,106 @@ TEST_F(SwitchFixture, BufferEvictionUnderPressure) {
   sim_.runUntil(1_s);
   EXPECT_EQ(rec.packetIns.size(), 4u);
   EXPECT_EQ(tiny.bufferedPackets(), 2u);  // two oldest evicted
+  // The loss is signalled, not silent: each FIFO eviction is counted.
+  EXPECT_EQ(tiny.bufferEvictions(), 2u);
+  // The untouched default-sized switch never evicted.
+  EXPECT_EQ(switch_.bufferEvictions(), 0u);
+}
+
+// ------------------------------------------------- flow-stats timing ----
+
+TEST_F(SwitchFixture, FlowStatsSnapshotTakenAtRequestArrival) {
+  // The request and any FlowMods ride the same ordered control channel:
+  // a FlowMod sent BEFORE the stats request is in the snapshot, one sent
+  // AFTER it is not -- even though both land before the reply is delivered.
+  FlowEntry before;
+  before.priority = 10;
+  before.match = FlowMatch::anyToService(kService);
+  before.actions = {OutputAction{cloudPort_}};
+  before.cookie = 1;
+  switch_.sendFlowMod(before);
+
+  std::optional<std::vector<FlowEntry>> snapshot;
+  switch_.requestFlowStats(
+      [&](std::vector<FlowEntry> entries) { snapshot = std::move(entries); });
+
+  FlowEntry after = before;
+  after.priority = 20;
+  after.cookie = 2;
+  switch_.sendFlowMod(after);
+
+  sim_.runUntil(10_ms);
+  ASSERT_TRUE(snapshot.has_value());
+  ASSERT_EQ(snapshot->size(), 1u);
+  EXPECT_EQ((*snapshot)[0].cookie, 1u);
+  // Both entries did land on the switch.
+  EXPECT_EQ(switch_.table().size(), 2u);
+}
+
+TEST_F(SwitchFixture, FlowStatsSnapshotSurvivesMutationBeforeDelivery) {
+  // The snapshot is a point-in-time copy taken when the request reaches
+  // the switch; deleting the entry before the reply lands must not
+  // retroactively empty it.
+  FlowEntry e;
+  e.priority = 10;
+  e.match = FlowMatch::anyToService(kService);
+  e.actions = {OutputAction{cloudPort_}};
+  e.cookie = 42;
+  switch_.sendFlowMod(e);
+  sim_.runUntil(10_ms);
+
+  std::optional<std::vector<FlowEntry>> snapshot;
+  SimTime deliveredAt;
+  switch_.requestFlowStats([&](std::vector<FlowEntry> entries) {
+    snapshot = std::move(entries);
+    deliveredAt = sim_.now();
+  });
+  // The remove is sent one channel latency later: it reaches the switch
+  // after the snapshot was taken but before the reply is delivered.
+  sim_.schedule(switch_.options().channelLatency / 2,
+                [&] { switch_.sendFlowRemove(FlowMatch::anyToService(kService)); });
+  sim_.runUntil(20_ms);
+
+  ASSERT_TRUE(snapshot.has_value());
+  ASSERT_EQ(snapshot->size(), 1u);
+  EXPECT_EQ((*snapshot)[0].cookie, 42u);
+  EXPECT_EQ(switch_.table().size(), 0u);  // the delete did happen
+  // Reply paid the full round trip.
+  EXPECT_GE(deliveredAt, 10_ms + switch_.options().channelLatency * 2);
+}
+
+// ------------------------------------------- flow-remove cookie match ----
+
+TEST_F(SwitchFixture, FlowRemoveMatchesCookieExactly) {
+  const FlowMatch match = FlowMatch::anyToService(kService);
+  FlowEntry first;
+  first.priority = 10;
+  first.match = match;
+  first.actions = {OutputAction{cloudPort_}};
+  first.cookie = 7;
+  FlowEntry second = first;
+  second.priority = 20;  // distinct (match, priority) => both live
+  second.cookie = 9;
+  switch_.sendFlowMod(first);
+  switch_.sendFlowMod(second);
+  sim_.runUntil(10_ms);
+  ASSERT_EQ(switch_.table().size(), 2u);
+
+  // A mismatched cookie removes nothing.
+  switch_.sendFlowRemove(match, 5);
+  sim_.runUntil(20_ms);
+  EXPECT_EQ(switch_.table().size(), 2u);
+
+  // An exact cookie removes only its entry.
+  switch_.sendFlowRemove(match, 9);
+  sim_.runUntil(30_ms);
+  ASSERT_EQ(switch_.table().size(), 1u);
+  EXPECT_EQ(switch_.table().entries()[0].cookie, 7u);
+
+  // Cookie 0 is the wildcard: removes regardless of cookie.
+  switch_.sendFlowRemove(match, 0);
+  sim_.runUntil(40_ms);
+  EXPECT_EQ(switch_.table().size(), 0u);
 }
 
 }  // namespace

@@ -13,16 +13,25 @@
 //     submitted == resolved + shed + failed,
 //   * under randomized mobility traces crossed with randomized fault plans
 //     every request is still answered exactly once and the handover books
-//     balance: started == completed + aborted_to_cloud (HandoverContinuity).
+//     balance: started == completed + aborted_to_cloud (HandoverContinuity),
+//   * under randomized control-channel fault schedules (message loss, outage
+//     windows, switch restarts) crossed with workload seeds, once the faults
+//     clear the anti-entropy sweeper converges every switch table back to
+//     exactly FlowMemory's intended redirect state within two sweep periods,
+//     and the install books balance: sent == acked + timed_out
+//     (RuleStateConvergence).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/rule_reconciler.hpp"
 #include "core/testbed.hpp"
 #include "fault/fault_plan.hpp"
 #include "mobility/attachment.hpp"
@@ -582,6 +591,151 @@ TEST_P(HandoverContinuity, NoRequestLostUnderMobilityAndFaults) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HandoverContinuity, ::testing::Range(1, 9));
+
+// ------------------------------------------ rule-state convergence ----
+//
+// Randomized control-channel fault schedules (per-message loss in either
+// direction, an outage window, an optional switch restart) crossed with
+// randomized warm workloads.  The fault era is finite by construction
+// (finite trigger budgets, bounded windows); after it ends the anti-entropy
+// sweeper must converge the switch table back to exactly the redirect
+// entries FlowMemory implies -- within two sweep periods, after which no
+// further drift is ever detected -- and the acked-install books must
+// balance: flowModsSent == flowModsAcked + flowModsTimedOut with nothing
+// left pending.
+
+class RuleStateConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuleStateConvergence, TablesConvergeToIntendedStateAfterFaults) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  TestbedOptions options;
+  options.seed = seed;
+  options.clusterMode = ClusterMode::kDockerOnly;
+  options.controller.reconcilePeriod = 1_s;
+  // Idle timeouts far beyond the horizon: every divergence observed below
+  // is fault-injected, never organic expiry.
+  options.controller.switchIdleTimeout = SimTime::seconds(600.0);
+  options.controller.memoryIdleTimeout = SimTime::seconds(600.0);
+  Testbed bed(options);
+
+  Rng rng(seed * 409 + 13);
+  fault::FaultPlan plan(seed * 977 + 7);
+  // Message loss, either direction, finite budget (the sweeps' own stats
+  // round trips keep drawing, so the budget always drains).
+  const auto lossSpecs = rng.uniformInt(1, 2);
+  for (std::uint64_t i = 0; i < lossSpecs; ++i) {
+    fault::FaultSpec loss;
+    loss.site = fault::FaultSite::kControlChannelLoss;
+    loss.target = rng.chance(0.5) ? "ovs/c2s" : "ovs/s2c";
+    loss.probability = rng.uniform(0.3, 0.9);
+    loss.maxTriggers = static_cast<int>(rng.uniformInt(2, 6));
+    loss.skipFirst = static_cast<int>(rng.uniformInt(0, 2));
+    plan.add(loss);
+  }
+  // A bounded full-blackout window.
+  double faultsClearAt = 0.0;
+  if (rng.chance(0.7)) {
+    fault::FaultSpec outage;
+    outage.site = fault::FaultSite::kControlChannelOutage;
+    outage.target = "ovs";
+    outage.at = SimTime::seconds(rng.uniform(2.0, 8.0));
+    outage.duration = SimTime::seconds(rng.uniform(0.3, 2.0));
+    plan.add(outage);
+    faultsClearAt = (outage.at + outage.duration).toSeconds();
+  }
+  // An optional restart that wipes the whole table mid-run.
+  if (rng.chance(0.7)) {
+    fault::FaultSpec restart;
+    restart.site = fault::FaultSite::kSwitchRestart;
+    restart.target = "ovs";
+    restart.at = SimTime::seconds(rng.uniform(2.0, 10.0));
+    restart.duration = SimTime::millis(
+        rng.chance(0.5) ? 0 : static_cast<std::int64_t>(rng.uniformInt(50, 300)));
+    plan.add(restart);
+    faultsClearAt =
+        std::max(faultsClearAt, (restart.at + restart.duration).toSeconds());
+  }
+  bed.injectFaults(plan);
+
+  // Warm workload: requests land before, during and after the fault era.
+  const std::vector<std::string> kinds{"asm", "nginx"};
+  std::vector<Endpoint> addresses;
+  const auto serviceCount = rng.uniformInt(1, 2);
+  for (std::uint64_t s = 0; s < serviceCount; ++s) {
+    const Endpoint address(
+        Ipv4(203, 0, 113, static_cast<std::uint8_t>(s + 1)), 80);
+    const auto& kind = kinds[rng.uniformInt(0, kinds.size() - 1)];
+    ASSERT_TRUE(bed.registerCatalogService(kind, address).ok());
+    bed.warmImageCache(kind);
+    addresses.push_back(address);
+  }
+  int issued = 0;
+  int answered = 0;
+  const auto requestCount = rng.uniformInt(8, 16);
+  for (std::uint64_t i = 0; i < requestCount; ++i) {
+    const double at = rng.uniform(0.2, 12.0);
+    const auto client = rng.uniformInt(0, 5);
+    const auto& address = addresses[rng.uniformInt(0, addresses.size() - 1)];
+    ++issued;
+    bed.sim().scheduleAt(SimTime::seconds(at),
+                         [&bed, &answered, client, address] {
+      HttpRequest req;
+      bed.client(client).httpRequest(address, req,
+                                     [&answered](Result<HttpExchange> r) {
+                                       ASSERT_TRUE(r.ok())
+                                           << r.error().toString();
+                                       ++answered;
+                                     });
+    });
+  }
+
+  // Loss budgets drain within a handful of post-clear sweeps (each sweep
+  // draws on both channel directions); give them room, then mark the drift
+  // level two sweep periods later.  Any drift detected beyond that point
+  // would mean the sweeper failed to converge.
+  const double quietAt = std::max(faultsClearAt, 12.0) + 30.0;
+  bed.sim().runUntil(SimTime::seconds(quietAt + 2.5));
+  auto* reconciler = bed.controller().reconciler();
+  ASSERT_NE(reconciler, nullptr);
+  const auto driftAfterTwoSweeps =
+      reconciler->stats().driftMissing + reconciler->stats().driftOrphans;
+
+  bed.sim().runUntil(SimTime::seconds(100.0));
+  EXPECT_EQ(answered, issued) << "a request was blackholed (seed " << seed
+                              << ", " << plan.triggerCount()
+                              << " faults triggered)";
+  EXPECT_EQ(reconciler->stats().driftMissing + reconciler->stats().driftOrphans,
+            driftAfterTwoSweeps)
+      << "drift detected after the post-fault convergence point (seed "
+      << seed << ")";
+
+  // The switch table carries exactly the redirect entries FlowMemory
+  // implies -- no lost rules, no orphans.
+  std::set<std::string> intended;
+  for (const auto& flow : bed.controller().intendedFlows(bed.ovs())) {
+    for (const auto& entry : flow.entries) {
+      intended.insert(std::to_string(entry.priority) + "|" +
+                      entry.match.toString() + "|" +
+                      openflow::actionsToString(entry.actions));
+    }
+  }
+  std::set<std::string> installed;
+  for (const auto& entry : bed.ovs().table().entries()) {
+    if (entry.priority < core::kRedirectPriority) continue;
+    installed.insert(std::to_string(entry.priority) + "|" +
+                     entry.match.toString() + "|" +
+                     openflow::actionsToString(entry.actions));
+  }
+  EXPECT_EQ(installed, intended) << "seed " << seed;
+
+  // Install accounting balances at quiescence.
+  const auto& ctrl = bed.controller();
+  EXPECT_EQ(ctrl.flowModsSent(), ctrl.flowModsAcked() + ctrl.flowModsTimedOut())
+      << "seed " << seed;
+  EXPECT_EQ(bed.controller().pendingInstallCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleStateConvergence, ::testing::Range(1, 9));
 
 }  // namespace
 }  // namespace edgesim

@@ -247,6 +247,96 @@ void renderHandovers(const TelemetrySnapshot& snap, std::string& out) {
   out += "\n";
 }
 
+void renderControlChannel(const TelemetrySnapshot& snap, std::string& out) {
+  // Per-switch channel health: drops by direction, restarts, buffer
+  // evictions.  All of these register lazily on the first fault, so a
+  // clean run renders nothing.
+  struct SwitchRow {
+    std::uint64_t dropsC2s = 0, dropsS2c = 0, restarts = 0, evictions = 0;
+  };
+  std::map<std::string, SwitchRow> bySwitch;
+  for (const auto& counter : snap.counters) {
+    const std::string sw = labelValue(counter.labels, "switch");
+    if (sw.empty()) continue;
+    if (counter.name == "edgesim_ctrl_channel_dropped_total") {
+      if (labelValue(counter.labels, "direction") == "c2s") {
+        bySwitch[sw].dropsC2s += counter.value;
+      } else {
+        bySwitch[sw].dropsS2c += counter.value;
+      }
+    } else if (counter.name == "edgesim_switch_restarts_total") {
+      bySwitch[sw].restarts += counter.value;
+    } else if (counter.name == "edgesim_switch_buffer_evictions_total") {
+      bySwitch[sw].evictions += counter.value;
+    }
+  }
+  Table switches({"switch", "drops c2s", "drops s2c", "restarts",
+                  "buffer evictions"});
+  for (const auto& [sw, row] : bySwitch) {
+    switches.addRow({sw, fmtCount(row.dropsC2s), fmtCount(row.dropsS2c),
+                     fmtCount(row.restarts), fmtCount(row.evictions)});
+  }
+
+  // Acked-install state machine: acked vs timed out, retries, failovers.
+  std::uint64_t acked = 0, timedOut = 0;
+  for (const auto& counter : snap.counters) {
+    if (counter.name != "edgesim_ctrl_channel_acks_total") continue;
+    if (labelValue(counter.labels, "result") == "acked") {
+      acked += counter.value;
+    } else {
+      timedOut += counter.value;
+    }
+  }
+  const auto retries = snap.counterTotal("edgesim_ctrl_channel_retries_total");
+  const auto failovers =
+      snap.counterTotal("edgesim_ctrl_channel_failovers_total");
+
+  // Anti-entropy sweeps: drift found/repaired plus sweep latency tail.
+  const auto sweeps = snap.counterTotal("edgesim_reconcile_sweeps_total");
+  const auto* sweepHist = snap.findHistogram("edgesim_reconcile_sweep_seconds");
+  const bool haveAcks = acked + timedOut + retries + failovers > 0;
+  if (switches.rowCount() == 0 && !haveAcks && sweeps == 0) return;
+
+  out += "control channel\n";
+  if (switches.rowCount() > 0) out += switches.render();
+  if (haveAcks) {
+    out += strprintf("flowmods acked %llu  timed out %llu  retries %llu  "
+                     "failovers %llu\n",
+                     static_cast<unsigned long long>(acked),
+                     static_cast<unsigned long long>(timedOut),
+                     static_cast<unsigned long long>(retries),
+                     static_cast<unsigned long long>(failovers));
+  }
+  if (sweeps > 0) {
+    std::uint64_t missing = 0, orphans = 0;
+    for (const auto& counter : snap.counters) {
+      if (counter.name != "edgesim_reconcile_drift_detected_total") continue;
+      if (labelValue(counter.labels, "kind") == "missing") {
+        missing += counter.value;
+      } else {
+        orphans += counter.value;
+      }
+    }
+    out += strprintf(
+        "reconcile sweeps %llu  drift missing %llu  orphans %llu  "
+        "reinstalled %llu  deleted %llu  resynthesized %llu  "
+        "stats timeouts %llu  sweep p99 %s ms\n",
+        static_cast<unsigned long long>(sweeps),
+        static_cast<unsigned long long>(missing),
+        static_cast<unsigned long long>(orphans),
+        static_cast<unsigned long long>(
+            snap.counterTotal("edgesim_reconcile_rules_reinstalled_total")),
+        static_cast<unsigned long long>(
+            snap.counterTotal("edgesim_reconcile_orphans_deleted_total")),
+        static_cast<unsigned long long>(
+            snap.counterTotal("edgesim_reconcile_flow_removed_resynth_total")),
+        static_cast<unsigned long long>(
+            snap.counterTotal("edgesim_reconcile_stats_timeouts_total")),
+        sweepHist != nullptr ? fmtQuantileMs(*sweepHist, 0.99).c_str() : "-");
+  }
+  out += "\n";
+}
+
 void renderSlo(const TelemetrySnapshot& snap, std::string& out) {
   Table table({"budget", "breaches"});
   for (const auto& counter : snap.counters) {
@@ -270,6 +360,7 @@ std::string renderFrame(const TelemetrySnapshot& snap,
   renderPhases(snap, out);
   renderOverload(snap, out);
   renderHandovers(snap, out);
+  renderControlChannel(snap, out);
   renderSlo(snap, out);
   return out;
 }
